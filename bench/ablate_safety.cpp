@@ -1,0 +1,78 @@
+// Ablation A2: runtime safety checks (the paper's motivation — Zig offers
+// "several optional runtime safety features, such as array bounds checking"
+// while "retaining performance comparable to that of C").
+//
+// The same MiniZig kernels are transpiled twice at build time: once plain
+// (ReleaseFast analogue) and once with --safe (ReleaseSafe analogue: every
+// slice access bounds-checked). This bench measures the cost of the checks
+// on real kernels — the quantitative footnote to the paper's safety thesis.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "cg_mz.h"
+#include "cg_mz_safe.h"
+#include "mandel_mz.h"
+#include "mandel_mz_safe.h"
+#include "npb/cg.h"
+
+namespace {
+
+using bench::slice_of;
+
+void BM_CgUnchecked(benchmark::State& state) {
+  const zomp::npb::CgClass cls = zomp::npb::cg_class('S');
+  zomp::npb::SparseMatrix a = zomp::npb::cg_make_matrix(cls.na, cls.nonzer);
+  std::vector<double> x(static_cast<std::size_t>(a.n)), z(x), r(x), p(x), q(x);
+  std::vector<double> rnorm(1);
+  for (auto _ : state) {
+    const double zeta = mzgen_cg_mz::cg_run(
+        slice_of(a.rowstr), slice_of(a.colidx), slice_of(a.values),
+        slice_of(x), slice_of(z), slice_of(r), slice_of(p), slice_of(q),
+        cls.niter, cls.shift, slice_of(rnorm));
+    benchmark::DoNotOptimize(zeta);
+  }
+  state.SetLabel("ReleaseFast analogue");
+}
+BENCHMARK(BM_CgUnchecked)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_CgBoundsChecked(benchmark::State& state) {
+  const zomp::npb::CgClass cls = zomp::npb::cg_class('S');
+  zomp::npb::SparseMatrix a = zomp::npb::cg_make_matrix(cls.na, cls.nonzer);
+  std::vector<double> x(static_cast<std::size_t>(a.n)), z(x), r(x), p(x), q(x);
+  std::vector<double> rnorm(1);
+  for (auto _ : state) {
+    const double zeta = mzgen_cg_mz_safe::cg_run(
+        slice_of(a.rowstr), slice_of(a.colidx), slice_of(a.values),
+        slice_of(x), slice_of(z), slice_of(r), slice_of(p), slice_of(q),
+        cls.niter, cls.shift, slice_of(rnorm));
+    benchmark::DoNotOptimize(zeta);
+  }
+  state.SetLabel("ReleaseSafe analogue (bounds-checked slices)");
+}
+BENCHMARK(BM_CgBoundsChecked)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_MandelUnchecked(benchmark::State& state) {
+  std::vector<std::int64_t> res(2);
+  for (auto _ : state) {
+    mzgen_mandel_mz::mandel_run(256, 256, 2000, slice_of(res));
+    benchmark::DoNotOptimize(res[0]);
+  }
+  state.SetLabel("ReleaseFast analogue");
+}
+BENCHMARK(BM_MandelUnchecked)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_MandelBoundsChecked(benchmark::State& state) {
+  std::vector<std::int64_t> res(2);
+  for (auto _ : state) {
+    mzgen_mandel_mz_safe::mandel_run(256, 256, 2000, slice_of(res));
+    benchmark::DoNotOptimize(res[0]);
+  }
+  state.SetLabel("ReleaseSafe analogue (bounds-checked slices)");
+}
+BENCHMARK(BM_MandelBoundsChecked)->Unit(benchmark::kMillisecond)->Iterations(5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

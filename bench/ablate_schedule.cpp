@@ -1,0 +1,72 @@
+// Ablation A1: the schedule clause (paper §2 implements schedule; this
+// quantifies why it matters).
+//
+// Workload: Mandelbrot rows — iteration cost varies by orders of magnitude
+// across rows, so schedule(static) load-imbalances while dynamic/guided
+// rebalance at run time. Sweeps kind x chunk on the same kernel through the
+// C++ API; the transpiled MiniZig kernel (fixed dynamic,1) is included as a
+// cross-check that generated code sees the same effect.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "mandel_mz.h"
+#include "npb/mandel.h"
+#include "runtime/api.h"
+
+namespace {
+
+using zomp::npb::MandelParams;
+
+// Asymmetric window: the last rows graze the set (cost ~max_iter/pixel), the
+// first rows are far outside (cost ~3 iterations/pixel). A blocked static
+// distribution hands whole heavy/light bands to single threads; dynamic and
+// guided rebalance. (The default symmetric window would hide the effect at
+// low thread counts: the top and bottom halves cost the same.)
+const MandelParams kParams{384, 384, 3000, -2.0, 0.5, -2.5, 0.3};
+
+void schedule_arg(benchmark::internal::Benchmark* b) {
+  // {kind, chunk}: kind 0=static 1=dynamic 2=guided.
+  b->Args({0, 0});
+  b->Args({0, 1});
+  b->Args({0, 8});
+  b->Args({1, 1});
+  b->Args({1, 8});
+  b->Args({2, 1});
+  b->Args({2, 8});
+  b->Unit(benchmark::kMillisecond);
+  b->Iterations(3);
+}
+
+void BM_MandelSchedule(benchmark::State& state) {
+  const int kind = static_cast<int>(state.range(0));
+  const auto chunk = static_cast<std::int64_t>(state.range(1));
+  zomp::npb::MandelResult expect = zomp::npb::mandel_serial(kParams);
+  for (auto _ : state) {
+    const zomp::npb::MandelResult r =
+        zomp::npb::mandel_parallel(kParams, 0, kind, chunk);
+    if (r.iter_checksum != expect.iter_checksum) {
+      state.SkipWithError("checksum mismatch");
+    }
+  }
+  state.SetLabel(kind == 0   ? "static"
+                 : kind == 1 ? "dynamic"
+                             : "guided");
+}
+BENCHMARK(BM_MandelSchedule)->Apply(schedule_arg);
+
+void BM_MandelTranspiledDynamic(benchmark::State& state) {
+  std::vector<std::int64_t> res(2);
+  for (auto _ : state) {
+    mzgen_mandel_mz::mandel_run(kParams.width, kParams.height,
+                                kParams.max_iter, bench::slice_of(res));
+    benchmark::DoNotOptimize(res[1]);
+  }
+  state.SetLabel("mz schedule(dynamic,1)");
+}
+BENCHMARK(BM_MandelTranspiledDynamic)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Shared helpers for the bench harnesses: flag parsing, best-of timing, and
+// the mz::Slice adapters that hand host vectors to transpiled kernels.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "codegen/mz_support.h"
+#include "runtime/api.h"
+
+namespace bench {
+
+/// Tiny flag parser: --name value | --name=value | --flag.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const std::string key = "--" + name;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (args_[i] == key && i + 1 < args_.size()) return args_[i + 1];
+      if (args_[i].rfind(key + "=", 0) == 0) {
+        return args_[i].substr(key.size() + 1);
+      }
+    }
+    return fallback;
+  }
+
+  long get_int(const std::string& name, long fallback) const {
+    const std::string v = get(name, "");
+    return v.empty() ? fallback : std::strtol(v.c_str(), nullptr, 10);
+  }
+
+  bool has(const std::string& name) const {
+    const std::string key = "--" + name;
+    for (const auto& a : args_) {
+      if (a == key) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+/// Runs `fn` `repeats` times and returns the best wall time in seconds
+/// (NPB reports best-of; so do we).
+template <typename Fn>
+double best_of(int repeats, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) {
+    const double t0 = zomp::wtime();
+    fn();
+    best = std::min(best, zomp::wtime() - t0);
+  }
+  return best;
+}
+
+template <typename T>
+mz::Slice<T> slice_of(std::vector<T>& v) {
+  return mz::Slice<T>{v.data(), static_cast<std::int64_t>(v.size())};
+}
+
+}  // namespace bench

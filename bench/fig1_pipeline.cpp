@@ -1,0 +1,149 @@
+// Figure 1 reproduction: "Overview of the process of intercepting and
+// replacing OpenMP pragmas in the Zig compiler".
+//
+// The paper's Figure 1 is the pipeline diagram — parse, identify directive
+// comments, extract code blocks into functions, insert runtime calls. This
+// harness *executes* that pipeline on a directive-rich program and prints
+// the stage trace with per-stage timing and artifact counts, validating each
+// stage's output along the way (a failed stage exits nonzero).
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "codegen/codegen.h"
+#include "core/directive_parser.h"
+#include "core/transform.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+#include "runtime/api.h"
+
+namespace {
+
+const char* kProgram = R"(
+extern fn mz_omp_get_num_threads() i64;
+
+pub fn pipeline_demo(x: []f64, y: []f64) f64 {
+  const n: i64 = x.len;
+  var sum: f64 = 0.0;
+  var nt: i64 = 0;
+  //#omp parallel num_threads(4)
+  {
+    //#omp master
+    {
+      nt = mz_omp_get_num_threads();
+    }
+    //#omp for reduction(+: sum) schedule(guided, 4)
+    for (0..n) |i| {
+      y[i] = y[i] + x[i];
+      sum += y[i];
+    }
+    //#omp barrier
+    //#omp single
+    {
+      y[0] = sum;
+    }
+  }
+  //#omp parallel for schedule(dynamic, 8) lastprivate(nt)
+  for (0..n) |i| {
+    y[i] = y[i] * 2.0;
+    nt = i;
+  }
+  return sum;
+}
+)";
+
+}  // namespace
+
+int main() {
+  using zomp::lang::Token;
+
+  std::printf("# Figure 1 — directive interception & replacement pipeline\n");
+  std::printf("# stage-by-stage trace over a %zu-byte MiniZig program\n\n",
+              std::string(kProgram).size());
+
+  zomp::lang::SourceFile file("pipeline_demo.mz", kProgram);
+  zomp::lang::Diagnostics diags;
+
+  // Stage 1: lex (directive comments survive as tokens — the interception).
+  double t0 = zomp::wtime();
+  zomp::lang::Lexer lexer(file, diags);
+  std::vector<Token> tokens = lexer.lex();
+  const double lex_s = zomp::wtime() - t0;
+  int directive_tokens = 0;
+  for (const Token& t : tokens) {
+    if (t.is(zomp::lang::TokenKind::kDirective)) ++directive_tokens;
+  }
+  std::printf("[1] lex                 %8.1f us   %5zu tokens, %d directive comments intercepted\n",
+              lex_s * 1e6, tokens.size(), directive_tokens);
+  if (diags.has_errors() || directive_tokens != 6) {
+    std::fprintf(stderr, "stage 1 failed\n%s", diags.render(file).c_str());
+    return 1;
+  }
+
+  // Stage 2: parse (directives attach to following statements).
+  t0 = zomp::wtime();
+  zomp::lang::Parser parser(std::move(tokens), diags);
+  auto module = parser.parse_module("pipeline_demo");
+  const double parse_s = zomp::wtime() - t0;
+  std::printf("[2] parse               %8.1f us   %zu functions, directives attached to statements\n",
+              parse_s * 1e6, module->functions.size());
+  if (diags.has_errors()) {
+    std::fprintf(stderr, "stage 2 failed\n%s", diags.render(file).c_str());
+    return 1;
+  }
+
+  // Stage 3: directive engine (outline blocks into functions, insert
+  // structured runtime-call statements).
+  t0 = zomp::wtime();
+  zomp::core::TransformStats stats;
+  const bool transformed = zomp::core::apply_openmp(*module, diags, &stats);
+  const double transform_s = zomp::wtime() - t0;
+  std::printf("[3] outline+insert      %8.1f us   %d regions outlined, %d worksharing loops, %d directives\n",
+              transform_s * 1e6, stats.regions_outlined, stats.ws_loops,
+              stats.directives_seen);
+  if (!transformed || stats.regions_outlined != 2 || stats.ws_loops != 2) {
+    std::fprintf(stderr, "stage 3 failed\n%s", diags.render(file).c_str());
+    return 1;
+  }
+
+  // Stage 4: sema (types inferred at fork sites — the generics trick).
+  t0 = zomp::wtime();
+  const bool analyzed = zomp::lang::analyze(*module, diags);
+  const double sema_s = zomp::wtime() - t0;
+  int outlined = 0;
+  for (const auto& fn : module->functions) {
+    if (fn->is_outlined) ++outlined;
+  }
+  std::printf("[4] sema                %8.1f us   %d outlined fn signatures inferred monomorphically\n",
+              sema_s * 1e6, outlined);
+  if (!analyzed) {
+    std::fprintf(stderr, "stage 4 failed\n%s", diags.render(file).c_str());
+    return 1;
+  }
+
+  // Stage 5: codegen against the runtime ABI.
+  t0 = zomp::wtime();
+  const std::string cpp = zomp::codegen::emit_cpp(*module);
+  const double gen_s = zomp::wtime() - t0;
+  int fork_calls = 0;
+  int ws_inits = 0;
+  for (std::size_t pos = cpp.find("zomp_fork_call"); pos != std::string::npos;
+       pos = cpp.find("zomp_fork_call", pos + 1)) {
+    ++fork_calls;
+  }
+  for (std::size_t pos = cpp.find("_init(&"); pos != std::string::npos;
+       pos = cpp.find("_init(&", pos + 1)) {
+    ++ws_inits;
+  }
+  std::printf("[5] codegen             %8.1f us   %zu bytes of C++, %d fork calls, %d loop-bound runtime calls\n",
+              gen_s * 1e6, cpp.size(), fork_calls, ws_inits);
+  if (fork_calls < 2 || ws_inits < 2) {
+    std::fprintf(stderr, "stage 5 failed\n");
+    return 1;
+  }
+
+  std::printf("\npipeline ok: directive comments -> tokens -> attached AST -> "
+              "outlined functions + runtime calls -> C++\n");
+  return 0;
+}

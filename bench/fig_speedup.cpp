@@ -1,0 +1,120 @@
+// Speedup series (paper §3.1: "Results, including total runtime and speedup,
+// were compared to the reference implementation, with speedup calculated
+// relative to single-thread execution").
+//
+// For every benchmark and both implementations (Reference / Zig+OpenMP) this
+// prints runtime and speedup at 1, 2, 4, ... threads up to --max-threads
+// (default: the machine's processor count). The paper's corresponding data
+// is the per-benchmark speedup at 128 ARCHER2 cores; here the series shape
+// (monotone speedup, both versions tracking each other) is the
+// reproduction target.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cg_mz.h"
+#include "ep_mz.h"
+#include "mandel_mz.h"
+#include "npb/cg.h"
+#include "npb/ep.h"
+#include "npb/mandel.h"
+#include "runtime/api.h"
+
+namespace {
+
+using bench::slice_of;
+
+struct Series {
+  const char* benchmark;
+  const char* version;
+  std::vector<double> runtime;  // indexed like thread_counts
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args(argc, argv);
+  const int max_threads =
+      static_cast<int>(args.get_int("max-threads", zomp::num_procs()));
+  const int repeats = static_cast<int>(args.get_int("repeats", 1));
+  const int ep_m = static_cast<int>(args.get_int("ep-m", 22));
+  const char cg_cls = args.get("cg-class", "W")[0];
+
+  std::vector<int> thread_counts;
+  for (int t = 1; t <= max_threads; t *= 2) thread_counts.push_back(t);
+
+  std::vector<Series> series;
+
+  // --- CG ---
+  {
+    using namespace zomp::npb;
+    const CgClass cls = cg_class(cg_cls);
+    SparseMatrix a = cg_make_matrix(cls.na, cls.nonzer);
+    Series ref{"CG", "Reference", {}};
+    Series zig{"CG", "Zig+OpenMP", {}};
+    std::vector<double> x(static_cast<std::size_t>(a.n)), z(x), r(x), p(x), q(x);
+    std::vector<double> rnorm_out(1);
+    for (const int t : thread_counts) {
+      ref.runtime.push_back(bench::best_of(
+          repeats, [&] { cg_parallel(a, cls.niter, cls.shift, t); }));
+      zomp::set_num_threads(t);
+      zig.runtime.push_back(bench::best_of(repeats, [&] {
+        mzgen_cg_mz::cg_run(slice_of(a.rowstr), slice_of(a.colidx),
+                            slice_of(a.values), slice_of(x), slice_of(z),
+                            slice_of(r), slice_of(p), slice_of(q), cls.niter,
+                            cls.shift, slice_of(rnorm_out));
+      }));
+    }
+    series.push_back(std::move(ref));
+    series.push_back(std::move(zig));
+  }
+
+  // --- EP ---
+  {
+    using namespace zomp::npb;
+    Series ref{"EP", "Reference", {}};
+    Series zig{"EP", "Zig+OpenMP", {}};
+    std::vector<double> q(10), res(3);
+    for (const int t : thread_counts) {
+      ref.runtime.push_back(
+          bench::best_of(repeats, [&] { ep_parallel(ep_m, t); }));
+      zomp::set_num_threads(t);
+      zig.runtime.push_back(bench::best_of(
+          repeats, [&] { mzgen_ep_mz::ep_run(ep_m, slice_of(q), slice_of(res)); }));
+    }
+    series.push_back(std::move(ref));
+    series.push_back(std::move(zig));
+  }
+
+  // --- Mandelbrot ---
+  {
+    using namespace zomp::npb;
+    const MandelParams params{512, 512, 2000};
+    Series ref{"Mandelbrot", "Reference", {}};
+    Series zig{"Mandelbrot", "Zig+OpenMP", {}};
+    std::vector<std::int64_t> res(2);
+    for (const int t : thread_counts) {
+      ref.runtime.push_back(bench::best_of(
+          repeats, [&] { mandel_parallel(params, t, /*dynamic*/ 1, 1); }));
+      zomp::set_num_threads(t);
+      zig.runtime.push_back(bench::best_of(repeats, [&] {
+        mzgen_mandel_mz::mandel_run(params.width, params.height,
+                                    params.max_iter, slice_of(res));
+      }));
+    }
+    series.push_back(std::move(ref));
+    series.push_back(std::move(zig));
+  }
+
+  std::printf("# Speedup vs single thread (paper §3.1 series)\n");
+  std::printf("%-12s %-12s %8s %12s %10s\n", "benchmark", "version", "threads",
+              "runtime(s)", "speedup");
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      std::printf("%-12s %-12s %8d %12.4f %9.2fx\n", s.benchmark, s.version,
+                  thread_counts[i], s.runtime[i], s.runtime[0] / s.runtime[i]);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation A4: cost of the Fortran call boundary (paper §3.1 establishes
+// Zig->Fortran interop; this measures what the boundary itself costs).
+//
+// Compares a direct C++ call against the same computation reached through
+// the Fortran ABI shim (trailing-underscore symbol, all arguments by
+// reference) and through a MiniZig-transpiled extern call, plus the
+// column-major view's 2D access against native row-major.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "fortran/fview.h"
+#include "fortran/mangle.h"
+
+namespace {
+
+// A small "Fortran" subroutine: daxpy with by-reference everything.
+extern "C" void bench_daxpy_(const std::int64_t* n, const double* a,
+                             const double* x, double* y) {
+  for (std::int64_t i = 0; i < *n; ++i) y[i] += *a * x[i];
+}
+
+// The same computation with a natural C++ signature.
+void bench_daxpy_direct(std::int64_t n, double a, const double* x, double* y) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+constexpr std::int64_t kN = 4096;
+
+void BM_DirectCall(benchmark::State& state) {
+  std::vector<double> x(kN, 1.0), y(kN, 0.0);
+  for (auto _ : state) {
+    bench_daxpy_direct(kN, 0.5, x.data(), y.data());
+    benchmark::DoNotOptimize(y[0]);
+  }
+}
+BENCHMARK(BM_DirectCall)->Iterations(1 << 12);
+
+void BM_FortranAbiCall(benchmark::State& state) {
+  std::vector<double> x(kN, 1.0), y(kN, 0.0);
+  const std::int64_t n = kN;
+  const double a = 0.5;
+  for (auto _ : state) {
+    bench_daxpy_(&n, &a, x.data(), y.data());
+    benchmark::DoNotOptimize(y[0]);
+  }
+  state.SetLabel(zomp::fortran::mangle("bench_daxpy"));
+}
+BENCHMARK(BM_FortranAbiCall)->Iterations(1 << 12);
+
+void BM_ColMajorView(benchmark::State& state) {
+  constexpr std::int64_t rows = 256, cols = 256;
+  std::vector<double> storage(rows * cols, 1.0);
+  zomp::fortran::ColMajorView<double> view(storage.data(), rows);
+  double sum = 0.0;
+  for (auto _ : state) {
+    // Fortran-order traversal (column outer) — stride-1 on the view.
+    for (std::int64_t j = 1; j <= cols; ++j) {
+      for (std::int64_t i = 1; i <= rows; ++i) sum += view(i, j);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_ColMajorView)->Iterations(1 << 9);
+
+void BM_RowMajorNative(benchmark::State& state) {
+  constexpr std::int64_t rows = 256, cols = 256;
+  std::vector<double> storage(rows * cols, 1.0);
+  double sum = 0.0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < rows; ++i) {
+      for (std::int64_t j = 0; j < cols; ++j) sum += storage[i * cols + j];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_RowMajorNative)->Iterations(1 << 9);
+
+}  // namespace
+
+BENCHMARK_MAIN();

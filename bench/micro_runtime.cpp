@@ -1,0 +1,169 @@
+// Ablation A3: runtime-primitive microbenchmarks, EPCC-style (the authors'
+// institution publishes the classic OpenMP overhead suite; this is the zomp
+// equivalent). Measures the primitives the NPB kernels lean on: fork/join,
+// barrier algorithms (centralized vs tree), worksharing dispatch per
+// schedule, reduction, critical sections, locks, and task spawn/drain.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace {
+
+using zomp::rt::Barrier;
+using zomp::rt::BarrierKind;
+
+int bench_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 2 : static_cast<int>(hc);
+}
+
+void BM_ForkJoin(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    zomp::parallel([&] { sink.fetch_add(1, std::memory_order_relaxed); },
+                   zomp::ParallelOptions{threads, true});
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond)->Iterations(200);
+
+void BM_BarrierCentral(benchmark::State& state) {
+  const int threads = bench_threads();
+  const int rounds = 64;
+  for (auto _ : state) {
+    auto barrier = Barrier::create(BarrierKind::kCentral, threads);
+    zomp::parallel(
+        [&] {
+          const int tid = zomp::thread_num();
+          for (int i = 0; i < rounds; ++i) barrier->wait(tid);
+        },
+        zomp::ParallelOptions{threads, true});
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_BarrierCentral)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+void BM_BarrierTree(benchmark::State& state) {
+  const int threads = bench_threads();
+  const int rounds = 64;
+  for (auto _ : state) {
+    auto barrier = Barrier::create(BarrierKind::kTree, threads);
+    zomp::parallel(
+        [&] {
+          const int tid = zomp::thread_num();
+          for (int i = 0; i < rounds; ++i) barrier->wait(tid);
+        },
+        zomp::ParallelOptions{threads, true});
+  }
+  state.SetItemsProcessed(state.iterations() * rounds);
+}
+BENCHMARK(BM_BarrierTree)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+void BM_WorksharingDispatch(benchmark::State& state) {
+  // kind: 0 static, 1 dynamic, 2 guided; iterations fixed, chunk varies.
+  const auto kind = static_cast<zomp::rt::ScheduleKind>(state.range(0));
+  const auto chunk = static_cast<std::int64_t>(state.range(1));
+  constexpr std::int64_t n = 1 << 14;
+  std::vector<double> data(n, 1.0);
+  for (auto _ : state) {
+    zomp::parallel([&] {
+      zomp::for_each(
+          0, n, [&](std::int64_t i) { data[static_cast<std::size_t>(i)] *= 1.0000001; },
+          zomp::ForOptions{{kind, chunk}, false});
+    });
+  }
+  benchmark::DoNotOptimize(data[0]);
+  state.SetLabel(zomp::rt::schedule_kind_name(kind));
+}
+BENCHMARK(BM_WorksharingDispatch)
+    ->Args({0, 0})
+    ->Args({1, 1})
+    ->Args({1, 64})
+    ->Args({2, 1})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(100);
+
+void BM_Reduction(benchmark::State& state) {
+  constexpr std::int64_t n = 1 << 14;
+  for (auto _ : state) {
+    const double s = zomp::parallel_reduce<double>(
+        0, n, 0.0, std::plus<>{},
+        [](std::int64_t i) { return static_cast<double>(i); });
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_Reduction)->Unit(benchmark::kMicrosecond)->Iterations(100);
+
+void BM_CriticalThroughput(benchmark::State& state) {
+  std::int64_t counter = 0;
+  const int per_thread = 256;
+  for (auto _ : state) {
+    zomp::parallel([&] {
+      for (int i = 0; i < per_thread; ++i) {
+        zomp::critical([&] { ++counter; });
+      }
+    });
+  }
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(state.iterations() * per_thread);
+}
+BENCHMARK(BM_CriticalThroughput)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+void BM_LockUncontended(benchmark::State& state) {
+  zomp::rt::Lock lock;
+  for (auto _ : state) {
+    lock.set();
+    lock.unset();
+  }
+}
+BENCHMARK(BM_LockUncontended)->Iterations(1 << 16);
+
+void BM_SpinLockUncontended(benchmark::State& state) {
+  zomp::rt::SpinLock lock;
+  for (auto _ : state) {
+    lock.set();
+    lock.unset();
+  }
+}
+BENCHMARK(BM_SpinLockUncontended)->Iterations(1 << 16);
+
+void BM_TaskSpawnDrain(benchmark::State& state) {
+  const auto tasks = static_cast<int>(state.range(0));
+  std::atomic<int> done{0};
+  for (auto _ : state) {
+    done.store(0);
+    zomp::parallel([&] {
+      zomp::single([&] {
+        for (int i = 0; i < tasks; ++i) {
+          zomp::task([&] { done.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+      // Implicit region barrier drains the task pool.
+    });
+    if (done.load() != tasks) state.SkipWithError("lost tasks");
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_TaskSpawnDrain)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
+
+void BM_AtomicF64Add(benchmark::State& state) {
+  double cell = 0.0;
+  const int per_thread = 1024;
+  for (auto _ : state) {
+    zomp::parallel([&] {
+      for (int i = 0; i < per_thread; ++i) zomp_atomic_add_f64(&cell, 1.0);
+    });
+  }
+  benchmark::DoNotOptimize(cell);
+  state.SetItemsProcessed(state.iterations() * per_thread);
+}
+BENCHMARK(BM_AtomicF64Add)->Unit(benchmark::kMicrosecond)->Iterations(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

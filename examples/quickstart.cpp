@@ -1,0 +1,72 @@
+// Quickstart: the zomp C++ API in five minutes.
+//
+// This is the library's `#pragma omp` equivalent for C++ callers — the same
+// runtime the transpiled MiniZig kernels use, behind a typed API. Build and
+// run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+int main() {
+  // -- parallel: run a closure on every member of a team ---------------------
+  //    (#pragma omp parallel)
+  zomp::parallel([] {
+    std::printf("hello from thread %d of %d\n", zomp::thread_num(),
+                zomp::num_threads());
+  });
+
+  // -- parallel_for: distribute a loop --------------------------------------
+  //    (#pragma omp parallel for)
+  const std::int64_t n = 1 << 20;
+  std::vector<double> x(n, 1.0), y(n, 2.0);
+  const double a = 0.5;
+  zomp::parallel_for(0, n, [&](std::int64_t i) { y[i] += a * x[i]; });
+  std::printf("daxpy: y[0] = %g (expect 2.5)\n", y[0]);
+
+  // -- parallel_reduce: thread-safe reductions --------------------------------
+  //    (#pragma omp parallel for reduction(+:sum))
+  const double sum = zomp::parallel_reduce<double>(
+      0, n, 0.0, std::plus<>{}, [&](std::int64_t i) { return y[i]; });
+  std::printf("sum = %g (expect %g)\n", sum, 2.5 * static_cast<double>(n));
+
+  // -- schedules: pick how iterations map to threads ---------------------------
+  //    (schedule(dynamic, 64))
+  zomp::parallel_for(
+      0, n, [&](std::int64_t i) { y[i] *= 2.0; },
+      zomp::ForOptions{{zomp::rt::ScheduleKind::kDynamic, 64}});
+
+  // -- inside a region: worksharing, single, critical, barrier -----------------
+  double acc = 0.0;
+  zomp::parallel([&] {
+    // every member runs this closure; for_each splits the loop between them
+    double local = 0.0;
+    zomp::for_each(
+        0, n, [&](std::int64_t i) { local += y[i]; },
+        zomp::ForOptions{{}, /*nowait=*/true});
+    zomp::critical([&] { acc += local; });
+    zomp::barrier();
+    zomp::single([&] {
+      // y went 2.0 -> 2.5 (daxpy) -> 5.0 (doubling), so the sum is 5n.
+      std::printf("in-region sum = %g (expect %g)\n", acc,
+                  5.0 * static_cast<double>(n));
+    });
+  });
+
+  // -- tasks --------------------------------------------------------------------
+  //    (#pragma omp task / taskwait)
+  std::atomic<int> done{0};
+  zomp::parallel([&] {
+    zomp::single([&] {
+      for (int i = 0; i < 100; ++i) {
+        zomp::task([&] { done.fetch_add(1, std::memory_order_relaxed); });
+      }
+      zomp::taskwait();
+      std::printf("tasks done: %d (expect 100)\n", done.load());
+    });
+  });
+
+  return 0;
+}

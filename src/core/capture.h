@@ -1,0 +1,33 @@
+// Free-variable (capture) analysis over MiniZig statement trees.
+//
+// Runs *before* semantic analysis (the paper performs outlining during early
+// preprocessing, when no type information exists), so it is purely
+// name-based: a capture is any name referenced in the region that is not
+// bound inside it, not a module-level global, and not a function name.
+// Shadowing is handled by tracking declarations along the walk.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace zomp::core {
+
+/// Names visible at module scope (globals and functions) — these are shared
+/// by language semantics and never captured.
+struct ModuleNames {
+  std::unordered_set<std::string> globals;
+  std::unordered_set<std::string> functions;
+
+  static ModuleNames collect(const lang::Module& module);
+};
+
+/// Returns the free variables of `region` in order of first appearance
+/// (stable order keeps outlined-function signatures deterministic, which the
+/// golden tests rely on).
+std::vector<std::string> free_variables(const lang::Stmt& region,
+                                        const ModuleNames& names);
+
+}  // namespace zomp::core

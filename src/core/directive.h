@@ -1,0 +1,69 @@
+// Parsed representation of one `//#omp` directive.
+//
+// This is the directive grammar the paper implements for Zig: the parallel
+// construct, the worksharing loop (standalone and combined), the
+// synchronisation constructs, and the clause families shared / private /
+// firstprivate / reduction / schedule (paper §2), plus the tasking constructs
+// implemented here as the documented extension.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace zomp::core {
+
+enum class DirectiveKind {
+  kParallel,
+  kFor,
+  kParallelFor,
+  kBarrier,
+  kCritical,
+  kSingle,
+  kMaster,
+  kAtomic,
+  kOrdered,
+  kTask,
+  kTaskwait,
+};
+
+const char* directive_kind_name(DirectiveKind kind);
+
+/// Does this directive stand alone (no associated statement)?
+constexpr bool directive_is_standalone(DirectiveKind kind) {
+  return kind == DirectiveKind::kBarrier || kind == DirectiveKind::kTaskwait;
+}
+
+struct ReductionClause {
+  lang::ReduceOp op = lang::ReduceOp::kAdd;
+  std::vector<std::string> vars;
+};
+
+enum class DefaultKind { kUnspecified, kShared, kNone };
+
+struct Directive {
+  DirectiveKind kind = DirectiveKind::kParallel;
+  lang::SourceLoc loc;  ///< location of the `//#omp` comment
+
+  // parallel clauses
+  lang::ExprPtr num_threads;
+  lang::ExprPtr if_clause;
+  DefaultKind default_mode = DefaultKind::kUnspecified;
+  std::vector<std::string> shared_vars;
+  std::vector<std::string> private_vars;
+  std::vector<std::string> firstprivate_vars;
+  std::vector<ReductionClause> reductions;
+
+  // worksharing clauses
+  lang::ScheduleSpec schedule;
+  bool nowait = false;
+  bool ordered = false;
+  std::vector<std::string> lastprivate_vars;
+
+  // critical
+  std::string critical_name;
+};
+
+}  // namespace zomp::core

@@ -1,0 +1,409 @@
+#include "core/directive_parser.h"
+
+#include <utility>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace zomp::core {
+
+using lang::Token;
+using lang::TokenKind;
+
+const char* directive_kind_name(DirectiveKind kind) {
+  switch (kind) {
+    case DirectiveKind::kParallel: return "parallel";
+    case DirectiveKind::kFor: return "for";
+    case DirectiveKind::kParallelFor: return "parallel for";
+    case DirectiveKind::kBarrier: return "barrier";
+    case DirectiveKind::kCritical: return "critical";
+    case DirectiveKind::kSingle: return "single";
+    case DirectiveKind::kMaster: return "master";
+    case DirectiveKind::kAtomic: return "atomic";
+    case DirectiveKind::kOrdered: return "ordered";
+    case DirectiveKind::kTask: return "task";
+    case DirectiveKind::kTaskwait: return "taskwait";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+/// Token cursor over the directive payload. All diagnostics are reported at
+/// the directive's comment location (clause text has no stable positions of
+/// its own once it has been carved out of the comment).
+class ClauseParser {
+ public:
+  ClauseParser(std::vector<Token> tokens, lang::SourceLoc loc,
+               lang::Diagnostics& diags)
+      : tokens_(std::move(tokens)), loc_(loc), diags_(diags) {}
+
+  std::unique_ptr<Directive> parse() {
+    auto directive = std::make_unique<Directive>();
+    directive->loc = loc_;
+
+    // Construct name: one or two leading identifiers.
+    const std::string head = expect_word("directive name");
+    if (head.empty()) return nullptr;
+    if (head == "parallel") {
+      if (peek_word() == "for") {
+        advance();
+        directive->kind = DirectiveKind::kParallelFor;
+      } else {
+        directive->kind = DirectiveKind::kParallel;
+      }
+    } else if (head == "for") {
+      directive->kind = DirectiveKind::kFor;
+    } else if (head == "barrier") {
+      directive->kind = DirectiveKind::kBarrier;
+    } else if (head == "critical") {
+      directive->kind = DirectiveKind::kCritical;
+      if (check(TokenKind::kLParen)) {
+        advance();
+        directive->critical_name = expect_word("critical section name");
+        expect(TokenKind::kRParen, "')' after critical name");
+      }
+    } else if (head == "single") {
+      directive->kind = DirectiveKind::kSingle;
+    } else if (head == "master") {
+      directive->kind = DirectiveKind::kMaster;
+    } else if (head == "atomic") {
+      directive->kind = DirectiveKind::kAtomic;
+    } else if (head == "ordered") {
+      directive->kind = DirectiveKind::kOrdered;
+    } else if (head == "task") {
+      directive->kind = DirectiveKind::kTask;
+    } else if (head == "taskwait") {
+      directive->kind = DirectiveKind::kTaskwait;
+    } else {
+      diags_.error(loc_, "unknown OpenMP directive '" + head + "'");
+      return nullptr;
+    }
+
+    while (!at_end()) {
+      if (!parse_clause(*directive)) return nullptr;
+    }
+    validate(*directive);
+    return diags_ok_ ? std::move(directive) : nullptr;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= tokens_.size() || tokens_[pos_].is(TokenKind::kEof); }
+  const Token& peek() const {
+    static const Token eof{};
+    return pos_ < tokens_.size() ? tokens_[pos_] : eof;
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ < tokens_.size()) ++pos_;
+    return t;
+  }
+  bool check(TokenKind kind) const { return peek().is(kind); }
+  bool expect(TokenKind kind, const char* what) {
+    if (check(kind)) {
+      advance();
+      return true;
+    }
+    error(std::string("expected ") + what + " in directive clause");
+    return false;
+  }
+  /// Directive words may lex as MiniZig keywords ('for', 'if'); both count.
+  static bool is_word(const Token& t) {
+    return t.is(TokenKind::kIdentifier) ||
+           (t.kind >= TokenKind::kKwFn && t.kind <= TokenKind::kKwUndefined);
+  }
+  std::string peek_word() const {
+    return is_word(peek()) ? peek().text : std::string();
+  }
+  std::string expect_word(const char* what) {
+    if (is_word(peek())) return advance().text;
+    error(std::string("expected ") + what);
+    return "";
+  }
+  void error(const std::string& message) {
+    diags_.error(loc_, "in '#omp' directive: " + message);
+    diags_ok_ = false;
+    pos_ = tokens_.size();  // stop parsing this directive
+  }
+
+  /// Collects the tokens of one balanced-paren clause argument, consuming
+  /// the opening and closing parentheses. Stops at `stop` tokens at depth 0.
+  std::vector<Token> collect_paren_arg() {
+    std::vector<Token> out;
+    if (!expect(TokenKind::kLParen, "'('")) return out;
+    int depth = 1;
+    while (!at_end()) {
+      if (check(TokenKind::kLParen)) ++depth;
+      if (check(TokenKind::kRParen)) {
+        --depth;
+        if (depth == 0) {
+          advance();
+          return out;
+        }
+      }
+      out.push_back(advance());
+    }
+    error("unbalanced parentheses in clause");
+    return out;
+  }
+
+  /// Splits `tokens` on top-level commas.
+  static std::vector<std::vector<Token>> split_commas(std::vector<Token> tokens) {
+    std::vector<std::vector<Token>> groups(1);
+    int depth = 0;
+    for (auto& t : tokens) {
+      if (t.is(TokenKind::kLParen)) ++depth;
+      if (t.is(TokenKind::kRParen)) --depth;
+      if (depth == 0 && t.is(TokenKind::kComma)) {
+        groups.emplace_back();
+      } else {
+        groups.back().push_back(std::move(t));
+      }
+    }
+    return groups;
+  }
+
+  bool parse_name_list(std::vector<std::string>& out) {
+    const std::vector<Token> arg = collect_paren_arg();
+    if (!diags_ok_) return false;
+    for (const auto& group : split_commas(arg)) {
+      if (group.size() != 1 || !group[0].is(TokenKind::kIdentifier)) {
+        error("expected a comma-separated list of variable names");
+        return false;
+      }
+      out.push_back(group[0].text);
+    }
+    return true;
+  }
+
+  lang::ExprPtr parse_expr_arg() {
+    std::vector<Token> arg = collect_paren_arg();
+    if (!diags_ok_) return nullptr;
+    for (auto& t : arg) t.loc = loc_;  // all clause errors point at the comment
+    return lang::Parser::parse_expression(std::move(arg), diags_);
+  }
+
+  bool parse_reduction(Directive& d) {
+    std::vector<Token> arg = collect_paren_arg();
+    if (!diags_ok_) return false;
+    // Grammar: op ':' list. The operator token set matches the paper's
+    // clause support (arithmetic, min/max, bitwise, logical).
+    if (arg.empty()) {
+      error("empty reduction clause");
+      return false;
+    }
+    ReductionClause clause;
+    std::size_t i = 0;
+    const Token& op = arg[i++];
+    switch (op.kind) {
+      case TokenKind::kPlus: clause.op = lang::ReduceOp::kAdd; break;
+      case TokenKind::kMinus: clause.op = lang::ReduceOp::kSub; break;
+      case TokenKind::kStar: clause.op = lang::ReduceOp::kMul; break;
+      case TokenKind::kAmp: clause.op = lang::ReduceOp::kBitAnd; break;
+      case TokenKind::kPipe: clause.op = lang::ReduceOp::kBitOr; break;
+      case TokenKind::kCaret: clause.op = lang::ReduceOp::kBitXor; break;
+      case TokenKind::kKwAnd: clause.op = lang::ReduceOp::kLogAnd; break;
+      case TokenKind::kKwOr: clause.op = lang::ReduceOp::kLogOr; break;
+      case TokenKind::kIdentifier:
+        if (op.text == "min") {
+          clause.op = lang::ReduceOp::kMin;
+        } else if (op.text == "max") {
+          clause.op = lang::ReduceOp::kMax;
+        } else {
+          error("unknown reduction operator '" + op.text + "'");
+          return false;
+        }
+        break;
+      default:
+        error("unknown reduction operator");
+        return false;
+    }
+    if (i >= arg.size() || !arg[i].is(TokenKind::kColon)) {
+      error("expected ':' after reduction operator");
+      return false;
+    }
+    ++i;
+    std::vector<Token> rest(arg.begin() + static_cast<std::ptrdiff_t>(i), arg.end());
+    for (const auto& group : split_commas(std::move(rest))) {
+      if (group.size() != 1 || !group[0].is(TokenKind::kIdentifier)) {
+        error("expected variable names after ':' in reduction");
+        return false;
+      }
+      clause.vars.push_back(group[0].text);
+    }
+    if (clause.vars.empty()) {
+      error("reduction clause lists no variables");
+      return false;
+    }
+    d.reductions.push_back(std::move(clause));
+    return true;
+  }
+
+  bool parse_schedule(Directive& d) {
+    std::vector<Token> arg = collect_paren_arg();
+    if (!diags_ok_) return false;
+    auto groups = split_commas(std::move(arg));
+    if (groups.empty() || groups[0].size() != 1 ||
+        !groups[0][0].is(TokenKind::kIdentifier)) {
+      error("expected schedule kind");
+      return false;
+    }
+    const std::string& kind = groups[0][0].text;
+    if (kind == "static") {
+      d.schedule.kind = lang::ScheduleSpec::Kind::kStatic;
+    } else if (kind == "dynamic") {
+      d.schedule.kind = lang::ScheduleSpec::Kind::kDynamic;
+    } else if (kind == "guided") {
+      d.schedule.kind = lang::ScheduleSpec::Kind::kGuided;
+    } else if (kind == "auto") {
+      d.schedule.kind = lang::ScheduleSpec::Kind::kAuto;
+    } else if (kind == "runtime") {
+      d.schedule.kind = lang::ScheduleSpec::Kind::kRuntime;
+    } else {
+      error("unknown schedule kind '" + kind + "'");
+      return false;
+    }
+    if (groups.size() > 1) {
+      if (groups.size() > 2) {
+        error("too many schedule arguments");
+        return false;
+      }
+      std::vector<Token> chunk = groups[1];
+      for (auto& t : chunk) t.loc = loc_;
+      d.schedule.chunk = lang::Parser::parse_expression(std::move(chunk), diags_);
+      if (d.schedule.kind == lang::ScheduleSpec::Kind::kRuntime ||
+          d.schedule.kind == lang::ScheduleSpec::Kind::kAuto) {
+        error("schedule(" + kind + ") takes no chunk argument");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool parse_clause(Directive& d) {
+    const std::string name = expect_word("clause name");
+    if (name.empty()) return false;
+    if (name == "num_threads") {
+      d.num_threads = parse_expr_arg();
+      return d.num_threads != nullptr;
+    }
+    if (name == "if") {
+      d.if_clause = parse_expr_arg();
+      return d.if_clause != nullptr;
+    }
+    if (name == "default") {
+      const std::vector<Token> arg = collect_paren_arg();
+      if (arg.size() != 1 || !arg[0].is(TokenKind::kIdentifier) ||
+          (arg[0].text != "shared" && arg[0].text != "none")) {
+        error("default(...) must be 'shared' or 'none'");
+        return false;
+      }
+      d.default_mode =
+          arg[0].text == "shared" ? DefaultKind::kShared : DefaultKind::kNone;
+      return true;
+    }
+    if (name == "shared") return parse_name_list(d.shared_vars);
+    if (name == "private") return parse_name_list(d.private_vars);
+    if (name == "firstprivate") return parse_name_list(d.firstprivate_vars);
+    if (name == "lastprivate") return parse_name_list(d.lastprivate_vars);
+    if (name == "reduction") return parse_reduction(d);
+    if (name == "schedule") return parse_schedule(d);
+    if (name == "nowait") {
+      d.nowait = true;
+      return true;
+    }
+    if (name == "ordered") {
+      d.ordered = true;
+      return true;
+    }
+    if (name == "collapse") {
+      const std::vector<Token> arg = collect_paren_arg();
+      if (arg.size() == 1 && arg[0].is(TokenKind::kIntLiteral) &&
+          arg[0].int_value == 1) {
+        return true;  // collapse(1) is the default meaning
+      }
+      error("collapse depths greater than 1 are not supported");
+      return false;
+    }
+    // Partial support, paper-style: recognised-but-unimplemented clauses are
+    // skipped with a warning rather than failing the build.
+    if (name == "proc_bind" || name == "copyin" || name == "copyprivate" ||
+        name == "linear" || name == "safelen" || name == "simdlen" ||
+        name == "untied" || name == "mergeable" || name == "final" ||
+        name == "priority" || name == "depend" || name == "allocate") {
+      diags_.warning(loc_, "clause '" + name + "' is not supported and was ignored");
+      if (check(TokenKind::kLParen)) collect_paren_arg();
+      return true;
+    }
+    error("unknown clause '" + name + "'");
+    return false;
+  }
+
+  void validate(Directive& d) {
+    auto reject = [&](bool present, const char* clause) {
+      if (present) {
+        error(std::string("clause '") + clause + "' is not valid on '" +
+              directive_kind_name(d.kind) + "'");
+      }
+    };
+    const bool is_parallel = d.kind == DirectiveKind::kParallel ||
+                             d.kind == DirectiveKind::kParallelFor;
+    const bool is_for =
+        d.kind == DirectiveKind::kFor || d.kind == DirectiveKind::kParallelFor;
+    const bool is_task = d.kind == DirectiveKind::kTask;
+    if (!is_parallel) {
+      reject(d.num_threads != nullptr, "num_threads");
+      reject(d.default_mode != DefaultKind::kUnspecified, "default");
+      // `shared` is valid on task as well as parallel (OpenMP 5.2).
+      reject(!d.shared_vars.empty() && !is_task, "shared");
+    }
+    if (!is_parallel && !is_task) {
+      reject(d.if_clause != nullptr, "if");
+      reject(!d.private_vars.empty(), "private");
+      reject(!d.firstprivate_vars.empty(), "firstprivate");
+    }
+    if (!is_for) {
+      reject(d.schedule.kind != lang::ScheduleSpec::Kind::kUnspecified,
+             "schedule");
+      reject(d.ordered, "ordered");
+      reject(!d.lastprivate_vars.empty(), "lastprivate");
+      reject(d.nowait && d.kind != DirectiveKind::kSingle, "nowait");
+    }
+    if (!is_parallel && !is_for) {
+      reject(!d.reductions.empty(), "reduction");
+    }
+    if (d.kind == DirectiveKind::kParallelFor) {
+      reject(d.nowait, "nowait");
+    }
+    if (d.ordered && d.nowait) {
+      error("'ordered' cannot combine with 'nowait'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  lang::SourceLoc loc_;
+  lang::Diagnostics& diags_;
+  bool diags_ok_ = true;
+};
+
+}  // namespace
+
+std::unique_ptr<Directive> parse_directive(const std::string& text,
+                                           lang::SourceLoc loc,
+                                           lang::Diagnostics& diags) {
+  // Tokenise the payload with the ordinary lexer; a scratch Diagnostics sink
+  // keeps payload-relative locations from leaking into user-facing output.
+  lang::SourceFile payload("<directive>", text);
+  lang::Diagnostics lex_diags;
+  lang::Lexer lexer(payload, lex_diags);
+  std::vector<Token> tokens = lexer.lex();
+  if (lex_diags.has_errors()) {
+    diags.error(loc, "malformed '#omp' directive text");
+    return nullptr;
+  }
+  ClauseParser parser(std::move(tokens), loc, diags);
+  return parser.parse();
+}
+
+}  // namespace zomp::core

@@ -1,0 +1,25 @@
+// Parser for the clause text of `//#omp ...` comments.
+//
+// The payload is tokenised with the ordinary MiniZig lexer (the paper reuses
+// the compiler's existing parsing infrastructure the same way); clause
+// arguments that are expressions — num_threads(...), if(...), schedule
+// chunks — are handed to the expression parser.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/directive.h"
+#include "lang/source.h"
+
+namespace zomp::core {
+
+/// Parses the text that followed "//#omp". Returns nullptr (with diagnostics
+/// reported against `loc`) on malformed input. Unknown clauses produce a
+/// warning and are skipped — matching the partial-support posture of the
+/// paper, where unrecognised OpenMP features must not break the build.
+std::unique_ptr<Directive> parse_directive(const std::string& text,
+                                           lang::SourceLoc loc,
+                                           lang::Diagnostics& diags);
+
+}  // namespace zomp::core

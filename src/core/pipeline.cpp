@@ -1,0 +1,32 @@
+#include "core/pipeline.h"
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "lang/sema.h"
+
+namespace zomp::core {
+
+CompileResult compile_source(std::string source, const CompileOptions& options) {
+  CompileResult result;
+  result.file = std::make_unique<lang::SourceFile>(options.module_name + ".mz",
+                                                   std::move(source));
+  lang::Lexer lexer(*result.file, result.diags);
+  std::vector<lang::Token> tokens = lexer.lex();
+  if (result.diags.has_errors()) return result;
+
+  lang::Parser parser(std::move(tokens), result.diags);
+  result.module = parser.parse_module(options.module_name);
+  if (result.diags.has_errors()) return result;
+
+  if (options.openmp) {
+    if (!apply_openmp(*result.module, result.diags, &result.stats)) {
+      return result;
+    }
+  }
+
+  if (!lang::analyze(*result.module, result.diags)) return result;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace zomp::core

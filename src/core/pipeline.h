@@ -1,0 +1,40 @@
+// One-call front-end pipeline: source text -> lexed -> parsed -> OpenMP
+// transform -> sema. Used by the mzc driver, the interpreter-based tests,
+// and the examples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/transform.h"
+#include "lang/ast.h"
+#include "lang/source.h"
+
+namespace zomp::core {
+
+struct CompileOptions {
+  /// Run the OpenMP directive engine. When false, `//#omp` comments are
+  /// ignored with a warning — the program compiles serially, exactly what a
+  /// stock Zig compiler would do with the paper's directive comments.
+  bool openmp = true;
+  /// Module name used in dumps and generated code.
+  std::string module_name = "main";
+};
+
+struct CompileResult {
+  std::unique_ptr<lang::SourceFile> file;
+  std::unique_ptr<lang::Module> module;
+  lang::Diagnostics diags;
+  TransformStats stats;
+  bool ok = false;
+
+  /// Rendered diagnostics (empty string if none).
+  std::string diagnostics_text() const {
+    return file ? diags.render(*file) : std::string();
+  }
+};
+
+/// Runs the full pipeline over `source`.
+CompileResult compile_source(std::string source, const CompileOptions& options = {});
+
+}  // namespace zomp::core

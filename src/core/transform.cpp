@@ -1,0 +1,570 @@
+#include "core/transform.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/capture.h"
+#include "core/directive_parser.h"
+#include "lang/clone.h"
+
+namespace zomp::core {
+
+using lang::CaptureArg;
+using lang::CaptureMode;
+using lang::Expr;
+using lang::ExprPtr;
+using lang::FnDecl;
+using lang::Module;
+using lang::ReduceOp;
+using lang::Stmt;
+using lang::StmtPtr;
+
+namespace {
+
+/// Renames every free use of `from` to `to` inside a subtree, respecting
+/// shadowing (a scope that declares `from` keeps its own meaning). Used to
+/// point loop bodies at the private reduction/lastprivate copies.
+class Renamer {
+ public:
+  Renamer(std::string from, std::string to)
+      : from_(std::move(from)), to_(std::move(to)) {}
+
+  void rename(Stmt& stmt) {
+    if (shadowed_) return;
+    switch (stmt.kind) {
+      case Stmt::Kind::kBlock: {
+        const bool saved = shadowed_;
+        for (auto& s : stmt.stmts) {
+          rename(*s);
+          if (s->kind == Stmt::Kind::kVarDecl && s->name == from_) {
+            shadowed_ = true;  // later statements in this block see the decl
+          }
+        }
+        shadowed_ = saved;
+        break;
+      }
+      case Stmt::Kind::kVarDecl:
+        if (stmt.init) rename(*stmt.init);
+        break;
+      case Stmt::Kind::kAssign:
+        rename(*stmt.lhs);
+        rename(*stmt.rhs);
+        break;
+      case Stmt::Kind::kExprStmt:
+        rename(*stmt.expr);
+        break;
+      case Stmt::Kind::kIf:
+        rename(*stmt.expr);
+        rename(*stmt.then_block);
+        if (stmt.else_block) rename(*stmt.else_block);
+        break;
+      case Stmt::Kind::kWhile:
+        rename(*stmt.expr);
+        if (stmt.step) rename(*stmt.step);
+        rename(*stmt.body);
+        break;
+      case Stmt::Kind::kForRange: {
+        rename(*stmt.expr);
+        rename(*stmt.rhs);
+        if (stmt.name != from_) rename(*stmt.body);
+        break;
+      }
+      case Stmt::Kind::kReturn:
+        if (stmt.expr) rename(*stmt.expr);
+        break;
+      case Stmt::Kind::kOmpFork:
+      case Stmt::Kind::kOmpTask:
+        for (auto& cap : stmt.captures) {
+          if (cap.name == from_) cap.name = to_;
+        }
+        if (stmt.num_threads) rename(*stmt.num_threads);
+        if (stmt.if_clause) rename(*stmt.if_clause);
+        break;
+      case Stmt::Kind::kOmpWsLoop:
+        if (stmt.schedule.chunk) rename(*stmt.schedule.chunk);
+        rename(*stmt.body);
+        break;
+      case Stmt::Kind::kOmpCritical:
+      case Stmt::Kind::kOmpSingle:
+      case Stmt::Kind::kOmpMaster:
+      case Stmt::Kind::kOmpAtomic:
+      case Stmt::Kind::kOmpOrdered:
+        rename(*stmt.body);
+        break;
+      case Stmt::Kind::kOmpReductionInit:
+        if (stmt.target == from_) stmt.target = to_;
+        break;
+      case Stmt::Kind::kOmpReductionCombine:
+      case Stmt::Kind::kOmpLastprivateWrite:
+        if (stmt.name == from_) stmt.name = to_;
+        if (stmt.target == from_) stmt.target = to_;
+        break;
+      default:
+        break;
+    }
+  }
+
+  void rename(Expr& expr) {
+    if (expr.kind == Expr::Kind::kVarRef && expr.name == from_) {
+      expr.name = to_;
+      return;
+    }
+    for (auto& a : expr.args) rename(*a);
+  }
+
+ private:
+  std::string from_;
+  std::string to_;
+  bool shadowed_ = false;
+};
+
+lang::ScheduleSpec clone_schedule(const lang::ScheduleSpec& spec) {
+  lang::ScheduleSpec out;
+  out.kind = spec.kind;
+  if (spec.chunk) out.chunk = lang::clone_expr(*spec.chunk);
+  return out;
+}
+
+class Transformer {
+ public:
+  Transformer(Module& module, lang::Diagnostics& diags, TransformStats& stats)
+      : module_(module), diags_(diags), stats_(stats) {}
+
+  bool run() {
+    names_ = ModuleNames::collect(module_);
+    // Module functions grow while we scan (outlined functions are appended
+    // and themselves scanned for nested regions); index loop on purpose.
+    for (std::size_t i = 0; i < module_.functions.size(); ++i) {
+      FnDecl* fn = module_.functions[i].get();
+      if (fn->body) scan_block(fn, *fn->body);
+    }
+    return !failed_;
+  }
+
+ private:
+  void error(lang::SourceLoc loc, const std::string& message) {
+    diags_.error(loc, message);
+    failed_ = true;
+  }
+
+  // -- Scanning ----------------------------------------------------------------
+
+  void scan_block(FnDecl* fn, Stmt& block) {
+    for (auto& slot : block.stmts) {
+      if (!slot->pending_directives.empty()) {
+        apply_pending(fn, slot);
+      }
+      scan_children(fn, *slot);
+    }
+  }
+
+  void scan_children(FnDecl* fn, Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kBlock:
+        scan_block(fn, stmt);
+        break;
+      case Stmt::Kind::kIf:
+        scan_children(fn, *stmt.then_block);
+        if (stmt.else_block) scan_children(fn, *stmt.else_block);
+        break;
+      case Stmt::Kind::kWhile:
+      case Stmt::Kind::kForRange:
+        scan_children(fn, *stmt.body);
+        break;
+      case Stmt::Kind::kOmpWsLoop:
+      case Stmt::Kind::kOmpCritical:
+      case Stmt::Kind::kOmpSingle:
+      case Stmt::Kind::kOmpMaster:
+      case Stmt::Kind::kOmpAtomic:
+      case Stmt::Kind::kOmpOrdered:
+        scan_children(fn, *stmt.body);
+        break;
+      default:
+        break;
+    }
+  }
+
+  void apply_pending(FnDecl* fn, StmtPtr& slot) {
+    auto pending = std::move(slot->pending_directives);
+    slot->pending_directives.clear();
+    std::vector<std::unique_ptr<Directive>> directives;
+    for (auto& [text, loc] : pending) {
+      ++stats_.directives_seen;
+      auto d = parse_directive(text, loc, diags_);
+      if (!d) {
+        failed_ = true;
+        continue;
+      }
+      directives.push_back(std::move(d));
+    }
+    // Directives written above a statement nest outside-in; apply the
+    // innermost (closest to the statement) first.
+    StmtPtr current = std::move(slot);
+    for (auto it = directives.rbegin(); it != directives.rend(); ++it) {
+      current = apply_directive(fn, **it, std::move(current));
+    }
+    slot = std::move(current);
+  }
+
+  // -- Directive application -----------------------------------------------------
+
+  StmtPtr apply_directive(FnDecl* fn, Directive& d, StmtPtr stmt) {
+    switch (d.kind) {
+      case DirectiveKind::kParallel:
+        return lower_parallel(fn, d, std::move(stmt));
+      case DirectiveKind::kParallelFor: {
+        if (stmt->kind != Stmt::Kind::kForRange) {
+          error(d.loc, "'parallel for' must immediately precede a for loop");
+          return stmt;
+        }
+        StmtPtr ws = lower_for(fn, d, std::move(stmt));
+        auto region = Stmt::make(Stmt::Kind::kBlock, d.loc);
+        region->stmts.push_back(std::move(ws));
+        // Reductions were already attached at the worksharing level; the
+        // parallel level re-captures the same variables as reduction
+        // pointers via lower_parallel's clause handling.
+        return lower_parallel(fn, d, std::move(region));
+      }
+      case DirectiveKind::kFor:
+        if (stmt->kind != Stmt::Kind::kForRange) {
+          error(d.loc, "'for' must immediately precede a for loop");
+          return stmt;
+        }
+        return lower_for(fn, d, std::move(stmt));
+      case DirectiveKind::kBarrier:
+      case DirectiveKind::kTaskwait: {
+        // Standalone directives: the parser attached them to the *following*
+        // statement (or to an empty placeholder at block end); the construct
+        // precedes that statement rather than consuming it.
+        auto node = Stmt::make(d.kind == DirectiveKind::kBarrier
+                                   ? Stmt::Kind::kOmpBarrier
+                                   : Stmt::Kind::kOmpTaskwait,
+                               d.loc);
+        if (is_empty_placeholder(*stmt)) return node;
+        auto block = Stmt::make(Stmt::Kind::kBlock, d.loc);
+        block->stmts.push_back(std::move(node));
+        block->stmts.push_back(std::move(stmt));
+        return block;
+      }
+      case DirectiveKind::kCritical: {
+        auto node = Stmt::make(Stmt::Kind::kOmpCritical, d.loc);
+        node->name = d.critical_name;
+        node->body = std::move(stmt);
+        return node;
+      }
+      case DirectiveKind::kSingle: {
+        auto node = Stmt::make(Stmt::Kind::kOmpSingle, d.loc);
+        node->nowait = d.nowait;
+        node->body = std::move(stmt);
+        return node;
+      }
+      case DirectiveKind::kMaster: {
+        auto node = Stmt::make(Stmt::Kind::kOmpMaster, d.loc);
+        node->body = std::move(stmt);
+        return node;
+      }
+      case DirectiveKind::kOrdered: {
+        auto node = Stmt::make(Stmt::Kind::kOmpOrdered, d.loc);
+        node->body = std::move(stmt);
+        return node;
+      }
+      case DirectiveKind::kAtomic: {
+        if (stmt->kind != Stmt::Kind::kAssign ||
+            stmt->assign_op == Stmt::AssignOp::kPlain) {
+          error(d.loc,
+                "'atomic' must precede a compound assignment (x += expr "
+                "and friends)");
+          return stmt;
+        }
+        auto node = Stmt::make(Stmt::Kind::kOmpAtomic, d.loc);
+        node->body = std::move(stmt);
+        return node;
+      }
+      case DirectiveKind::kTask:
+        return lower_task(fn, d, std::move(stmt));
+    }
+    return stmt;
+  }
+
+  static bool is_empty_placeholder(const Stmt& stmt) {
+    return stmt.kind == Stmt::Kind::kBlock && stmt.stmts.empty();
+  }
+
+  // -- parallel -------------------------------------------------------------------
+
+  StmtPtr lower_parallel(FnDecl* fn, Directive& d, StmtPtr region) {
+    ++stats_.regions_outlined;
+    // Capture set: free variables of the region, in first-use order, plus
+    // clause-listed names the body never mentions.
+    std::vector<std::string> captured = free_variables(*region, names_);
+    std::unordered_set<std::string> seen(captured.begin(), captured.end());
+    auto add_clause_names = [&](const std::vector<std::string>& list) {
+      for (const auto& n : list) {
+        if (seen.insert(n).second) captured.push_back(n);
+      }
+    };
+    add_clause_names(d.shared_vars);
+    add_clause_names(d.private_vars);
+    add_clause_names(d.firstprivate_vars);
+    for (const auto& r : d.reductions) add_clause_names(r.vars);
+
+    // Classify every capture against the data-sharing clauses.
+    std::unordered_map<std::string, CaptureMode> mode;
+    std::unordered_map<std::string, ReduceOp> red_op;
+    for (const auto& n : d.private_vars) mode[n] = CaptureMode::kValue;
+    for (const auto& n : d.firstprivate_vars) mode[n] = CaptureMode::kValue;
+    for (const auto& n : d.shared_vars) {
+      if (mode.contains(n)) {
+        error(d.loc, "variable '" + n + "' appears in multiple data-sharing clauses");
+      }
+      mode[n] = CaptureMode::kSharedPtr;
+    }
+    for (const auto& r : d.reductions) {
+      for (const auto& n : r.vars) {
+        if (mode.contains(n)) {
+          error(d.loc, "reduction variable '" + n + "' also appears in another clause");
+        }
+        mode[n] = CaptureMode::kReductionPtr;
+        red_op[n] = r.op;
+      }
+    }
+    for (const auto& n : captured) {
+      if (mode.contains(n)) continue;
+      if (d.default_mode == DefaultKind::kNone) {
+        error(d.loc, "default(none): variable '" + n +
+                         "' needs an explicit data-sharing clause");
+      }
+      mode[n] = CaptureMode::kSharedPtr;  // default(shared)
+    }
+
+    // Synthesize the outlined function.
+    FnDecl* outlined = new_outlined_fn(fn, "parallel");
+    auto body = Stmt::make(Stmt::Kind::kBlock, d.loc);
+    // Reduction prolog: private accumulator, named like the variable so the
+    // region body's references resolve to it; the shared target rides in the
+    // renamed pointer-carrying parameter.
+    std::vector<std::string> reduction_names;
+    for (const auto& n : captured) {
+      if (mode[n] != CaptureMode::kReductionPtr) continue;
+      reduction_names.push_back(n);
+      auto init = Stmt::make(Stmt::Kind::kOmpReductionInit, d.loc);
+      init->name = n;
+      init->target = n + "__red";
+      init->reduce_op = red_op[n];
+      body->stmts.push_back(std::move(init));
+    }
+    body->stmts.push_back(std::move(region));
+    for (const auto& n : reduction_names) {
+      auto combine = Stmt::make(Stmt::Kind::kOmpReductionCombine, d.loc);
+      combine->name = n;
+      combine->target = n + "__red";
+      combine->reduce_op = red_op[n];
+      body->stmts.push_back(std::move(combine));
+      // Region-end join barrier publishes the combined value.
+    }
+    for (const auto& n : captured) {
+      lang::Param param;
+      param.name = mode[n] == CaptureMode::kReductionPtr ? n + "__red" : n;
+      param.type = lang::Type::inferred();
+      param.loc = d.loc;
+      outlined->params.push_back(std::move(param));
+    }
+    outlined->body = std::move(body);
+    // Remember each parameter's sharing mode: tasks nested in this region
+    // inherit shared-ness for these names (OpenMP's task data-sharing rule).
+    for (const auto& n : captured) {
+      outlined_modes_[outlined][n] = mode[n];
+    }
+
+    // Replace the region with the fork.
+    auto fork = Stmt::make(Stmt::Kind::kOmpFork, d.loc);
+    fork->callee = outlined->name;
+    for (const auto& n : captured) {
+      CaptureArg cap;
+      cap.name = n;
+      cap.mode = mode[n];
+      if (cap.mode == CaptureMode::kReductionPtr) cap.reduce_op = red_op[n];
+      fork->captures.push_back(std::move(cap));
+    }
+    if (d.num_threads) fork->num_threads = std::move(d.num_threads);
+    if (d.if_clause) fork->if_clause = std::move(d.if_clause);
+    return fork;
+  }
+
+  // -- worksharing loop ---------------------------------------------------------
+
+  StmtPtr lower_for(FnDecl* fn, Directive& d, StmtPtr loop) {
+    (void)fn;
+    ++stats_.ws_loops;
+    const bool standalone = d.kind == DirectiveKind::kFor;
+
+    auto ws = Stmt::make(Stmt::Kind::kOmpWsLoop, d.loc);
+    ws->schedule = clone_schedule(d.schedule);
+    ws->ordered = d.ordered;
+
+    // lastprivate: loop runs on a private copy; the runtime's last-iteration
+    // flag guards the writeback.
+    std::vector<StmtPtr> prolog;
+    for (const auto& n : d.lastprivate_vars) {
+      const std::string priv = n + "__lp";
+      auto decl = Stmt::make(Stmt::Kind::kVarDecl, d.loc);
+      decl->name = priv;
+      // Initialise from the current value: gives the declaration a type
+      // without sema support and is a legal choice for lastprivate's
+      // unspecified pre-last value.
+      auto init = Expr::make(Expr::Kind::kVarRef, d.loc);
+      init->name = n;
+      decl->init = std::move(init);
+      prolog.push_back(std::move(decl));
+      Renamer renamer(n, priv);
+      renamer.rename(*loop);
+      ws->lastprivate.emplace_back(priv, n);
+    }
+
+    if (standalone && !d.reductions.empty()) {
+      // `omp for reduction(...)` inside an existing region: private
+      // accumulator + critical combine into the visible variable, then a
+      // barrier (unless nowait).
+      auto block = Stmt::make(Stmt::Kind::kBlock, d.loc);
+      std::vector<std::pair<std::string, ReduceOp>> combines;
+      for (const auto& r : d.reductions) {
+        for (const auto& n : r.vars) {
+          const std::string priv = n + "__prv";
+          auto init = Stmt::make(Stmt::Kind::kOmpReductionInit, d.loc);
+          init->name = priv;
+          init->target = n;
+          init->reduce_op = r.op;
+          block->stmts.push_back(std::move(init));
+          Renamer renamer(n, priv);
+          renamer.rename(*loop);
+          combines.emplace_back(n, r.op);
+        }
+      }
+      for (auto& p : prolog) block->stmts.push_back(std::move(p));
+      ws->nowait = true;  // combine first, then barrier below
+      ws->body = std::move(loop);
+      block->stmts.push_back(std::move(ws));
+      for (const auto& [n, op] : combines) {
+        auto combine = Stmt::make(Stmt::Kind::kOmpReductionCombine, d.loc);
+        combine->name = n + "__prv";
+        combine->target = n;
+        combine->reduce_op = op;
+        block->stmts.push_back(std::move(combine));
+      }
+      if (!d.nowait) {
+        block->stmts.push_back(Stmt::make(Stmt::Kind::kOmpBarrier, d.loc));
+      }
+      return block;
+    }
+
+    ws->nowait = standalone ? d.nowait : true;  // combined form: join barrier suffices
+    ws->body = std::move(loop);
+    if (prolog.empty()) return ws;
+    auto block = Stmt::make(Stmt::Kind::kBlock, d.loc);
+    for (auto& p : prolog) block->stmts.push_back(std::move(p));
+    block->stmts.push_back(std::move(ws));
+    return block;
+  }
+
+  // -- task -----------------------------------------------------------------------
+
+  StmtPtr lower_task(FnDecl* fn, Directive& d, StmtPtr region) {
+    ++stats_.tasks_outlined;
+    std::vector<std::string> captured = free_variables(*region, names_);
+    std::unordered_set<std::string> seen(captured.begin(), captured.end());
+    auto add_names = [&](const std::vector<std::string>& list) {
+      for (const auto& n : list) {
+        if (seen.insert(n).second) captured.push_back(n);
+      }
+    };
+    add_names(d.firstprivate_vars);
+    add_names(d.private_vars);
+    add_names(d.shared_vars);
+
+    // Data sharing (OpenMP 5.2 task rules, name-approximated at preprocess
+    // time): explicit clauses win; otherwise a variable that is *shared in
+    // the enclosing region* (a shared-mode parameter of the enclosing
+    // outlined function) stays shared, and everything else is firstprivate.
+    const std::unordered_map<std::string, CaptureMode>* enclosing =
+        outlined_modes_.contains(fn) ? &outlined_modes_[fn] : nullptr;
+    auto mode_of = [&](const std::string& n) {
+      for (const auto& p : d.private_vars) {
+        if (p == n) return CaptureMode::kValue;
+      }
+      for (const auto& p : d.firstprivate_vars) {
+        if (p == n) return CaptureMode::kValue;
+      }
+      for (const auto& p : d.shared_vars) {
+        if (p == n) return CaptureMode::kSharedPtr;
+      }
+      if (enclosing != nullptr) {
+        if (const auto it = enclosing->find(n); it != enclosing->end()) {
+          if (it->second == CaptureMode::kSharedPtr ||
+              it->second == CaptureMode::kSharedSlice) {
+            return it->second;
+          }
+        }
+      }
+      return CaptureMode::kValue;
+    };
+
+    FnDecl* outlined = new_outlined_fn(fn, "task");
+    for (const auto& n : captured) {
+      lang::Param param;
+      param.name = n;
+      param.type = lang::Type::inferred();
+      param.loc = d.loc;
+      outlined->params.push_back(std::move(param));
+    }
+    auto body = Stmt::make(Stmt::Kind::kBlock, d.loc);
+    body->stmts.push_back(std::move(region));
+    outlined->body = std::move(body);
+
+    auto task = Stmt::make(Stmt::Kind::kOmpTask, d.loc);
+    task->callee = outlined->name;
+    for (const auto& n : captured) {
+      CaptureArg cap;
+      cap.name = n;
+      cap.mode = mode_of(n);
+      task->captures.push_back(std::move(cap));
+      outlined_modes_[outlined][n] = cap.mode;  // nested tasks inherit
+    }
+    if (d.if_clause) task->if_clause = std::move(d.if_clause);
+    return task;
+  }
+
+  FnDecl* new_outlined_fn(FnDecl* parent, const char* kind) {
+    auto fn = std::make_unique<FnDecl>();
+    fn->name = "__omp_" + parent->name + "_" + kind + "_" +
+               std::to_string(counter_++);
+    fn->is_outlined = true;
+    fn->return_type = lang::Type::void_type();
+    fn->loc = parent->loc;
+    FnDecl* raw = fn.get();
+    module_.functions.push_back(std::move(fn));
+    names_.functions.insert(raw->name);
+    return raw;
+  }
+
+  Module& module_;
+  lang::Diagnostics& diags_;
+  TransformStats& stats_;
+  ModuleNames names_;
+  /// Sharing mode of each outlined function's parameters, by source name —
+  /// consulted when lowering tasks nested inside that function.
+  std::unordered_map<const FnDecl*, std::unordered_map<std::string, CaptureMode>>
+      outlined_modes_;
+  int counter_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+bool apply_openmp(lang::Module& module, lang::Diagnostics& diags,
+                  TransformStats* stats) {
+  TransformStats local;
+  Transformer transformer(module, diags, stats != nullptr ? *stats : local);
+  return transformer.run();
+}
+
+}  // namespace zomp::core

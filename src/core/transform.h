@@ -1,0 +1,38 @@
+// The OpenMP preprocessing transform — the paper's primary contribution,
+// reproduced over MiniZig (Figure 1 of the paper):
+//
+//   1. Directive comments attached by the parser are parsed into Directive
+//      objects (directive_parser.h).
+//   2. `parallel` (and the parallel half of `parallel for`) regions are
+//      *outlined*: the associated block becomes a new module-level function;
+//      the region's free variables (capture.h) become its parameters, with
+//      the data-sharing clauses choosing pointer vs value capture; the
+//      original statement is replaced by a fork of that function.
+//   3. Worksharing loops become OmpWsLoop nodes that the backends lower to
+//      the runtime's loop-bounds calls; reductions materialise as private
+//      accumulator + critical combine; the remaining constructs map to their
+//      structured statements.
+//
+// Runs before semantic analysis, with names only — the same position and the
+// same type-information limitation the paper describes (§2), resolved the
+// same way (generic/inferred outlined-function parameters).
+#pragma once
+
+#include "lang/ast.h"
+#include "lang/source.h"
+
+namespace zomp::core {
+
+struct TransformStats {
+  int regions_outlined = 0;
+  int ws_loops = 0;
+  int tasks_outlined = 0;
+  int directives_seen = 0;
+};
+
+/// Applies the OpenMP transform in place. Returns false if any directive was
+/// malformed or used unsupported combinations (diagnostics explain).
+bool apply_openmp(lang::Module& module, lang::Diagnostics& diags,
+                  TransformStats* stats = nullptr);
+
+}  // namespace zomp::core

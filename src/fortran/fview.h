@@ -1,0 +1,40 @@
+// Column-major array views with 1-based indexing — Fortran array semantics
+// over C++ storage. Used by the "Fortran" reference kernels and by tests that
+// verify the interop boundary preserves layout.
+#pragma once
+
+#include <cstdint>
+
+namespace zomp::fortran {
+
+/// 2D column-major view: element (i, j), both 1-based, lives at
+/// ptr[(i-1) + (j-1)*ld] — exactly a Fortran `dimension(ld, *)` dummy.
+template <typename T>
+class ColMajorView {
+ public:
+  ColMajorView(T* ptr, std::int64_t leading_dim)
+      : ptr_(ptr), ld_(leading_dim) {}
+
+  T& operator()(std::int64_t i, std::int64_t j) const {
+    return ptr_[(i - 1) + (j - 1) * ld_];
+  }
+
+  std::int64_t leading_dim() const { return ld_; }
+
+ private:
+  T* ptr_;
+  std::int64_t ld_;
+};
+
+/// 1D view with Fortran's 1-based indexing (`dimension(*)`).
+template <typename T>
+class FVector {
+ public:
+  explicit FVector(T* ptr) : ptr_(ptr) {}
+  T& operator()(std::int64_t i) const { return ptr_[i - 1]; }
+
+ private:
+  T* ptr_;
+};
+
+}  // namespace zomp::fortran

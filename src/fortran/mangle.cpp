@@ -1,0 +1,69 @@
+#include "fortran/mangle.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace zomp::fortran {
+
+std::string mangle(const std::string& name, MangleScheme scheme) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  const bool has_underscore = lower.find('_') != std::string::npos;
+  lower.push_back('_');
+  if (scheme == MangleScheme::kF2c && has_underscore) lower.push_back('_');
+  return lower;
+}
+
+namespace {
+
+const char* minizig_arg_type(FArg arg) {
+  switch (arg) {
+    case FArg::kInteger:
+    case FArg::kLogical:
+    case FArg::kIntegerArray: return "*i64";
+    case FArg::kReal:
+    case FArg::kRealArray: return "*f64";
+  }
+  return "*i64";
+}
+
+const char* cpp_arg_type(FArg arg) {
+  switch (arg) {
+    case FArg::kInteger:
+    case FArg::kLogical:
+    case FArg::kIntegerArray: return "std::int64_t*";
+    case FArg::kReal:
+    case FArg::kRealArray: return "double*";
+  }
+  return "std::int64_t*";
+}
+
+}  // namespace
+
+std::string minizig_binding(const FProc& proc, MangleScheme scheme) {
+  std::ostringstream out;
+  out << "extern fn " << mangle(proc.name, scheme) << "(";
+  for (std::size_t i = 0; i < proc.args.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "a" << i << ": " << minizig_arg_type(proc.args[i]);
+  }
+  out << ") " << (proc.returns_real ? "f64" : "void") << ";";
+  return out.str();
+}
+
+std::string cpp_prototype(const FProc& proc, MangleScheme scheme) {
+  std::ostringstream out;
+  out << "extern \"C\" " << (proc.returns_real ? "double" : "void") << ' '
+      << mangle(proc.name, scheme) << "(";
+  for (std::size_t i = 0; i < proc.args.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << cpp_arg_type(proc.args[i]) << " a" << i;
+  }
+  out << ");";
+  return out.str();
+}
+
+}  // namespace zomp::fortran

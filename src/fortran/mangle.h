@@ -1,0 +1,55 @@
+// Fortran name mangling and binding generation (substrate S6).
+//
+// The paper's interop approach (§3.1): Zig cannot call Fortran directly, so
+// Fortran procedures are declared as C-linkage functions taking pointer
+// arguments, with an underscore appended to match the Fortran compiler's
+// mangling. This module reproduces that mechanically: given a procedure
+// signature it produces (a) the mangled symbol, (b) the MiniZig `extern fn`
+// declaration the paper writes by hand, and (c) the matching C++ prototype
+// used to *implement* the "Fortran" side in this repo (we compile the
+// Fortran reference kernels as C++ exposed through this exact ABI, see
+// DESIGN.md §2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace zomp::fortran {
+
+/// Mangling schemes used by real Fortran compilers.
+enum class MangleScheme {
+  /// gfortran default: lowercase, one trailing underscore.
+  kGnu,
+  /// f2c / g77 compatibility: names already containing an underscore get two
+  /// trailing underscores.
+  kF2c,
+};
+
+/// Mangles `name` (a Fortran procedure name) for the given scheme.
+std::string mangle(const std::string& name, MangleScheme scheme = MangleScheme::kGnu);
+
+/// Argument type in a Fortran procedure signature. Fortran passes everything
+/// by reference, so scalars become pointers and arrays decay to a pointer to
+/// the first element.
+enum class FArg {
+  kInteger,      // integer*8   -> i64*
+  kReal,         // real*8      -> f64*
+  kLogical,      // logical     -> i64* (0/1)
+  kIntegerArray, // integer*8(:) -> i64* (first element)
+  kRealArray,    // real*8(:)    -> f64* (first element)
+};
+
+struct FProc {
+  std::string name;            ///< unmangled Fortran name
+  std::vector<FArg> args;
+  bool returns_real = false;   ///< real*8 function vs subroutine
+};
+
+/// MiniZig `extern fn` declaration for the procedure — what a user of the
+/// paper's compiler writes to call Fortran from Zig.
+std::string minizig_binding(const FProc& proc, MangleScheme scheme = MangleScheme::kGnu);
+
+/// C++ prototype with C linkage that implements/consumes the same symbol.
+std::string cpp_prototype(const FProc& proc, MangleScheme scheme = MangleScheme::kGnu);
+
+}  // namespace zomp::fortran

@@ -1,0 +1,747 @@
+#include "interp/interp.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "lang/sema.h"
+#include "runtime/api.h"
+#include "runtime/hl.h"
+#include "runtime/pool.h"
+#include "runtime/sync.h"
+#include "runtime/team.h"
+#include "runtime/worksharing.h"
+
+namespace zomp::interp {
+
+using lang::BinOp;
+using lang::Builtin;
+using lang::CaptureMode;
+using lang::Expr;
+using lang::FnDecl;
+using lang::ReduceOp;
+using lang::ScheduleSpec;
+using lang::Stmt;
+using lang::Symbol;
+using lang::UnOp;
+
+namespace {
+
+[[noreturn]] void panic(const lang::SourceLoc& loc, const std::string& what) {
+  std::fprintf(stderr, "mz panic (interp) at line %u: %s\n", loc.line,
+               what.c_str());
+  std::abort();
+}
+
+rt::Schedule to_rt_schedule(const ScheduleSpec::Kind kind, rt::i64 chunk) {
+  rt::ScheduleKind rt_kind = rt::ScheduleKind::kStatic;
+  switch (kind) {
+    case ScheduleSpec::Kind::kUnspecified:
+    case ScheduleSpec::Kind::kStatic: rt_kind = rt::ScheduleKind::kStatic; break;
+    case ScheduleSpec::Kind::kDynamic: rt_kind = rt::ScheduleKind::kDynamic; break;
+    case ScheduleSpec::Kind::kGuided: rt_kind = rt::ScheduleKind::kGuided; break;
+    case ScheduleSpec::Kind::kAuto: rt_kind = rt::ScheduleKind::kAuto; break;
+    case ScheduleSpec::Kind::kRuntime: rt_kind = rt::ScheduleKind::kRuntime; break;
+  }
+  return rt::Schedule{rt_kind, chunk};
+}
+
+Value identity_value(ReduceOp op, const lang::Type& type) {
+  if (type.is_f64()) return Value(lang::reduce_identity_f64(op));
+  if (type.is_bool()) return Value(op == ReduceOp::kLogAnd);
+  return Value(lang::reduce_identity_i64(op));
+}
+
+Value combine_values(ReduceOp op, const Value& a, const Value& b,
+                     const lang::SourceLoc& loc) {
+  if (std::holds_alternative<double>(a.v)) {
+    const double x = a.as_f64();
+    const double y = b.as_f64();
+    switch (op) {
+      case ReduceOp::kAdd:
+      case ReduceOp::kSub: return Value(x + y);  // '-' combines with +
+      case ReduceOp::kMul: return Value(x * y);
+      case ReduceOp::kMin: return Value(std::min(x, y));
+      case ReduceOp::kMax: return Value(std::max(x, y));
+      default: panic(loc, "bad float reduction");
+    }
+  }
+  if (std::holds_alternative<bool>(a.v)) {
+    const bool x = a.as_bool();
+    const bool y = b.as_bool();
+    return Value(op == ReduceOp::kLogAnd ? (x && y) : (x || y));
+  }
+  const std::int64_t x = a.as_i64();
+  const std::int64_t y = b.as_i64();
+  switch (op) {
+    case ReduceOp::kAdd:
+    case ReduceOp::kSub: return Value(x + y);
+    case ReduceOp::kMul: return Value(x * y);
+    case ReduceOp::kMin: return Value(std::min(x, y));
+    case ReduceOp::kMax: return Value(std::max(x, y));
+    case ReduceOp::kBitAnd: return Value(x & y);
+    case ReduceOp::kBitOr: return Value(x | y);
+    case ReduceOp::kBitXor: return Value(x ^ y);
+    case ReduceOp::kLogAnd: return Value(static_cast<std::int64_t>(x && y));
+    case ReduceOp::kLogOr: return Value(static_cast<std::int64_t>(x || y));
+  }
+  panic(loc, "bad reduction operator");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exec: one function activation (one thread, one frame)
+// ---------------------------------------------------------------------------
+
+class Exec {
+ public:
+  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+
+  Exec(Interp& interp, const FnDecl& fn) : interp_(interp), fn_(fn) {}
+
+  /// Binds parameters: `cells[i]` is aliased for indirect params and copied
+  /// for value params (per-thread copies are made by the caller's closure).
+  void bind_params(const std::vector<Cell>& cells) {
+    for (std::size_t i = 0; i < fn_.params.size(); ++i) {
+      const lang::Param& p = fn_.params[i];
+      if (p.indirect) {
+        frame_[p.symbol] = cells[i];
+      } else {
+        frame_[p.symbol] = make_cell(*cells[i]);
+      }
+    }
+  }
+
+  Value run() {
+    if (fn_.body) exec_stmt(*fn_.body);
+    return std::move(return_value_);
+  }
+
+  /// Evaluates one expression in this activation's scope (used for global
+  /// initialisers, which see earlier globals but no locals).
+  Value eval_expr(const Expr& e) { return eval(e); }
+
+  /// Zero value of `type` (public for global initialisation).
+  Value zero_of(const lang::Type& type) { return default_value(type); }
+
+ private:
+  // -- Frame -------------------------------------------------------------------
+
+  Cell& cell_of(const Symbol* sym, const lang::SourceLoc& loc) {
+    if (sym == nullptr) panic(loc, "unresolved symbol");
+    if (const auto it = frame_.find(sym); it != frame_.end()) return it->second;
+    if (const auto it = interp_.globals_.find(sym); it != interp_.globals_.end()) {
+      return it->second;
+    }
+    panic(loc, "variable '" + sym->name + "' has no storage (interpreter bug)");
+  }
+
+  void bind(const Symbol* sym, Value value) {
+    frame_[sym] = make_cell(std::move(value));
+  }
+
+  // -- Statements --------------------------------------------------------------
+
+  Flow exec_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case Stmt::Kind::kBlock:
+        for (const auto& s : stmt.stmts) {
+          const Flow f = exec_stmt(*s);
+          if (f != Flow::kNormal) return f;
+        }
+        return Flow::kNormal;
+      case Stmt::Kind::kVarDecl:
+        bind(stmt.symbol, stmt.init ? eval(*stmt.init)
+                                    : default_value(stmt.symbol->type));
+        return Flow::kNormal;
+      case Stmt::Kind::kAssign: {
+        Value rhs = eval(*stmt.rhs);
+        if (stmt.assign_op != Stmt::AssignOp::kPlain) {
+          const Value lhs = load_lvalue(*stmt.lhs);
+          rhs = arith(stmt.assign_op, lhs, rhs, stmt.loc);
+        }
+        store_lvalue(*stmt.lhs, std::move(rhs));
+        return Flow::kNormal;
+      }
+      case Stmt::Kind::kExprStmt:
+        eval(*stmt.expr);
+        return Flow::kNormal;
+      case Stmt::Kind::kIf:
+        if (eval(*stmt.expr).as_bool()) return exec_stmt(*stmt.then_block);
+        if (stmt.else_block) return exec_stmt(*stmt.else_block);
+        return Flow::kNormal;
+      case Stmt::Kind::kWhile:
+        for (;;) {
+          if (!eval(*stmt.expr).as_bool()) return Flow::kNormal;
+          const Flow f = exec_stmt(*stmt.body);
+          if (f == Flow::kReturn) return f;
+          if (f == Flow::kBreak) return Flow::kNormal;
+          if (stmt.step) exec_stmt(*stmt.step);  // also runs after continue
+        }
+      case Stmt::Kind::kForRange: {
+        const std::int64_t lo = eval(*stmt.expr).as_i64();
+        const std::int64_t hi = eval(*stmt.rhs).as_i64();
+        for (std::int64_t i = lo; i < hi; ++i) {
+          bind(stmt.symbol, Value(i));
+          const Flow f = exec_stmt(*stmt.body);
+          if (f == Flow::kReturn) return f;
+          if (f == Flow::kBreak) break;
+        }
+        return Flow::kNormal;
+      }
+      case Stmt::Kind::kReturn:
+        if (stmt.expr) return_value_ = eval(*stmt.expr);
+        return Flow::kReturn;
+      case Stmt::Kind::kBreak: return Flow::kBreak;
+      case Stmt::Kind::kContinue: return Flow::kContinue;
+
+      case Stmt::Kind::kOmpFork: return exec_fork(stmt);
+      case Stmt::Kind::kOmpWsLoop: return exec_ws_loop(stmt);
+      case Stmt::Kind::kOmpBarrier: {
+        rt::ThreadState& ts = rt::current_thread();
+        ts.team->barrier_wait(ts.tid);
+        return Flow::kNormal;
+      }
+      case Stmt::Kind::kOmpCritical: {
+        rt::critical_enter(stmt.name);
+        const Flow f = exec_stmt(*stmt.body);
+        rt::critical_exit(stmt.name);
+        return f;
+      }
+      case Stmt::Kind::kOmpSingle: {
+        rt::ThreadState& ts = rt::current_thread();
+        Flow f = Flow::kNormal;
+        if (ts.team->single_begin(ts)) f = exec_stmt(*stmt.body);
+        if (!stmt.nowait) ts.team->barrier_wait(ts.tid);
+        return f;
+      }
+      case Stmt::Kind::kOmpMaster:
+        if (rt::current_thread().tid == 0) return exec_stmt(*stmt.body);
+        return Flow::kNormal;
+      case Stmt::Kind::kOmpAtomic: {
+        // Serialise the read-modify-write via the runtime's atomic critical;
+        // semantically equivalent to hardware atomics for interpreted code.
+        rt::critical_enter("__mz_atomic");
+        const Flow f = exec_stmt(*stmt.body);
+        rt::critical_exit("__mz_atomic");
+        return f;
+      }
+      case Stmt::Kind::kOmpOrdered: {
+        rt::ThreadState& ts = rt::current_thread();
+        const std::int64_t index =
+            cell_of(ordered_iv_, stmt.loc)->as_i64() - ordered_lo_;
+        ts.team->ordered_enter(ts, index);
+        const Flow f = exec_stmt(*stmt.body);
+        ts.team->ordered_exit(ts, index);
+        return f;
+      }
+      case Stmt::Kind::kOmpReductionInit:
+        bind(stmt.symbol, identity_value(stmt.reduce_op, stmt.symbol->type));
+        return Flow::kNormal;
+      case Stmt::Kind::kOmpReductionCombine: {
+        Cell target = cell_of(stmt.target_symbol, stmt.loc);
+        const Cell local = cell_of(stmt.symbol, stmt.loc);
+        rt::critical_enter("__zomp_reduction");
+        *target = combine_values(stmt.reduce_op, *target, *local, stmt.loc);
+        rt::critical_exit("__zomp_reduction");
+        return Flow::kNormal;
+      }
+      case Stmt::Kind::kOmpLastprivateWrite: {
+        Cell target = cell_of(stmt.target_symbol, stmt.loc);
+        *target = *cell_of(stmt.symbol, stmt.loc);
+        return Flow::kNormal;
+      }
+      case Stmt::Kind::kOmpTask: return exec_task(stmt);
+      case Stmt::Kind::kOmpTaskwait: {
+        rt::ThreadState& ts = rt::current_thread();
+        ts.team->taskwait(ts);
+        return Flow::kNormal;
+      }
+    }
+    return Flow::kNormal;
+  }
+
+  Flow exec_fork(const Stmt& stmt) {
+    const FnDecl& callee = *stmt.callee_decl;
+    std::vector<Cell> args;
+    args.reserve(stmt.captures.size());
+    for (const auto& cap : stmt.captures) {
+      // Shared and reduction captures alias the master's cell; value and
+      // slice-header captures are copied per member inside bind_params.
+      args.push_back(cell_of(cap.symbol, stmt.loc));
+    }
+    rt::ForkOptions opts;
+    if (stmt.num_threads) {
+      opts.num_threads = static_cast<rt::i32>(eval(*stmt.num_threads).as_i64());
+    }
+    if (stmt.if_clause) opts.if_clause = eval(*stmt.if_clause).as_bool();
+    rt::fork_closure(
+        [&] {
+          Exec member(interp_, callee);
+          member.bind_params(args);
+          member.run();
+        },
+        opts);
+    return Flow::kNormal;
+  }
+
+  Flow exec_ws_loop(const Stmt& stmt) {
+    const Stmt& loop = *stmt.body;
+    rt::ThreadState& ts = rt::current_thread();
+    rt::Team& team = *ts.team;
+    const std::int64_t lo = eval(*loop.expr).as_i64();
+    const std::int64_t hi = eval(*loop.rhs).as_i64();
+    const std::int64_t chunk =
+        stmt.schedule.chunk ? eval(*stmt.schedule.chunk).as_i64() : 0;
+
+    // Ordered context for OmpOrdered nodes in the body.
+    const Symbol* saved_iv = ordered_iv_;
+    const std::int64_t saved_lo = ordered_lo_;
+    ordered_iv_ = loop.symbol;
+    ordered_lo_ = lo;
+
+    const bool needs_dispatch =
+        stmt.ordered || stmt.schedule.kind == ScheduleSpec::Kind::kDynamic ||
+        stmt.schedule.kind == ScheduleSpec::Kind::kGuided ||
+        stmt.schedule.kind == ScheduleSpec::Kind::kRuntime;
+
+    bool had_last = false;
+    if (!needs_dispatch) {
+      const rt::StaticRange r =
+          rt::static_distribute(lo, hi, 1, chunk, ts.tid, team.size());
+      const std::int64_t span = r.hi - r.lo;
+      for (std::int64_t block = r.lo; block < hi; block += r.stride) {
+        const std::int64_t end = std::min(block + span, hi);
+        for (std::int64_t i = block; i < end; ++i) {
+          bind(loop.symbol, Value(i));
+          exec_stmt(*loop.body);
+        }
+      }
+      had_last = r.last;
+    } else {
+      team.dispatch_init(ts, to_rt_schedule(stmt.schedule.kind, chunk), lo, hi,
+                         1);
+      std::int64_t clo = 0, chi = 0;
+      bool last = false;
+      while (team.dispatch_next(ts, &clo, &chi, &last)) {
+        for (std::int64_t i = clo; i < chi; ++i) {
+          bind(loop.symbol, Value(i));
+          exec_stmt(*loop.body);
+        }
+        if (last) had_last = true;
+      }
+    }
+
+    ordered_iv_ = saved_iv;
+    ordered_lo_ = saved_lo;
+
+    if (had_last) {
+      for (const auto& [local, target] : stmt.lastprivate_syms) {
+        *cell_of(target, stmt.loc) = *cell_of(local, stmt.loc);
+      }
+    }
+    if (!stmt.nowait) team.barrier_wait(ts.tid);
+    return Flow::kNormal;
+  }
+
+  Flow exec_task(const Stmt& stmt) {
+    const FnDecl& callee = *stmt.callee_decl;
+    // Firstprivate captures snapshot their value *now* (the task may outlive
+    // this frame); shared captures alias the enclosing cell — the region's
+    // join barrier guarantees the cell outlives the task.
+    auto captured = std::make_shared<std::vector<Cell>>();
+    captured->reserve(stmt.captures.size());
+    for (const auto& cap : stmt.captures) {
+      Cell cell = cell_of(cap.symbol, stmt.loc);
+      if (cap.mode == lang::CaptureMode::kValue) {
+        captured->push_back(make_cell(*cell));
+      } else {
+        captured->push_back(std::move(cell));
+      }
+    }
+    const bool deferred =
+        stmt.if_clause == nullptr || eval(*stmt.if_clause).as_bool();
+    rt::ThreadState& ts = rt::current_thread();
+    Interp& interp = interp_;
+    ts.team->task_create(
+        ts,
+        [&interp, &callee, captured] {
+          Exec body(interp, callee);
+          body.bind_params(*captured);
+          body.run();
+        },
+        deferred);
+    return Flow::kNormal;
+  }
+
+  // -- Expressions ----------------------------------------------------------------
+
+  Value default_value(const lang::Type& type) {
+    if (type.is_f64()) return Value(0.0);
+    if (type.is_bool()) return Value(false);
+    if (type.is_slice()) return Value(SliceVal{});
+    if (type.is_pointer()) return Value(PtrVal{});
+    return Value(std::int64_t{0});
+  }
+
+  Value load_lvalue(const Expr& e) { return eval(e); }
+
+  void store_lvalue(const Expr& e, Value value) {
+    switch (e.kind) {
+      case Expr::Kind::kVarRef:
+        *cell_of(e.symbol, e.loc) = std::move(value);
+        return;
+      case Expr::Kind::kIndex: {
+        const SliceVal slice = eval(*e.args[0]).as_slice();
+        const std::int64_t i = eval(*e.args[1]).as_i64();
+        if (!slice.data || i < 0 || i >= slice.len()) {
+          panic(e.loc, "index out of bounds (store)");
+        }
+        (*slice.data)[static_cast<std::size_t>(i)] = std::move(value);
+        return;
+      }
+      case Expr::Kind::kDeref: {
+        const PtrVal p = eval(*e.args[0]).as_ptr();
+        if (p.is_element) {
+          if (!p.slice.data || p.index < 0 || p.index >= p.slice.len()) {
+            panic(e.loc, "dangling element pointer (store)");
+          }
+          (*p.slice.data)[static_cast<std::size_t>(p.index)] = std::move(value);
+        } else if (p.cell) {
+          *p.cell = std::move(value);
+        } else {
+          panic(e.loc, "store through null pointer");
+        }
+        return;
+      }
+      default:
+        panic(e.loc, "not an assignable expression");
+    }
+  }
+
+  Value arith(Stmt::AssignOp op, const Value& a, const Value& b,
+              const lang::SourceLoc& loc) {
+    BinOp bop;
+    switch (op) {
+      case Stmt::AssignOp::kAdd: bop = BinOp::kAdd; break;
+      case Stmt::AssignOp::kSub: bop = BinOp::kSub; break;
+      case Stmt::AssignOp::kMul: bop = BinOp::kMul; break;
+      case Stmt::AssignOp::kDiv: bop = BinOp::kDiv; break;
+      default: panic(loc, "bad compound assignment");
+    }
+    return binary(bop, a, b, loc);
+  }
+
+  Value binary(BinOp op, const Value& a, const Value& b,
+               const lang::SourceLoc& loc) {
+    if (std::holds_alternative<double>(a.v)) {
+      const double x = a.as_f64();
+      const double y = b.as_f64();
+      switch (op) {
+        case BinOp::kAdd: return Value(x + y);
+        case BinOp::kSub: return Value(x - y);
+        case BinOp::kMul: return Value(x * y);
+        case BinOp::kDiv: return Value(x / y);
+        case BinOp::kEq: return Value(x == y);
+        case BinOp::kNe: return Value(x != y);
+        case BinOp::kLt: return Value(x < y);
+        case BinOp::kLe: return Value(x <= y);
+        case BinOp::kGt: return Value(x > y);
+        case BinOp::kGe: return Value(x >= y);
+        default: panic(loc, "bad float operator");
+      }
+    }
+    if (std::holds_alternative<bool>(a.v)) {
+      const bool x = a.as_bool();
+      const bool y = b.as_bool();
+      switch (op) {
+        case BinOp::kEq: return Value(x == y);
+        case BinOp::kNe: return Value(x != y);
+        case BinOp::kAnd: return Value(x && y);
+        case BinOp::kOr: return Value(x || y);
+        default: panic(loc, "bad bool operator");
+      }
+    }
+    const std::int64_t x = a.as_i64();
+    const std::int64_t y = b.as_i64();
+    switch (op) {
+      case BinOp::kAdd: return Value(x + y);
+      case BinOp::kSub: return Value(x - y);
+      case BinOp::kMul: return Value(x * y);
+      case BinOp::kDiv:
+        if (y == 0) panic(loc, "integer division by zero");
+        return Value(x / y);
+      case BinOp::kRem:
+        if (y == 0) panic(loc, "integer remainder by zero");
+        return Value(x % y);
+      case BinOp::kEq: return Value(x == y);
+      case BinOp::kNe: return Value(x != y);
+      case BinOp::kLt: return Value(x < y);
+      case BinOp::kLe: return Value(x <= y);
+      case BinOp::kGt: return Value(x > y);
+      case BinOp::kGe: return Value(x >= y);
+      case BinOp::kBitAnd: return Value(x & y);
+      case BinOp::kBitOr: return Value(x | y);
+      case BinOp::kBitXor: return Value(x ^ y);
+      case BinOp::kShl: return Value(static_cast<std::int64_t>(
+          static_cast<std::uint64_t>(x) << (y & 63)));
+      case BinOp::kShr: return Value(x >> (y & 63));
+      default: panic(loc, "bad integer operator");
+    }
+  }
+
+  Value eval(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kIntLit: return Value(e.int_value);
+      case Expr::Kind::kFloatLit: return Value(e.float_value);
+      case Expr::Kind::kBoolLit: return Value(e.bool_value);
+      case Expr::Kind::kStringLit: return Value(e.name);
+      case Expr::Kind::kUndefined: return Value(std::int64_t{0});
+      case Expr::Kind::kVarRef: return *cell_of(e.symbol, e.loc);
+      case Expr::Kind::kBinary: {
+        // Short-circuit for and/or.
+        if (e.bin_op == BinOp::kAnd) {
+          return Value(eval(*e.args[0]).as_bool() &&
+                       eval(*e.args[1]).as_bool());
+        }
+        if (e.bin_op == BinOp::kOr) {
+          return Value(eval(*e.args[0]).as_bool() ||
+                       eval(*e.args[1]).as_bool());
+        }
+        const Value a = eval(*e.args[0]);
+        const Value b = eval(*e.args[1]);
+        return binary(e.bin_op, a, b, e.loc);
+      }
+      case Expr::Kind::kUnary: {
+        const Value v = eval(*e.args[0]);
+        if (e.un_op == UnOp::kNot) return Value(!v.as_bool());
+        if (std::holds_alternative<double>(v.v)) return Value(-v.as_f64());
+        return Value(-v.as_i64());
+      }
+      case Expr::Kind::kCall: return eval_call(e);
+      case Expr::Kind::kBuiltinCall: return eval_builtin(e);
+      case Expr::Kind::kIndex: {
+        const SliceVal slice = eval(*e.args[0]).as_slice();
+        const std::int64_t i = eval(*e.args[1]).as_i64();
+        if (!slice.data || i < 0 || i >= slice.len()) {
+          panic(e.loc, "index out of bounds: index " + std::to_string(i) +
+                           ", len " + std::to_string(slice.len()));
+        }
+        return (*slice.data)[static_cast<std::size_t>(i)];
+      }
+      case Expr::Kind::kLen: return Value(eval(*e.args[0]).as_slice().len());
+      case Expr::Kind::kAddrOf: {
+        const Expr& target = *e.args[0];
+        if (target.kind == Expr::Kind::kVarRef) {
+          PtrVal p;
+          p.cell = cell_of(target.symbol, e.loc);
+          return Value(p);
+        }
+        // &slice[i]
+        PtrVal p;
+        p.slice = eval(*target.args[0]).as_slice();
+        p.index = eval(*target.args[1]).as_i64();
+        p.is_element = true;
+        return Value(p);
+      }
+      case Expr::Kind::kDeref: {
+        const PtrVal p = eval(*e.args[0]).as_ptr();
+        if (p.is_element) {
+          if (!p.slice.data || p.index < 0 || p.index >= p.slice.len()) {
+            panic(e.loc, "dangling element pointer");
+          }
+          return (*p.slice.data)[static_cast<std::size_t>(p.index)];
+        }
+        if (!p.cell) panic(e.loc, "load through null pointer");
+        return *p.cell;
+      }
+    }
+    panic(e.loc, "bad expression");
+  }
+
+  Value eval_call(const Expr& e) {
+    const FnDecl* callee = e.callee;
+    if (callee == nullptr) panic(e.loc, "unresolved call");
+    if (callee->is_extern) {
+      const auto it = interp_.host_fns_.find(callee->name);
+      if (it == interp_.host_fns_.end()) {
+        panic(e.loc, "extern function '" + callee->name +
+                         "' has no host binding registered");
+      }
+      std::vector<Value> args;
+      args.reserve(e.args.size());
+      for (const auto& a : e.args) args.push_back(eval(*a));
+      return it->second(args);
+    }
+    std::vector<Cell> cells;
+    cells.reserve(e.args.size());
+    for (const auto& a : e.args) cells.push_back(make_cell(eval(*a)));
+    Exec callee_exec(interp_, *callee);
+    callee_exec.bind_params(cells);
+    return callee_exec.run();
+  }
+
+  Value eval_builtin(const Expr& e) {
+    auto f = [&](std::size_t i) { return eval(*e.args[i]); };
+    switch (e.builtin) {
+      case Builtin::kSqrt: return Value(std::sqrt(f(0).as_f64()));
+      case Builtin::kExp: return Value(std::exp(f(0).as_f64()));
+      case Builtin::kLog: return Value(std::log(f(0).as_f64()));
+      case Builtin::kPow:
+        return Value(std::pow(f(0).as_f64(), f(1).as_f64()));
+      case Builtin::kAbs: {
+        const Value v = f(0);
+        if (std::holds_alternative<double>(v.v)) {
+          return Value(std::fabs(v.as_f64()));
+        }
+        const std::int64_t x = v.as_i64();
+        return Value(x < 0 ? -x : x);
+      }
+      case Builtin::kMin:
+      case Builtin::kMax: {
+        const Value a = f(0);
+        const Value b = f(1);
+        const bool take_min = e.builtin == Builtin::kMin;
+        if (std::holds_alternative<double>(a.v)) {
+          return Value(take_min ? std::min(a.as_f64(), b.as_f64())
+                                : std::max(a.as_f64(), b.as_f64()));
+        }
+        return Value(take_min ? std::min(a.as_i64(), b.as_i64())
+                              : std::max(a.as_i64(), b.as_i64()));
+      }
+      case Builtin::kMod: {
+        const std::int64_t a = f(0).as_i64();
+        const std::int64_t b = f(1).as_i64();
+        if (b == 0) panic(e.loc, "@mod by zero");
+        const std::int64_t r = a % b;
+        return Value((r != 0 && ((r < 0) != (b < 0))) ? r + b : r);
+      }
+      case Builtin::kFloatFromInt:
+        return Value(static_cast<double>(f(0).as_i64()));
+      case Builtin::kIntFromFloat:
+        return Value(static_cast<std::int64_t>(f(0).as_f64()));
+      case Builtin::kAlloc: {
+        const std::int64_t n = f(0).as_i64();
+        if (n < 0) panic(e.loc, "negative @alloc length");
+        SliceVal s;
+        s.data = std::make_shared<std::vector<Value>>(
+            static_cast<std::size_t>(n),
+            default_value(lang::Type::slice_of(e.alloc_elem.scalar()).element()));
+        return Value(s);
+      }
+      case Builtin::kFree:
+        // Slices are shared_ptr-backed; explicit free is a no-op that keeps
+        // source compatibility with the codegen backend.
+        f(0);
+        return Value();
+      case Builtin::kPrint: {
+        std::ostringstream line;
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          if (i > 0) line << ' ';
+          const Value v = f(i);
+          if (std::holds_alternative<std::int64_t>(v.v)) {
+            line << v.as_i64();
+          } else if (std::holds_alternative<double>(v.v)) {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%.17g", v.as_f64());
+            line << buf;
+          } else if (std::holds_alternative<bool>(v.v)) {
+            line << (v.as_bool() ? "true" : "false");
+          } else if (std::holds_alternative<std::string>(v.v)) {
+            line << std::get<std::string>(v.v);
+          } else {
+            line << "<value>";
+          }
+        }
+        line << '\n';
+        {
+          const std::lock_guard<std::mutex> lock(interp_.print_mutex_);
+          std::ostream* out =
+              interp_.options_.out != nullptr ? interp_.options_.out : &std::cout;
+          (*out) << line.str();
+          out->flush();
+        }
+        return Value();
+      }
+    }
+    panic(e.loc, "bad builtin");
+  }
+
+  Interp& interp_;
+  const FnDecl& fn_;
+  std::unordered_map<const Symbol*, Cell> frame_;
+  Value return_value_;
+  const Symbol* ordered_iv_ = nullptr;
+  std::int64_t ordered_lo_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Interp
+// ---------------------------------------------------------------------------
+
+Interp::Interp(const lang::Module& module, Options options)
+    : module_(module), options_(options) {
+  // Globals, in declaration order: each initialiser is evaluated by a frame-
+  // less activation that sees all previously initialised globals.
+  static const FnDecl global_init_fn{};
+  for (const auto& g : module_.globals) {
+    if (g->kind != Stmt::Kind::kVarDecl || g->symbol == nullptr) continue;
+    Exec exec(*this, global_init_fn);
+    Value v = g->init ? exec.eval_expr(*g->init) : exec.zero_of(g->symbol->type);
+    globals_[g->symbol] = make_cell(std::move(v));
+  }
+
+  // Pre-registered host functions: the runtime query API.
+  register_host_fn("mz_omp_get_thread_num",
+                   [](std::vector<Value>&) { return Value(static_cast<std::int64_t>(zomp::thread_num())); });
+  register_host_fn("mz_omp_get_num_threads",
+                   [](std::vector<Value>&) { return Value(static_cast<std::int64_t>(zomp::num_threads())); });
+  register_host_fn("mz_omp_get_max_threads",
+                   [](std::vector<Value>&) { return Value(static_cast<std::int64_t>(zomp::max_threads())); });
+  register_host_fn("mz_omp_get_num_procs",
+                   [](std::vector<Value>&) { return Value(static_cast<std::int64_t>(zomp::num_procs())); });
+  register_host_fn("mz_omp_in_parallel", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::in_parallel() ? 1 : 0));
+  });
+  register_host_fn("mz_omp_get_level", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::level()));
+  });
+  register_host_fn("mz_omp_set_num_threads", [](std::vector<Value>& args) {
+    zomp::set_num_threads(static_cast<rt::i32>(args.at(0).as_i64()));
+    return Value();
+  });
+  register_host_fn("mz_omp_get_wtime",
+                   [](std::vector<Value>&) { return Value(zomp::wtime()); });
+}
+
+void Interp::register_host_fn(const std::string& name, HostFn fn) {
+  host_fns_[name] = std::move(fn);
+}
+
+bool Interp::run_main() {
+  const FnDecl* main_fn = module_.find_function("main");
+  if (main_fn == nullptr || main_fn->is_extern) return false;
+  Exec exec(*this, *main_fn);
+  exec.run();
+  return true;
+}
+
+Value Interp::call_by_name(const std::string& name, std::vector<Value> args) {
+  const FnDecl* fn = module_.find_function(name);
+  if (fn == nullptr) {
+    std::fprintf(stderr, "interp: no function '%s'\n", name.c_str());
+    std::abort();
+  }
+  std::vector<Cell> cells;
+  cells.reserve(args.size());
+  for (auto& a : args) cells.push_back(make_cell(std::move(a)));
+  Exec exec(*this, *fn);
+  exec.bind_params(cells);
+  return exec.run();
+}
+
+}  // namespace zomp::interp

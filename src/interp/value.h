@@ -1,0 +1,58 @@
+// Runtime values for the MiniZig interpreter.
+//
+// Every variable lives in a heap Cell so that shared captures can alias
+// master storage across threads (the interpreter's equivalent of the
+// pointers the paper's outlined functions receive). Slices share a payload
+// vector through shared_ptr, mirroring Zig fat-pointer semantics.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace zomp::interp {
+
+struct Value;
+using Cell = std::shared_ptr<Value>;
+
+struct SliceVal {
+  std::shared_ptr<std::vector<Value>> data;
+
+  std::int64_t len() const;
+};
+
+/// A pointer: either to a whole variable (cell) or to a slice element.
+struct PtrVal {
+  Cell cell;          // when pointing at a variable
+  SliceVal slice;     // when pointing at an element
+  std::int64_t index = 0;
+  bool is_element = false;
+};
+
+struct Value {
+  std::variant<std::monostate, std::int64_t, double, bool, SliceVal, PtrVal,
+               std::string>
+      v;
+
+  Value() = default;
+  template <typename T>
+  explicit Value(T&& x) : v(std::forward<T>(x)) {}
+
+  std::int64_t as_i64() const { return std::get<std::int64_t>(v); }
+  double as_f64() const { return std::get<double>(v); }
+  bool as_bool() const { return std::get<bool>(v); }
+  const SliceVal& as_slice() const { return std::get<SliceVal>(v); }
+  const PtrVal& as_ptr() const { return std::get<PtrVal>(v); }
+};
+
+inline std::int64_t SliceVal::len() const {
+  return data ? static_cast<std::int64_t>(data->size()) : 0;
+}
+
+inline Cell make_cell(Value value) {
+  return std::make_shared<Value>(std::move(value));
+}
+
+}  // namespace zomp::interp

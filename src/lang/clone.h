@@ -1,0 +1,14 @@
+// Deep-clone helpers for AST subtrees. The directive engine clones loop
+// bounds and clause expressions when it splits combined constructs
+// (`parallel for`) and when lowering needs the same expression in two places.
+// Clones carry source locations but no resolution results (sema re-resolves).
+#pragma once
+
+#include "lang/ast.h"
+
+namespace zomp::lang {
+
+ExprPtr clone_expr(const Expr& expr);
+StmtPtr clone_stmt(const Stmt& stmt);
+
+}  // namespace zomp::lang

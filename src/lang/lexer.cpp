@@ -1,0 +1,366 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace zomp::lang {
+
+const char* token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof: return "end of file";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kFloatLiteral: return "float literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kBuiltin: return "builtin";
+    case TokenKind::kDirective: return "omp directive";
+    case TokenKind::kKwFn: return "'fn'";
+    case TokenKind::kKwVar: return "'var'";
+    case TokenKind::kKwConst: return "'const'";
+    case TokenKind::kKwIf: return "'if'";
+    case TokenKind::kKwElse: return "'else'";
+    case TokenKind::kKwWhile: return "'while'";
+    case TokenKind::kKwFor: return "'for'";
+    case TokenKind::kKwReturn: return "'return'";
+    case TokenKind::kKwBreak: return "'break'";
+    case TokenKind::kKwContinue: return "'continue'";
+    case TokenKind::kKwTrue: return "'true'";
+    case TokenKind::kKwFalse: return "'false'";
+    case TokenKind::kKwAnd: return "'and'";
+    case TokenKind::kKwOr: return "'or'";
+    case TokenKind::kKwExtern: return "'extern'";
+    case TokenKind::kKwPub: return "'pub'";
+    case TokenKind::kKwUndefined: return "'undefined'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kDotStar: return "'.*'";
+    case TokenKind::kDotDot: return "'..'";
+    case TokenKind::kPipe: return "'|'";
+    case TokenKind::kAmp: return "'&'";
+    case TokenKind::kCaret: return "'^'";
+    case TokenKind::kShl: return "'<<'";
+    case TokenKind::kShr: return "'>>'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kPercent: return "'%'";
+    case TokenKind::kAssign: return "'='";
+    case TokenKind::kPlusAssign: return "'+='";
+    case TokenKind::kMinusAssign: return "'-='";
+    case TokenKind::kStarAssign: return "'*='";
+    case TokenKind::kSlashAssign: return "'/='";
+    case TokenKind::kEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kBang: return "'!'";
+  }
+  return "<invalid>";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"fn", TokenKind::kKwFn},
+      {"var", TokenKind::kKwVar},
+      {"const", TokenKind::kKwConst},
+      {"if", TokenKind::kKwIf},
+      {"else", TokenKind::kKwElse},
+      {"while", TokenKind::kKwWhile},
+      {"for", TokenKind::kKwFor},
+      {"return", TokenKind::kKwReturn},
+      {"break", TokenKind::kKwBreak},
+      {"continue", TokenKind::kKwContinue},
+      {"true", TokenKind::kKwTrue},
+      {"false", TokenKind::kKwFalse},
+      {"and", TokenKind::kKwAnd},
+      {"or", TokenKind::kKwOr},
+      {"extern", TokenKind::kKwExtern},
+      {"pub", TokenKind::kKwPub},
+      {"undefined", TokenKind::kKwUndefined},
+  };
+  return table;
+}
+
+}  // namespace
+
+char Lexer::peek(std::size_t ahead) const {
+  const std::string_view text = file_.contents();
+  return pos_ + ahead < text.size() ? text[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = peek();
+  ++pos_;
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+SourceLoc Lexer::here() const {
+  return SourceLoc{static_cast<std::uint32_t>(pos_), line_, col_};
+}
+
+void Lexer::lex_line_comment(std::vector<Token>& out) {
+  // Called with pos_ at the first '/'. Directive comments spell "//#omp".
+  const SourceLoc start = here();
+  advance();  // '/'
+  advance();  // '/'
+  std::string body;
+  while (!at_end() && peek() != '\n') body.push_back(advance());
+  constexpr std::string_view kPrefix = "#omp";
+  if (body.size() >= kPrefix.size() &&
+      std::string_view(body).substr(0, kPrefix.size()) == kPrefix) {
+    Token tok;
+    tok.kind = TokenKind::kDirective;
+    tok.loc = start;
+    tok.text = body.substr(kPrefix.size());  // clause text after "//#omp"
+    out.push_back(std::move(tok));
+  }
+  // Ordinary comments (including doc comments "///") are trivia.
+}
+
+Token Lexer::lex_number() {
+  Token tok;
+  tok.loc = here();
+  std::string spelling;
+  bool is_float = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    spelling.push_back(advance());
+    spelling.push_back(advance());
+    while (std::isxdigit(static_cast<unsigned char>(peek())) || peek() == '_') {
+      const char c = advance();
+      if (c != '_') spelling.push_back(c);
+    }
+    tok.kind = TokenKind::kIntLiteral;
+    tok.int_value = static_cast<std::int64_t>(
+        std::strtoull(spelling.c_str(), nullptr, 16));
+    tok.text = std::move(spelling);
+    return tok;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())) || peek() == '_') {
+    const char c = advance();
+    if (c != '_') spelling.push_back(c);
+  }
+  // A '.' begins a fraction only when followed by a digit; "0..n" must lex
+  // as int, '..', int.
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    is_float = true;
+    spelling.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      spelling.push_back(advance());
+    }
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    const char next = peek(1);
+    const char next2 = peek(2);
+    if (std::isdigit(static_cast<unsigned char>(next)) ||
+        ((next == '+' || next == '-') &&
+         std::isdigit(static_cast<unsigned char>(next2)))) {
+      is_float = true;
+      spelling.push_back(advance());
+      if (peek() == '+' || peek() == '-') spelling.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        spelling.push_back(advance());
+      }
+    }
+  }
+  if (is_float) {
+    tok.kind = TokenKind::kFloatLiteral;
+    tok.float_value = std::strtod(spelling.c_str(), nullptr);
+  } else {
+    tok.kind = TokenKind::kIntLiteral;
+    tok.int_value = static_cast<std::int64_t>(
+        std::strtoll(spelling.c_str(), nullptr, 10));
+  }
+  tok.text = std::move(spelling);
+  return tok;
+}
+
+Token Lexer::lex_identifier_or_keyword() {
+  Token tok;
+  tok.loc = here();
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    name.push_back(advance());
+  }
+  const auto& table = keyword_table();
+  if (const auto it = table.find(name); it != table.end()) {
+    tok.kind = it->second;
+  } else {
+    tok.kind = TokenKind::kIdentifier;
+  }
+  tok.text = std::move(name);
+  return tok;
+}
+
+Token Lexer::lex_builtin() {
+  Token tok;
+  tok.loc = here();
+  advance();  // '@'
+  std::string name;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+    name.push_back(advance());
+  }
+  if (name.empty()) {
+    diags_.error(tok.loc, "expected builtin name after '@'");
+  }
+  tok.kind = TokenKind::kBuiltin;
+  tok.text = std::move(name);
+  return tok;
+}
+
+Token Lexer::lex_string() {
+  Token tok;
+  tok.loc = here();
+  tok.kind = TokenKind::kStringLiteral;
+  advance();  // opening quote
+  std::string value;
+  while (!at_end() && peek() != '"' && peek() != '\n') {
+    char c = advance();
+    if (c == '\\') {
+      const char esc = advance();
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case '\\': c = '\\'; break;
+        case '"': c = '"'; break;
+        default:
+          diags_.error(here(), std::string("unknown escape '\\") + esc + "'");
+          c = esc;
+      }
+    }
+    value.push_back(c);
+  }
+  if (!match('"')) {
+    diags_.error(tok.loc, "unterminated string literal");
+  }
+  tok.text = std::move(value);
+  return tok;
+}
+
+std::vector<Token> Lexer::lex() {
+  std::vector<Token> out;
+  while (!at_end()) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      lex_line_comment(out);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lex_number());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(lex_identifier_or_keyword());
+      continue;
+    }
+    if (c == '@') {
+      out.push_back(lex_builtin());
+      continue;
+    }
+    if (c == '"') {
+      out.push_back(lex_string());
+      continue;
+    }
+
+    Token tok;
+    tok.loc = here();
+    advance();
+    switch (c) {
+      case '(': tok.kind = TokenKind::kLParen; break;
+      case ')': tok.kind = TokenKind::kRParen; break;
+      case '{': tok.kind = TokenKind::kLBrace; break;
+      case '}': tok.kind = TokenKind::kRBrace; break;
+      case '[': tok.kind = TokenKind::kLBracket; break;
+      case ']': tok.kind = TokenKind::kRBracket; break;
+      case ',': tok.kind = TokenKind::kComma; break;
+      case ';': tok.kind = TokenKind::kSemicolon; break;
+      case ':': tok.kind = TokenKind::kColon; break;
+      case '|': tok.kind = TokenKind::kPipe; break;
+      case '&': tok.kind = TokenKind::kAmp; break;
+      case '^': tok.kind = TokenKind::kCaret; break;
+      case '%': tok.kind = TokenKind::kPercent; break;
+      case '.':
+        if (match('*')) {
+          tok.kind = TokenKind::kDotStar;
+        } else if (match('.')) {
+          tok.kind = TokenKind::kDotDot;
+        } else {
+          tok.kind = TokenKind::kDot;
+        }
+        break;
+      case '+':
+        tok.kind = match('=') ? TokenKind::kPlusAssign : TokenKind::kPlus;
+        break;
+      case '-':
+        tok.kind = match('=') ? TokenKind::kMinusAssign : TokenKind::kMinus;
+        break;
+      case '*':
+        tok.kind = match('=') ? TokenKind::kStarAssign : TokenKind::kStar;
+        break;
+      case '/':
+        tok.kind = match('=') ? TokenKind::kSlashAssign : TokenKind::kSlash;
+        break;
+      case '=':
+        tok.kind = match('=') ? TokenKind::kEq : TokenKind::kAssign;
+        break;
+      case '!':
+        tok.kind = match('=') ? TokenKind::kNe : TokenKind::kBang;
+        break;
+      case '<':
+        if (match('<')) {
+          tok.kind = TokenKind::kShl;
+        } else {
+          tok.kind = match('=') ? TokenKind::kLe : TokenKind::kLt;
+        }
+        break;
+      case '>':
+        if (match('>')) {
+          tok.kind = TokenKind::kShr;
+        } else {
+          tok.kind = match('=') ? TokenKind::kGe : TokenKind::kGt;
+        }
+        break;
+      default:
+        diags_.error(tok.loc,
+                     std::string("unexpected character '") + c + "'");
+        continue;  // skip it and keep lexing
+    }
+    out.push_back(std::move(tok));
+  }
+  Token eof;
+  eof.kind = TokenKind::kEof;
+  eof.loc = here();
+  out.push_back(std::move(eof));
+  return out;
+}
+
+}  // namespace zomp::lang

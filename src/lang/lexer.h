@@ -1,0 +1,42 @@
+// MiniZig lexer. Produces the full token stream for one source file,
+// including kDirective tokens for `//#omp` comments (ordinary comments are
+// trivia and dropped).
+#pragma once
+
+#include <vector>
+
+#include "lang/token.h"
+
+namespace zomp::lang {
+
+class Lexer {
+ public:
+  Lexer(const SourceFile& file, Diagnostics& diags)
+      : file_(file), diags_(diags) {}
+
+  /// Lexes the whole file. The returned vector always ends with one kEof
+  /// token. Errors are reported to the diagnostics sink; lexing continues
+  /// past them where possible.
+  std::vector<Token> lex();
+
+ private:
+  char peek(std::size_t ahead = 0) const;
+  bool at_end() const { return pos_ >= file_.contents().size(); }
+  char advance();
+  bool match(char expected);
+  SourceLoc here() const;
+
+  void lex_line_comment(std::vector<Token>& out);
+  Token lex_number();
+  Token lex_identifier_or_keyword();
+  Token lex_builtin();
+  Token lex_string();
+
+  const SourceFile& file_;
+  Diagnostics& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace zomp::lang

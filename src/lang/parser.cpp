@@ -1,0 +1,601 @@
+#include "lang/parser.h"
+
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace zomp::lang {
+
+const Token& Parser::peek(std::size_t ahead) const {
+  const std::size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& tok = peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return tok;
+}
+
+bool Parser::match(TokenKind kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(TokenKind kind, const char* what) {
+  if (check(kind)) return advance();
+  diags_.error(peek().loc, std::string("expected ") + what + " but found " +
+                               token_kind_name(peek().kind));
+  return peek();
+}
+
+void Parser::sync_to_decl() {
+  while (!check(TokenKind::kEof) && !check(TokenKind::kKwFn) &&
+         !check(TokenKind::kKwExtern) && !check(TokenKind::kKwPub) &&
+         !check(TokenKind::kKwVar) && !check(TokenKind::kKwConst)) {
+    advance();
+  }
+}
+
+void Parser::sync_to_stmt() {
+  while (!check(TokenKind::kEof) && !check(TokenKind::kSemicolon) &&
+         !check(TokenKind::kRBrace)) {
+    advance();
+  }
+  match(TokenKind::kSemicolon);
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expression(std::vector<Token> tokens,
+                                 Diagnostics& diags) {
+  if (tokens.empty() || !tokens.back().is(TokenKind::kEof)) {
+    Token eof;
+    eof.kind = TokenKind::kEof;
+    if (!tokens.empty()) eof.loc = tokens.back().loc;
+    tokens.push_back(eof);
+  }
+  Parser parser(std::move(tokens), diags);
+  ExprPtr expr = parser.parse_expr();
+  if (!parser.check(TokenKind::kEof)) {
+    diags.error(parser.peek().loc, "trailing tokens after expression");
+  }
+  return expr;
+}
+
+std::unique_ptr<Module> Parser::parse_module(std::string module_name) {
+  auto module = std::make_unique<Module>();
+  module->name = std::move(module_name);
+  while (!check(TokenKind::kEof)) {
+    if (check(TokenKind::kDirective)) {
+      diags_.error(peek().loc,
+                   "OpenMP directives must precede a statement inside a "
+                   "function body");
+      advance();
+      continue;
+    }
+    const bool is_pub = match(TokenKind::kKwPub);
+    if (match(TokenKind::kKwExtern)) {
+      expect(TokenKind::kKwFn, "'fn' after 'extern'");
+      auto fn = parse_fn(/*is_extern=*/true, is_pub);
+      if (fn) module->functions.push_back(std::move(fn));
+      continue;
+    }
+    if (match(TokenKind::kKwFn)) {
+      auto fn = parse_fn(/*is_extern=*/false, is_pub);
+      if (fn) module->functions.push_back(std::move(fn));
+      continue;
+    }
+    if (check(TokenKind::kKwVar) || check(TokenKind::kKwConst)) {
+      auto global = parse_global();
+      if (global) module->globals.push_back(std::move(global));
+      continue;
+    }
+    diags_.error(peek().loc, std::string("expected declaration but found ") +
+                                 token_kind_name(peek().kind));
+    sync_to_decl();
+  }
+  return module;
+}
+
+std::unique_ptr<FnDecl> Parser::parse_fn(bool is_extern, bool is_pub) {
+  auto fn = std::make_unique<FnDecl>();
+  fn->is_extern = is_extern;
+  fn->is_pub = is_pub;
+  const Token& name = expect(TokenKind::kIdentifier, "function name");
+  fn->name = name.text;
+  fn->loc = name.loc;
+  expect(TokenKind::kLParen, "'('");
+  if (!check(TokenKind::kRParen)) {
+    do {
+      Param param;
+      const Token& pname = expect(TokenKind::kIdentifier, "parameter name");
+      param.name = pname.text;
+      param.loc = pname.loc;
+      expect(TokenKind::kColon, "':' after parameter name");
+      param.type = parse_type();
+      fn->params.push_back(std::move(param));
+    } while (match(TokenKind::kComma));
+  }
+  expect(TokenKind::kRParen, "')'");
+  fn->return_type = parse_type();
+  if (is_extern) {
+    expect(TokenKind::kSemicolon, "';' after extern declaration");
+  } else {
+    fn->body = parse_block();
+  }
+  return fn;
+}
+
+StmtPtr Parser::parse_global() {
+  auto stmt = parse_var_decl();
+  return stmt;
+}
+
+Type Parser::parse_type() {
+  if (match(TokenKind::kLBracket)) {
+    expect(TokenKind::kRBracket, "']' in slice type");
+    const Token& elem = expect(TokenKind::kIdentifier, "slice element type");
+    if (elem.text == "i64") return Type::slice_of(ScalarKind::kI64);
+    if (elem.text == "f64") return Type::slice_of(ScalarKind::kF64);
+    if (elem.text == "bool") return Type::slice_of(ScalarKind::kBool);
+    diags_.error(elem.loc, "unsupported slice element type '" + elem.text + "'");
+    return Type::invalid();
+  }
+  if (match(TokenKind::kStar)) {
+    const Token& elem = expect(TokenKind::kIdentifier, "pointee type");
+    if (elem.text == "i64") return Type::pointer_to(ScalarKind::kI64);
+    if (elem.text == "f64") return Type::pointer_to(ScalarKind::kF64);
+    if (elem.text == "bool") return Type::pointer_to(ScalarKind::kBool);
+    diags_.error(elem.loc, "unsupported pointee type '" + elem.text + "'");
+    return Type::invalid();
+  }
+  const Token& name = expect(TokenKind::kIdentifier, "type name");
+  if (name.text == "void") return Type::void_type();
+  if (name.text == "bool") return Type::boolean();
+  if (name.text == "i64") return Type::i64();
+  if (name.text == "f64") return Type::f64();
+  diags_.error(name.loc, "unknown type '" + name.text + "'");
+  return Type::invalid();
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+StmtPtr Parser::parse_block() {
+  const Token& open = expect(TokenKind::kLBrace, "'{'");
+  auto block = Stmt::make(Stmt::Kind::kBlock, open.loc);
+  std::vector<std::pair<std::string, SourceLoc>> pending;
+  while (!check(TokenKind::kRBrace) && !check(TokenKind::kEof)) {
+    if (check(TokenKind::kDirective)) {
+      const Token& d = advance();
+      pending.emplace_back(d.text, d.loc);
+      continue;
+    }
+    StmtPtr stmt = parse_stmt();
+    if (!stmt) {
+      sync_to_stmt();
+      continue;
+    }
+    if (!pending.empty()) {
+      stmt->pending_directives = std::move(pending);
+      pending.clear();
+    }
+    block->stmts.push_back(std::move(stmt));
+  }
+  if (!pending.empty()) {
+    // Standalone directives (barrier, taskwait, ...) at block end: attach to
+    // a synthesized empty statement; the directive engine validates that the
+    // directive kind indeed needs no associated statement.
+    auto placeholder = Stmt::make(Stmt::Kind::kBlock, pending.front().second);
+    placeholder->pending_directives = std::move(pending);
+    block->stmts.push_back(std::move(placeholder));
+  }
+  expect(TokenKind::kRBrace, "'}'");
+  return block;
+}
+
+StmtPtr Parser::parse_stmt() {
+  switch (peek().kind) {
+    case TokenKind::kLBrace: return parse_block();
+    case TokenKind::kKwVar:
+    case TokenKind::kKwConst: return parse_var_decl();
+    case TokenKind::kKwIf: return parse_if();
+    case TokenKind::kKwWhile: return parse_while();
+    case TokenKind::kKwFor: return parse_for();
+    case TokenKind::kKwReturn: {
+      const Token& kw = advance();
+      auto stmt = Stmt::make(Stmt::Kind::kReturn, kw.loc);
+      if (!check(TokenKind::kSemicolon)) stmt->expr = parse_expr();
+      expect(TokenKind::kSemicolon, "';' after return");
+      return stmt;
+    }
+    case TokenKind::kKwBreak: {
+      const Token& kw = advance();
+      expect(TokenKind::kSemicolon, "';' after break");
+      return Stmt::make(Stmt::Kind::kBreak, kw.loc);
+    }
+    case TokenKind::kKwContinue: {
+      const Token& kw = advance();
+      expect(TokenKind::kSemicolon, "';' after continue");
+      return Stmt::make(Stmt::Kind::kContinue, kw.loc);
+    }
+    default: return parse_simple_stmt();
+  }
+}
+
+StmtPtr Parser::parse_var_decl() {
+  const bool is_const = peek().is(TokenKind::kKwConst);
+  const Token& kw = advance();  // var/const
+  auto stmt = Stmt::make(Stmt::Kind::kVarDecl, kw.loc);
+  stmt->is_const = is_const;
+  stmt->name = expect(TokenKind::kIdentifier, "variable name").text;
+  if (match(TokenKind::kColon)) {
+    stmt->declared_type = parse_type();
+    stmt->has_declared_type = true;
+  }
+  expect(TokenKind::kAssign, "'=' in declaration");
+  if (match(TokenKind::kKwUndefined)) {
+    if (!stmt->has_declared_type) {
+      diags_.error(stmt->loc, "'undefined' initialiser requires a declared type");
+    }
+    stmt->init = nullptr;
+  } else {
+    stmt->init = parse_expr();
+  }
+  expect(TokenKind::kSemicolon, "';' after declaration");
+  return stmt;
+}
+
+StmtPtr Parser::parse_if() {
+  const Token& kw = advance();
+  auto stmt = Stmt::make(Stmt::Kind::kIf, kw.loc);
+  expect(TokenKind::kLParen, "'(' after if");
+  stmt->expr = parse_expr();
+  expect(TokenKind::kRParen, "')'");
+  stmt->then_block = parse_block();
+  if (match(TokenKind::kKwElse)) {
+    stmt->else_block =
+        check(TokenKind::kKwIf) ? parse_if() : parse_block();
+  }
+  return stmt;
+}
+
+StmtPtr Parser::parse_while() {
+  const Token& kw = advance();
+  auto stmt = Stmt::make(Stmt::Kind::kWhile, kw.loc);
+  expect(TokenKind::kLParen, "'(' after while");
+  stmt->expr = parse_expr();
+  expect(TokenKind::kRParen, "')'");
+  if (match(TokenKind::kColon)) {
+    // Zig continue expression: while (c) : (i += 1) { ... }
+    expect(TokenKind::kLParen, "'(' after ':'");
+    stmt->step = parse_simple_stmt_no_semi();
+    expect(TokenKind::kRParen, "')'");
+  }
+  stmt->body = parse_block();
+  return stmt;
+}
+
+StmtPtr Parser::parse_for() {
+  const Token& kw = advance();
+  auto stmt = Stmt::make(Stmt::Kind::kForRange, kw.loc);
+  expect(TokenKind::kLParen, "'(' after for");
+  stmt->expr = parse_expr();  // lower bound
+  expect(TokenKind::kDotDot, "'..' in range");
+  stmt->rhs = parse_expr();  // upper bound (exclusive)
+  expect(TokenKind::kRParen, "')'");
+  expect(TokenKind::kPipe, "'|' before loop capture");
+  stmt->name = expect(TokenKind::kIdentifier, "loop variable").text;
+  expect(TokenKind::kPipe, "'|' after loop capture");
+  stmt->body = parse_block();
+  return stmt;
+}
+
+StmtPtr Parser::parse_simple_stmt() {
+  StmtPtr stmt = parse_simple_stmt_no_semi();
+  expect(TokenKind::kSemicolon, "';'");
+  return stmt;
+}
+
+StmtPtr Parser::parse_simple_stmt_no_semi() {
+  const SourceLoc loc = peek().loc;
+  ExprPtr lhs = parse_expr();
+  if (!lhs) return nullptr;
+  Stmt::AssignOp op;
+  switch (peek().kind) {
+    case TokenKind::kAssign: op = Stmt::AssignOp::kPlain; break;
+    case TokenKind::kPlusAssign: op = Stmt::AssignOp::kAdd; break;
+    case TokenKind::kMinusAssign: op = Stmt::AssignOp::kSub; break;
+    case TokenKind::kStarAssign: op = Stmt::AssignOp::kMul; break;
+    case TokenKind::kSlashAssign: op = Stmt::AssignOp::kDiv; break;
+    default: {
+      auto stmt = Stmt::make(Stmt::Kind::kExprStmt, loc);
+      stmt->expr = std::move(lhs);
+      return stmt;
+    }
+  }
+  advance();
+  auto stmt = Stmt::make(Stmt::Kind::kAssign, loc);
+  stmt->assign_op = op;
+  stmt->lhs = std::move(lhs);
+  stmt->rhs = parse_expr();
+  return stmt;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+ExprPtr Parser::parse_expr() { return parse_or(); }
+
+namespace {
+
+ExprPtr make_binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = Expr::make(Expr::Kind::kBinary, lhs->loc);
+  e->bin_op = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+}  // namespace
+
+ExprPtr Parser::parse_or() {
+  ExprPtr lhs = parse_and();
+  while (match(TokenKind::kKwOr)) {
+    lhs = make_binary(BinOp::kOr, std::move(lhs), parse_and());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_and() {
+  ExprPtr lhs = parse_comparison();
+  while (match(TokenKind::kKwAnd)) {
+    lhs = make_binary(BinOp::kAnd, std::move(lhs), parse_comparison());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parse_comparison() {
+  ExprPtr lhs = parse_bitwise();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case TokenKind::kEq: op = BinOp::kEq; break;
+      case TokenKind::kNe: op = BinOp::kNe; break;
+      case TokenKind::kLt: op = BinOp::kLt; break;
+      case TokenKind::kLe: op = BinOp::kLe; break;
+      case TokenKind::kGt: op = BinOp::kGt; break;
+      case TokenKind::kGe: op = BinOp::kGe; break;
+      default: return lhs;
+    }
+    advance();
+    lhs = make_binary(op, std::move(lhs), parse_bitwise());
+  }
+}
+
+ExprPtr Parser::parse_bitwise() {
+  ExprPtr lhs = parse_shift();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case TokenKind::kAmp: op = BinOp::kBitAnd; break;
+      case TokenKind::kPipe: op = BinOp::kBitOr; break;
+      case TokenKind::kCaret: op = BinOp::kBitXor; break;
+      default: return lhs;
+    }
+    advance();
+    lhs = make_binary(op, std::move(lhs), parse_shift());
+  }
+}
+
+ExprPtr Parser::parse_shift() {
+  ExprPtr lhs = parse_additive();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case TokenKind::kShl: op = BinOp::kShl; break;
+      case TokenKind::kShr: op = BinOp::kShr; break;
+      default: return lhs;
+    }
+    advance();
+    lhs = make_binary(op, std::move(lhs), parse_additive());
+  }
+}
+
+ExprPtr Parser::parse_additive() {
+  ExprPtr lhs = parse_multiplicative();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case TokenKind::kPlus: op = BinOp::kAdd; break;
+      case TokenKind::kMinus: op = BinOp::kSub; break;
+      default: return lhs;
+    }
+    advance();
+    lhs = make_binary(op, std::move(lhs), parse_multiplicative());
+  }
+}
+
+ExprPtr Parser::parse_multiplicative() {
+  ExprPtr lhs = parse_unary();
+  for (;;) {
+    BinOp op;
+    switch (peek().kind) {
+      case TokenKind::kStar: op = BinOp::kMul; break;
+      case TokenKind::kSlash: op = BinOp::kDiv; break;
+      case TokenKind::kPercent: op = BinOp::kRem; break;
+      default: return lhs;
+    }
+    advance();
+    lhs = make_binary(op, std::move(lhs), parse_unary());
+  }
+}
+
+ExprPtr Parser::parse_unary() {
+  if (check(TokenKind::kMinus)) {
+    const Token& tok = advance();
+    auto e = Expr::make(Expr::Kind::kUnary, tok.loc);
+    e->un_op = UnOp::kNeg;
+    e->args.push_back(parse_unary());
+    return e;
+  }
+  if (check(TokenKind::kBang)) {
+    const Token& tok = advance();
+    auto e = Expr::make(Expr::Kind::kUnary, tok.loc);
+    e->un_op = UnOp::kNot;
+    e->args.push_back(parse_unary());
+    return e;
+  }
+  if (check(TokenKind::kAmp)) {
+    const Token& tok = advance();
+    auto e = Expr::make(Expr::Kind::kAddrOf, tok.loc);
+    e->args.push_back(parse_unary());
+    return e;
+  }
+  return parse_postfix();
+}
+
+ExprPtr Parser::parse_postfix() {
+  ExprPtr e = parse_primary();
+  for (;;) {
+    if (check(TokenKind::kLBracket)) {
+      const Token& tok = advance();
+      auto idx = Expr::make(Expr::Kind::kIndex, tok.loc);
+      idx->args.push_back(std::move(e));
+      idx->args.push_back(parse_expr());
+      expect(TokenKind::kRBracket, "']'");
+      e = std::move(idx);
+      continue;
+    }
+    if (check(TokenKind::kDotStar)) {
+      const Token& tok = advance();
+      auto deref = Expr::make(Expr::Kind::kDeref, tok.loc);
+      deref->args.push_back(std::move(e));
+      e = std::move(deref);
+      continue;
+    }
+    if (check(TokenKind::kDot)) {
+      const Token& tok = advance();
+      const Token& field = expect(TokenKind::kIdentifier, "field name");
+      if (field.text == "len") {
+        auto len = Expr::make(Expr::Kind::kLen, tok.loc);
+        len->args.push_back(std::move(e));
+        e = std::move(len);
+      } else {
+        diags_.error(field.loc, "unknown field '." + field.text +
+                                    "' (only '.len' is supported)");
+      }
+      continue;
+    }
+    return e;
+  }
+}
+
+ExprPtr Parser::parse_primary() {
+  const Token& tok = peek();
+  switch (tok.kind) {
+    case TokenKind::kIntLiteral: {
+      advance();
+      auto e = Expr::make(Expr::Kind::kIntLit, tok.loc);
+      e->int_value = tok.int_value;
+      return e;
+    }
+    case TokenKind::kFloatLiteral: {
+      advance();
+      auto e = Expr::make(Expr::Kind::kFloatLit, tok.loc);
+      e->float_value = tok.float_value;
+      return e;
+    }
+    case TokenKind::kKwTrue:
+    case TokenKind::kKwFalse: {
+      advance();
+      auto e = Expr::make(Expr::Kind::kBoolLit, tok.loc);
+      e->bool_value = tok.is(TokenKind::kKwTrue);
+      return e;
+    }
+    case TokenKind::kStringLiteral: {
+      advance();
+      auto e = Expr::make(Expr::Kind::kStringLit, tok.loc);
+      e->name = tok.text;
+      return e;
+    }
+    case TokenKind::kKwUndefined: {
+      advance();
+      return Expr::make(Expr::Kind::kUndefined, tok.loc);
+    }
+    case TokenKind::kLParen: {
+      advance();
+      ExprPtr e = parse_expr();
+      expect(TokenKind::kRParen, "')'");
+      return e;
+    }
+    case TokenKind::kBuiltin: {
+      advance();
+      auto e = Expr::make(Expr::Kind::kBuiltinCall, tok.loc);
+      static const std::unordered_map<std::string_view, Builtin> table = {
+          {"sqrt", Builtin::kSqrt},
+          {"abs", Builtin::kAbs},
+          {"exp", Builtin::kExp},
+          {"log", Builtin::kLog},
+          {"pow", Builtin::kPow},
+          {"min", Builtin::kMin},
+          {"max", Builtin::kMax},
+          {"mod", Builtin::kMod},
+          {"floatFromInt", Builtin::kFloatFromInt},
+          {"intFromFloat", Builtin::kIntFromFloat},
+          {"alloc", Builtin::kAlloc},
+          {"free", Builtin::kFree},
+          {"print", Builtin::kPrint},
+      };
+      const auto it = table.find(tok.text);
+      if (it == table.end()) {
+        diags_.error(tok.loc, "unknown builtin '@" + tok.text + "'");
+        return Expr::make(Expr::Kind::kUndefined, tok.loc);
+      }
+      e->builtin = it->second;
+      expect(TokenKind::kLParen, "'(' after builtin");
+      if (e->builtin == Builtin::kAlloc) {
+        e->alloc_elem = parse_type();
+        expect(TokenKind::kComma, "',' after @alloc element type");
+      }
+      if (!check(TokenKind::kRParen)) {
+        do {
+          e->args.push_back(parse_expr());
+        } while (match(TokenKind::kComma));
+      }
+      expect(TokenKind::kRParen, "')'");
+      return e;
+    }
+    case TokenKind::kIdentifier: {
+      advance();
+      if (check(TokenKind::kLParen)) {
+        advance();
+        auto call = Expr::make(Expr::Kind::kCall, tok.loc);
+        call->name = tok.text;
+        if (!check(TokenKind::kRParen)) {
+          do {
+            call->args.push_back(parse_expr());
+          } while (match(TokenKind::kComma));
+        }
+        expect(TokenKind::kRParen, "')'");
+        return call;
+      }
+      auto e = Expr::make(Expr::Kind::kVarRef, tok.loc);
+      e->name = tok.text;
+      return e;
+    }
+    default:
+      diags_.error(tok.loc, std::string("expected expression but found ") +
+                                token_kind_name(tok.kind));
+      advance();
+      return Expr::make(Expr::Kind::kUndefined, tok.loc);
+  }
+}
+
+}  // namespace zomp::lang

@@ -1,0 +1,74 @@
+// Recursive-descent parser for MiniZig.
+//
+// Directive handling follows the paper: `//#omp` comments survive lexing as
+// kDirective tokens; the parser attaches their raw text to the statement they
+// precede (pending_directives). Standalone directives (barrier, taskwait) at
+// the end of a block attach to a synthesized empty statement. The directive
+// *grammar* is parsed later, by the engine in src/core/ — the front end only
+// ferries the text, mirroring the paper's early-preprocessing split.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "lang/ast.h"
+#include "lang/token.h"
+
+namespace zomp::lang {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Diagnostics& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  /// Parses a whole module. Returns a module even on errors (check the
+  /// diagnostics sink); error recovery is per-declaration.
+  std::unique_ptr<Module> parse_module(std::string module_name);
+
+  /// Parses `tokens` as a single expression (the vector need not end with
+  /// kEof; one is appended). Used by the directive engine for expression
+  /// clause arguments such as num_threads(...) and schedule chunks.
+  static ExprPtr parse_expression(std::vector<Token> tokens,
+                                  Diagnostics& diags);
+
+ private:
+  const Token& peek(std::size_t ahead = 0) const;
+  const Token& advance();
+  bool check(TokenKind kind) const { return peek().is(kind); }
+  bool match(TokenKind kind);
+  /// Consumes `kind` or reports an error naming `what`.
+  const Token& expect(TokenKind kind, const char* what);
+  void sync_to_decl();
+  void sync_to_stmt();
+
+  std::unique_ptr<FnDecl> parse_fn(bool is_extern, bool is_pub);
+  StmtPtr parse_global();
+  Type parse_type();
+
+  StmtPtr parse_block();
+  StmtPtr parse_stmt();
+  StmtPtr parse_var_decl();
+  StmtPtr parse_if();
+  StmtPtr parse_while();
+  StmtPtr parse_for();
+  StmtPtr parse_simple_stmt();  // assignment or expression statement + ';'
+  StmtPtr parse_simple_stmt_no_semi();
+
+  ExprPtr parse_expr();
+  ExprPtr parse_or();
+  ExprPtr parse_and();
+  ExprPtr parse_comparison();
+  ExprPtr parse_bitwise();
+  ExprPtr parse_shift();
+  ExprPtr parse_additive();
+  ExprPtr parse_multiplicative();
+  ExprPtr parse_unary();
+  ExprPtr parse_postfix();
+  ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Diagnostics& diags_;
+};
+
+}  // namespace zomp::lang

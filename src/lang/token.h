@@ -1,0 +1,94 @@
+// Token definitions for the MiniZig lexer.
+//
+// The one deliberate departure from an ordinary lexer: `//#omp ...` comments
+// are *kept* as kDirective tokens instead of being discarded as trivia. This
+// is the paper's mechanism — Zig has no pragmas, so OpenMP directives ride in
+// comments and the existing lexing infrastructure surfaces them to the
+// compiler (paper §2, Figure 1).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lang/source.h"
+
+namespace zomp::lang {
+
+enum class TokenKind {
+  kEof,
+  kIdentifier,
+  kIntLiteral,
+  kFloatLiteral,
+  kStringLiteral,
+  kBuiltin,    // @name
+  kDirective,  // //#omp ... (payload = text after "//#omp")
+
+  // Keywords.
+  kKwFn,
+  kKwVar,
+  kKwConst,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  kKwTrue,
+  kKwFalse,
+  kKwAnd,
+  kKwOr,
+  kKwExtern,
+  kKwPub,
+  kKwUndefined,
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kDotStar,  // .* (pointer dereference)
+  kDotDot,   // .. (range)
+  kPipe,     // | (loop capture delimiter / bitwise or)
+  kAmp,      // & (address-of / bitwise and)
+  kCaret,
+  kShl,
+  kShr,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAssign,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kBang,
+};
+
+const char* token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  SourceLoc loc;
+  std::string text;     ///< identifier/builtin name, literal spelling, or directive payload
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+
+  bool is(TokenKind k) const { return kind == k; }
+};
+
+}  // namespace zomp::lang

@@ -1,0 +1,74 @@
+// MiniZig's type system: scalars, slices of scalars, and single-level
+// pointers to scalars (pointers exist chiefly for the Fortran-interop ABI and
+// for the shared-variable parameters the outliner synthesises).
+#pragma once
+
+#include <string>
+
+namespace zomp::lang {
+
+enum class ScalarKind { kVoid, kBool, kI64, kF64 };
+
+class Type {
+ public:
+  enum class Kind {
+    kInvalid,   // not yet checked / error recovery
+    kInferred,  // outlined-function parameter awaiting call-site inference
+    kScalar,
+    kSlice,     // []T
+    kPointer,   // *T
+    kString,    // string literals (print-only)
+  };
+
+  constexpr Type() = default;
+
+  static constexpr Type invalid() { return Type{}; }
+  static constexpr Type inferred() { return Type{Kind::kInferred, ScalarKind::kVoid}; }
+  static constexpr Type void_type() { return Type{Kind::kScalar, ScalarKind::kVoid}; }
+  static constexpr Type boolean() { return Type{Kind::kScalar, ScalarKind::kBool}; }
+  static constexpr Type i64() { return Type{Kind::kScalar, ScalarKind::kI64}; }
+  static constexpr Type f64() { return Type{Kind::kScalar, ScalarKind::kF64}; }
+  static constexpr Type slice_of(ScalarKind elem) { return Type{Kind::kSlice, elem}; }
+  static constexpr Type pointer_to(ScalarKind elem) { return Type{Kind::kPointer, elem}; }
+  static constexpr Type string() { return Type{Kind::kString, ScalarKind::kVoid}; }
+
+  constexpr Kind kind() const { return kind_; }
+  constexpr ScalarKind scalar() const { return scalar_; }
+
+  constexpr bool is_invalid() const { return kind_ == Kind::kInvalid; }
+  constexpr bool is_inferred() const { return kind_ == Kind::kInferred; }
+  constexpr bool is_void() const {
+    return kind_ == Kind::kScalar && scalar_ == ScalarKind::kVoid;
+  }
+  constexpr bool is_bool() const {
+    return kind_ == Kind::kScalar && scalar_ == ScalarKind::kBool;
+  }
+  constexpr bool is_i64() const {
+    return kind_ == Kind::kScalar && scalar_ == ScalarKind::kI64;
+  }
+  constexpr bool is_f64() const {
+    return kind_ == Kind::kScalar && scalar_ == ScalarKind::kF64;
+  }
+  constexpr bool is_numeric() const { return is_i64() || is_f64(); }
+  constexpr bool is_scalar() const { return kind_ == Kind::kScalar; }
+  constexpr bool is_slice() const { return kind_ == Kind::kSlice; }
+  constexpr bool is_pointer() const { return kind_ == Kind::kPointer; }
+
+  /// Element type of a slice / pointee of a pointer.
+  constexpr Type element() const { return Type{Kind::kScalar, scalar_}; }
+
+  friend constexpr bool operator==(const Type&, const Type&) = default;
+
+  /// Zig-style spelling: i64, f64, bool, void, []f64, *i64.
+  std::string to_string() const;
+
+ private:
+  constexpr Type(Kind kind, ScalarKind scalar) : kind_(kind), scalar_(scalar) {}
+
+  Kind kind_ = Kind::kInvalid;
+  ScalarKind scalar_ = ScalarKind::kVoid;
+};
+
+const char* scalar_kind_name(ScalarKind kind);
+
+}  // namespace zomp::lang

@@ -1,0 +1,278 @@
+#include "npb/cg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "npb/nprandom.h"
+#include "runtime/hl.h"
+
+namespace zomp::npb {
+
+CgClass cg_class(char name) {
+  switch (name) {
+    // Sizes follow NPB CG; verification zetas are frozen outputs of this
+    // generator+solver (see header note and EXPERIMENTS.md).
+    case 'S': return CgClass{'S', 1400, 7, 15, 10.0, 11.774077163811150};
+    case 'W': return CgClass{'W', 7000, 8, 15, 12.0, 13.598734130649078};
+    case 'A': return CgClass{'A', 14000, 11, 15, 20.0, 22.263935796971111};
+    case 'm':
+    default: return CgClass{'m', 256, 5, 5, 6.0, 0.0};
+  }
+}
+
+SparseMatrix cg_make_matrix(std::int64_t na, std::int64_t nonzer) {
+  // Deterministic random pattern from the NPB generator. Row i receives
+  // `nonzer` candidate off-diagonal entries in columns < i (duplicates
+  // collapse by accumulation); the pattern is symmetrised and the diagonal
+  // set to (row |off-diagonal| sum + 1), making the matrix strictly
+  // diagonally dominant, hence SPD.
+  double seed = kDefaultSeed;
+  std::vector<std::map<std::int64_t, double>> rows(
+      static_cast<std::size_t>(na));
+  for (std::int64_t i = 1; i < na; ++i) {
+    for (std::int64_t k = 0; k < nonzer; ++k) {
+      const double r1 = randlc(&seed, kRandA);
+      const double r2 = randlc(&seed, kRandA);
+      const auto j = static_cast<std::int64_t>(r1 * static_cast<double>(i));
+      const double v = r2 - 0.5;
+      rows[static_cast<std::size_t>(i)][j] += v;
+      rows[static_cast<std::size_t>(j)][i] += v;
+    }
+  }
+  // Diagonal dominance.
+  for (std::int64_t i = 0; i < na; ++i) {
+    auto& row = rows[static_cast<std::size_t>(i)];
+    double sum = 0.0;
+    for (const auto& [j, v] : row) {
+      if (j != i) sum += std::fabs(v);
+    }
+    row[i] = sum + 1.0;
+  }
+
+  SparseMatrix a;
+  a.n = na;
+  a.rowstr.resize(static_cast<std::size_t>(na) + 1, 0);
+  std::int64_t nnz = 0;
+  for (std::int64_t i = 0; i < na; ++i) {
+    nnz += static_cast<std::int64_t>(rows[static_cast<std::size_t>(i)].size());
+    a.rowstr[static_cast<std::size_t>(i) + 1] = nnz;
+  }
+  a.colidx.reserve(static_cast<std::size_t>(nnz));
+  a.values.reserve(static_cast<std::size_t>(nnz));
+  for (std::int64_t i = 0; i < na; ++i) {
+    for (const auto& [j, v] : rows[static_cast<std::size_t>(i)]) {
+      a.colidx.push_back(j);
+      a.values.push_back(v);
+    }
+  }
+  return a;
+}
+
+namespace {
+
+/// One conjugate-gradient solve (25 iterations, NPB's cgitmax) of A z = x.
+/// Returns ||r|| at exit. Serial version.
+double conj_grad_serial(const SparseMatrix& a, const std::vector<double>& x,
+                        std::vector<double>& z) {
+  const std::int64_t n = a.n;
+  std::vector<double> r = x;
+  std::vector<double> p = r;
+  std::vector<double> q(static_cast<std::size_t>(n));
+  std::fill(z.begin(), z.end(), 0.0);
+
+  double rho = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) rho += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+
+  constexpr int cgitmax = 25;
+  for (int it = 0; it < cgitmax; ++it) {
+    // q = A p (the irregular-gather matvec the benchmark stresses).
+    for (std::int64_t i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (std::int64_t k = a.rowstr[static_cast<std::size_t>(i)];
+           k < a.rowstr[static_cast<std::size_t>(i) + 1]; ++k) {
+        sum += a.values[static_cast<std::size_t>(k)] *
+               p[static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)])];
+      }
+      q[static_cast<std::size_t>(i)] = sum;
+    }
+    double d = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) d += p[static_cast<std::size_t>(i)] * q[static_cast<std::size_t>(i)];
+    const double alpha = rho / d;
+    double rho0 = rho;
+    rho = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      z[static_cast<std::size_t>(i)] += alpha * p[static_cast<std::size_t>(i)];
+      r[static_cast<std::size_t>(i)] -= alpha * q[static_cast<std::size_t>(i)];
+      rho += r[static_cast<std::size_t>(i)] * r[static_cast<std::size_t>(i)];
+    }
+    const double beta = rho / rho0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] = r[static_cast<std::size_t>(i)] + beta * p[static_cast<std::size_t>(i)];
+    }
+  }
+
+  // ||x - A z||
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double az = 0.0;
+    for (std::int64_t k = a.rowstr[static_cast<std::size_t>(i)];
+         k < a.rowstr[static_cast<std::size_t>(i) + 1]; ++k) {
+      az += a.values[static_cast<std::size_t>(k)] *
+            z[static_cast<std::size_t>(a.colidx[static_cast<std::size_t>(k)])];
+    }
+    const double diff = x[static_cast<std::size_t>(i)] - az;
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+/// Parallel conj_grad: whole solve inside one parallel region; every vector
+/// op is a worksharing loop, every dot product a reduction — mirroring the
+/// Fortran reference's OpenMP structure.
+double conj_grad_parallel(const SparseMatrix& a, const std::vector<double>& x,
+                          std::vector<double>& z, std::vector<double>& r,
+                          std::vector<double>& p, std::vector<double>& q,
+                          int num_threads) {
+  const std::int64_t n = a.n;
+  double rho = 0.0;
+  double d = 0.0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  double rnorm = 0.0;
+
+  zomp::ParallelOptions par;
+  par.num_threads = num_threads;
+  zomp::parallel(
+      [&] {
+        zomp::for_each(0, n, [&](std::int64_t i) {
+          const auto u = static_cast<std::size_t>(i);
+          z[u] = 0.0;
+          r[u] = x[u];
+          p[u] = x[u];
+        });
+        const double rho_init = zomp::reduce_each<double>(
+            0, n, 0.0, std::plus<>{}, [&](std::int64_t i) {
+              const auto u = static_cast<std::size_t>(i);
+              return r[u] * r[u];
+            });
+        zomp::single([&] { rho = rho_init; });
+
+        constexpr int cgitmax = 25;
+        for (int it = 0; it < cgitmax; ++it) {
+          zomp::for_each(0, n, [&](std::int64_t i) {
+            double sum = 0.0;
+            for (std::int64_t k = a.rowstr[static_cast<std::size_t>(i)];
+                 k < a.rowstr[static_cast<std::size_t>(i) + 1]; ++k) {
+              sum += a.values[static_cast<std::size_t>(k)] *
+                     p[static_cast<std::size_t>(
+                         a.colidx[static_cast<std::size_t>(k)])];
+            }
+            q[static_cast<std::size_t>(i)] = sum;
+          });
+          const double d_local = zomp::reduce_each<double>(
+              0, n, 0.0, std::plus<>{}, [&](std::int64_t i) {
+                const auto u = static_cast<std::size_t>(i);
+                return p[u] * q[u];
+              });
+          zomp::single([&] {
+            d = d_local;
+            alpha = rho / d;
+          });
+          const double rho_new = zomp::reduce_each<double>(
+              0, n, 0.0, std::plus<>{}, [&](std::int64_t i) {
+                const auto u = static_cast<std::size_t>(i);
+                z[u] += alpha * p[u];
+                r[u] -= alpha * q[u];
+                return r[u] * r[u];
+              });
+          zomp::single([&] {
+            beta = rho_new / rho;
+            rho = rho_new;
+          });
+          zomp::for_each(0, n, [&](std::int64_t i) {
+            const auto u = static_cast<std::size_t>(i);
+            p[u] = r[u] + beta * p[u];
+          });
+        }
+
+        const double res = zomp::reduce_each<double>(
+            0, n, 0.0, std::plus<>{}, [&](std::int64_t i) {
+              double az = 0.0;
+              for (std::int64_t k = a.rowstr[static_cast<std::size_t>(i)];
+                   k < a.rowstr[static_cast<std::size_t>(i) + 1]; ++k) {
+                az += a.values[static_cast<std::size_t>(k)] *
+                      z[static_cast<std::size_t>(
+                          a.colidx[static_cast<std::size_t>(k)])];
+              }
+              const double diff = x[static_cast<std::size_t>(i)] - az;
+              return diff * diff;
+            });
+        zomp::single([&] { rnorm = std::sqrt(res); });
+      },
+      par);
+  return rnorm;
+}
+
+}  // namespace
+
+CgResult cg_serial(const SparseMatrix& a, int niter, double shift) {
+  const std::int64_t n = a.n;
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+  CgResult result;
+  for (int it = 0; it < niter; ++it) {
+    result.final_rnorm = conj_grad_serial(a, x, z);
+    double xz = 0.0;
+    double zz = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      xz += x[u] * z[u];
+      zz += z[u] * z[u];
+    }
+    result.zeta = shift + 1.0 / xz;
+    const double norm = 1.0 / std::sqrt(zz);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      x[u] = norm * z[u];
+    }
+    ++result.iterations;
+  }
+  return result;
+}
+
+CgResult cg_parallel(const SparseMatrix& a, int niter, double shift,
+                     int num_threads) {
+  const std::int64_t n = a.n;
+  std::vector<double> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<double> z(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> r(static_cast<std::size_t>(n));
+  std::vector<double> p(static_cast<std::size_t>(n));
+  std::vector<double> q(static_cast<std::size_t>(n));
+  CgResult result;
+  for (int it = 0; it < niter; ++it) {
+    result.final_rnorm = conj_grad_parallel(a, x, z, r, p, q, num_threads);
+    double xz = 0.0;
+    double zz = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      xz += x[u] * z[u];
+      zz += z[u] * z[u];
+    }
+    result.zeta = shift + 1.0 / xz;
+    const double norm = 1.0 / std::sqrt(zz);
+    for (std::int64_t i = 0; i < n; ++i) {
+      const auto u = static_cast<std::size_t>(i);
+      x[u] = norm * z[u];
+    }
+    ++result.iterations;
+  }
+  return result;
+}
+
+bool cg_verify(const CgResult& result, const CgClass& cls) {
+  if (cls.verify_zeta == 0.0) return true;  // smoke class
+  return std::fabs(result.zeta - cls.verify_zeta) <= 1e-10 * std::fabs(cls.verify_zeta) + 1e-11;
+}
+
+}  // namespace zomp::npb

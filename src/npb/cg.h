@@ -1,0 +1,63 @@
+// NPB CG (Conjugate Gradient) kernel.
+//
+// Power-method outer loop around a 25-step conjugate-gradient solve on a
+// random sparse symmetric positive-definite matrix, reporting
+// zeta = shift + 1 / (x . z) — the same computation and verification shape
+// as NPB CG.
+//
+// Substitution note (DESIGN.md §2): the matrix generator is a from-scratch
+// random diagonally-dominant SPD generator driven by the NPB randlc stream,
+// not NPB's outer-product `makea`. It preserves what the benchmark stresses
+// — an irregular-gather sparse matvec inside CG — and the verification zeta
+// values are computed with this generator and frozen (EXPERIMENTS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zomp::npb {
+
+/// Compressed sparse row, the layout NPB CG uses (1-based in Fortran, 0-based
+/// here).
+struct SparseMatrix {
+  std::int64_t n = 0;
+  std::vector<std::int64_t> rowstr;  // n+1 entries
+  std::vector<std::int64_t> colidx;  // nnz entries
+  std::vector<double> values;        // nnz entries
+
+  std::int64_t nnz() const { return static_cast<std::int64_t>(values.size()); }
+};
+
+struct CgClass {
+  char name;
+  std::int64_t na;       // matrix order
+  std::int64_t nonzer;   // off-diagonal nonzeros per row (approx.)
+  int niter;             // outer (power-method) iterations
+  double shift;
+  double verify_zeta;    // frozen with this generator; 0 = unverified class
+};
+
+CgClass cg_class(char name);
+
+/// Builds the random SPD matrix for the class (deterministic: NPB randlc
+/// stream from the canonical seed).
+SparseMatrix cg_make_matrix(std::int64_t na, std::int64_t nonzer);
+
+struct CgResult {
+  double zeta = 0.0;
+  double final_rnorm = 0.0;
+  int iterations = 0;
+};
+
+/// Serial ground truth.
+CgResult cg_serial(const SparseMatrix& a, int niter, double shift);
+
+/// Parallel reference using the zomp C++ API: one parallel region per CG
+/// solve with worksharing+reduction loops inside — the structure of the
+/// Fortran reference implementation.
+CgResult cg_parallel(const SparseMatrix& a, int niter, double shift,
+                     int num_threads = 0);
+
+bool cg_verify(const CgResult& result, const CgClass& cls);
+
+}  // namespace zomp::npb

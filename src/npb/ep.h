@@ -1,0 +1,47 @@
+// NPB EP (Embarrassingly Parallel) kernel.
+//
+// Generates 2^(m+1) uniform randoms with the NPB generator, maps pairs into
+// (-1,1)^2, keeps those inside the unit disc, converts them to independent
+// Gaussian deviates (Marsaglia polar method, as the NPB spec prescribes) and
+// accumulates the sums of the deviates plus counts per max-norm annulus.
+//
+// Two host-side variants:
+//   * ep_serial       — single thread, ground truth
+//   * ep_parallel     — zomp high-level API ("reference" column of Table 1;
+//                       the paper's EP reference is Fortran+OpenMP, so the
+//                       bench reaches this through the Fortran ABI shim)
+// The "Zig+OpenMP" variant lives in kernels/ep.mz and is transpiled by mzc.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace zomp::npb {
+
+struct EpResult {
+  double sx = 0.0;
+  double sy = 0.0;
+  std::int64_t pairs_in_disc = 0;     // total accepted pairs
+  std::array<std::int64_t, 10> q{};   // annulus counts
+  bool verified = false;
+};
+
+/// Problem classes: m = log2(number of pairs). NPB: S=24, W=25, A=28.
+struct EpClass {
+  char name;
+  int m;
+  double verify_sx;
+  double verify_sy;
+};
+
+/// Returns the class descriptor for 'S', 'W', 'A' ('m' for the tiny smoke
+/// size used by unit tests; it has self-computed verification sums).
+EpClass ep_class(char name);
+
+EpResult ep_serial(int m);
+EpResult ep_parallel(int m, int num_threads = 0);
+
+/// Checks sx/sy against the class verification sums (relative 1e-8).
+bool ep_verify(const EpResult& result, const EpClass& cls);
+
+}  // namespace zomp::npb

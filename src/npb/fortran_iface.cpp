@@ -1,0 +1,35 @@
+#include "npb/fortran_iface.h"
+
+#include "npb/cg.h"
+#include "npb/ep.h"
+
+extern "C" {
+
+void ep_kernel_(const std::int64_t* m, const std::int64_t* num_threads,
+                double* sx, double* sy, std::int64_t* accepted) {
+  const zomp::npb::EpResult r = zomp::npb::ep_parallel(
+      static_cast<int>(*m), static_cast<int>(*num_threads));
+  *sx = r.sx;
+  *sy = r.sy;
+  *accepted = r.pairs_in_disc;
+}
+
+void cg_solve_(const std::int64_t* n, const std::int64_t* rowstr,
+               const std::int64_t* colidx, const double* values,
+               const std::int64_t* niter, const double* shift,
+               const std::int64_t* num_threads, double* zeta, double* rnorm) {
+  // Reassemble the CSR views (Fortran passes bare element pointers; lengths
+  // travel separately, as in the paper's interop examples).
+  zomp::npb::SparseMatrix a;
+  a.n = *n;
+  a.rowstr.assign(rowstr, rowstr + *n + 1);
+  const std::int64_t nnz = a.rowstr.back();
+  a.colidx.assign(colidx, colidx + nnz);
+  a.values.assign(values, values + nnz);
+  const zomp::npb::CgResult r = zomp::npb::cg_parallel(
+      a, static_cast<int>(*niter), *shift, static_cast<int>(*num_threads));
+  *zeta = r.zeta;
+  *rnorm = r.final_rnorm;
+}
+
+}  // extern "C"

@@ -1,0 +1,28 @@
+// Fortran-ABI exports of the CG and EP reference kernels.
+//
+// The paper's CG and EP reference implementations are Fortran+OpenMP; this
+// repo reproduces the *call boundary* of that setup (DESIGN.md §2): the
+// kernels are exported under gfortran-mangled names (trailing underscore)
+// with every argument passed by reference, and the Table 1 harness invokes
+// them exactly as the paper's Zig invokes Fortran. The declarations below
+// are what `zomp::fortran::cpp_prototype` generates for the matching FProc
+// signatures (asserted by tests/fortran_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+/// EP, parallel reference: m = log2(pairs). Outputs the Gaussian sums.
+void ep_kernel_(const std::int64_t* m, const std::int64_t* num_threads,
+                double* sx, double* sy, std::int64_t* accepted);
+
+/// CG, parallel reference: runs `niter` power iterations with embedded
+/// 25-step CG solves on the CSR matrix (all arrays by reference, 0-based
+/// contents produced by cg_make_matrix).
+void cg_solve_(const std::int64_t* n, const std::int64_t* rowstr,
+               const std::int64_t* colidx, const double* values,
+               const std::int64_t* niter, const double* shift,
+               const std::int64_t* num_threads, double* zeta, double* rnorm);
+
+}  // extern "C"

@@ -1,0 +1,206 @@
+#include "npb/is.h"
+
+#include <algorithm>
+
+#include "npb/nprandom.h"
+#include "runtime/hl.h"
+
+namespace zomp::npb {
+
+IsClass is_class(char name) {
+  switch (name) {
+    // Sizes follow NPB IS; checksums are frozen outputs of this
+    // implementation (EXPERIMENTS.md).
+    case 'S': return IsClass{'S', 1 << 16, 1 << 11, 10, 2689649374057299328ull};
+    case 'W': return IsClass{'W', 1 << 20, 1 << 16, 10, 14961056254894954607ull};
+    case 'A': return IsClass{'A', 1 << 23, 1 << 19, 10, 1781662763130020138ull};
+    case 'm':
+    default: return IsClass{'m', 1 << 12, 1 << 8, 5, 0};
+  }
+}
+
+std::vector<std::int64_t> is_make_keys(std::int64_t total_keys,
+                                       std::int64_t max_key) {
+  std::vector<std::int64_t> keys(static_cast<std::size_t>(total_keys));
+  double seed = kDefaultSeed;
+  const double k = static_cast<double>(max_key) / 4.0;
+  for (std::int64_t i = 0; i < total_keys; ++i) {
+    double x = randlc(&seed, kRandA);
+    x += randlc(&seed, kRandA);
+    x += randlc(&seed, kRandA);
+    x += randlc(&seed, kRandA);
+    keys[static_cast<std::size_t>(i)] = static_cast<std::int64_t>(k * x);
+  }
+  return keys;
+}
+
+namespace {
+
+/// Probe ranks after each round feed a checksum, the analogue of NPB's
+/// partial verification; probes are spread deterministically over the keys.
+std::uint64_t probe_checksum(const std::vector<std::int64_t>& keys,
+                             const std::vector<std::int64_t>& rank_of_key,
+                             int round) {
+  std::uint64_t sum = 0;
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  for (int p = 0; p < 5; ++p) {
+    const std::int64_t idx = (n / 5) * p + round;
+    const std::int64_t key = keys[static_cast<std::size_t>(idx % n)];
+    sum = sum * 31 + static_cast<std::uint64_t>(
+                         rank_of_key[static_cast<std::size_t>(key)]);
+  }
+  return sum;
+}
+
+void perturb(std::vector<std::int64_t>& keys, std::int64_t max_key,
+             int round, int iterations) {
+  // NPB IS modifies two keys each round so the ranking cannot be hoisted.
+  // Rounds are 1-based (as in NPB), keeping max_key - round inside the
+  // key range [0, max_key).
+  keys[static_cast<std::size_t>(round)] = round;
+  keys[static_cast<std::size_t>(round + iterations)] = max_key - round;
+}
+
+}  // namespace
+
+IsResult is_serial(std::vector<std::int64_t> keys, std::int64_t max_key,
+                   int iterations, bool full_sort) {
+  IsResult result;
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  std::vector<std::int64_t> count(static_cast<std::size_t>(max_key));
+  for (int round = 1; round <= iterations; ++round) {
+    perturb(keys, max_key, round, iterations);
+    std::fill(count.begin(), count.end(), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ++count[static_cast<std::size_t>(keys[static_cast<std::size_t>(i)])];
+    }
+    // Exclusive prefix sum: count[k] becomes the rank of key value k.
+    std::int64_t running = 0;
+    for (std::int64_t k = 0; k < max_key; ++k) {
+      const std::int64_t c = count[static_cast<std::size_t>(k)];
+      count[static_cast<std::size_t>(k)] = running;
+      running += c;
+    }
+    result.rank_checksum =
+        result.rank_checksum * 1000003 + probe_checksum(keys, count, round);
+  }
+  // Full sort from the final counts.
+  if (!full_sort) {
+    result.sorted = true;  // caller skipped the check (timed run)
+    return result;
+  }
+  std::vector<std::int64_t> sorted(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> next = count;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t key = keys[static_cast<std::size_t>(i)];
+    sorted[static_cast<std::size_t>(next[static_cast<std::size_t>(key)]++)] = key;
+  }
+  result.sorted = std::is_sorted(sorted.begin(), sorted.end());
+  return result;
+}
+
+IsResult is_parallel(std::vector<std::int64_t> keys, std::int64_t max_key,
+                     int iterations, int num_threads, bool full_sort) {
+  IsResult result;
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  std::vector<std::int64_t> count(static_cast<std::size_t>(max_key));
+  // Work arrays live across rounds (as NPB's do); each thread zeroes its own
+  // band at the start of a round.
+  std::vector<std::vector<std::int64_t>> local_hist;
+
+  zomp::ParallelOptions par;
+  par.num_threads = num_threads;
+
+  for (int round = 1; round <= iterations; ++round) {
+    perturb(keys, max_key, round, iterations);
+    zomp::parallel(
+        [&] {
+          const int tid = zomp::thread_num();
+          const int nth = zomp::num_threads();
+          zomp::single([&] {
+            if (static_cast<int>(local_hist.size()) != nth) {
+              local_hist.assign(static_cast<std::size_t>(nth),
+                                std::vector<std::int64_t>(
+                                    static_cast<std::size_t>(max_key), 0));
+            }
+          });
+          auto& mine = local_hist[static_cast<std::size_t>(tid)];
+          std::fill(mine.begin(), mine.end(), 0);
+          zomp::barrier();
+          zomp::for_each(0, n, [&](std::int64_t i) {
+            ++mine[static_cast<std::size_t>(keys[static_cast<std::size_t>(i)])];
+          });
+          // Merge: each thread owns a contiguous band of key values.
+          zomp::for_each(0, max_key, [&](std::int64_t k) {
+            std::int64_t sum = 0;
+            for (int t = 0; t < nth; ++t) {
+              sum += local_hist[static_cast<std::size_t>(t)]
+                               [static_cast<std::size_t>(k)];
+            }
+            count[static_cast<std::size_t>(k)] = sum;
+          });
+          // Prefix sum stays serial (NPB keeps it on one thread too).
+          zomp::single([&] {
+            std::int64_t running = 0;
+            for (std::int64_t k = 0; k < max_key; ++k) {
+              const std::int64_t c = count[static_cast<std::size_t>(k)];
+              count[static_cast<std::size_t>(k)] = running;
+              running += c;
+            }
+          });
+        },
+        par);
+    result.rank_checksum =
+        result.rank_checksum * 1000003 + probe_checksum(keys, count, round);
+  }
+
+  if (!full_sort) {
+    result.sorted = true;  // caller skipped the check (timed run)
+    return result;
+  }
+  std::vector<std::int64_t> sorted(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> next = count;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const std::int64_t key = keys[static_cast<std::size_t>(i)];
+    sorted[static_cast<std::size_t>(next[static_cast<std::size_t>(key)]++)] = key;
+  }
+  result.sorted = std::is_sorted(sorted.begin(), sorted.end());
+  return result;
+}
+
+bool is_verify(const IsResult& result, const IsClass& cls) {
+  if (!result.sorted) return false;
+  if (cls.verify_checksum == 0) return true;  // smoke class
+  return result.rank_checksum == cls.verify_checksum;
+}
+
+std::int64_t is_rank_checksum_mod(std::vector<std::int64_t> keys,
+                                  std::int64_t max_key, int iterations) {
+  constexpr std::int64_t kMod = 1073741824;  // 2^30, as in kernels/is.mz
+  const std::int64_t n = static_cast<std::int64_t>(keys.size());
+  std::vector<std::int64_t> count(static_cast<std::size_t>(max_key));
+  std::int64_t checksum = 0;
+  for (int round = 1; round <= iterations; ++round) {
+    perturb(keys, max_key, round, iterations);
+    std::fill(count.begin(), count.end(), 0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      ++count[static_cast<std::size_t>(keys[static_cast<std::size_t>(i)])];
+    }
+    std::int64_t running = 0;
+    for (std::int64_t k = 0; k < max_key; ++k) {
+      const std::int64_t c = count[static_cast<std::size_t>(k)];
+      count[static_cast<std::size_t>(k)] = running;
+      running += c;
+    }
+    std::int64_t probe = 0;
+    for (int p = 0; p < 5; ++p) {
+      const std::int64_t idx = ((n / 5) * p + round) % n;
+      const std::int64_t key = keys[static_cast<std::size_t>(idx)];
+      probe = (probe * 31 + count[static_cast<std::size_t>(key)]) % kMod;
+    }
+    checksum = (checksum * 1000003 + probe) % kMod;
+  }
+  return checksum;
+}
+
+}  // namespace zomp::npb

@@ -1,0 +1,55 @@
+// NPB IS (Integer Sort) kernel.
+//
+// Keys drawn from the NPB generator (sum of four uniforms scaled to the key
+// range, giving the benchmark's triangular-ish distribution), ranked by
+// counting sort over `iterations` rounds with the NPB per-round key
+// perturbation, then fully sorted and order-verified.
+//
+// The parallel reference uses per-thread histograms merged under the team
+// (the NPB C+OpenMP strategy); the MiniZig variant in kernels/is.mz uses the
+// same algorithm through the directive engine.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zomp::npb {
+
+struct IsClass {
+  char name;
+  std::int64_t total_keys;  // number of keys
+  std::int64_t max_key;     // keys are in [0, max_key)
+  int iterations;           // ranking rounds (NPB uses 10)
+  std::uint64_t verify_checksum;  // frozen rank checksum; 0 = smoke class
+};
+
+IsClass is_class(char name);
+
+/// Deterministic NPB-style key generation.
+std::vector<std::int64_t> is_make_keys(std::int64_t total_keys,
+                                       std::int64_t max_key);
+
+struct IsResult {
+  /// Accumulated checksum over the per-round ranks of probe keys.
+  std::uint64_t rank_checksum = 0;
+  bool sorted = false;
+};
+
+/// `full_sort` controls whether the final scatter-sort + order check runs;
+/// NPB times the ranking rounds only, so benches pass false on timed runs
+/// (result.sorted is then reported true without the check).
+IsResult is_serial(std::vector<std::int64_t> keys, std::int64_t max_key,
+                   int iterations, bool full_sort = true);
+IsResult is_parallel(std::vector<std::int64_t> keys, std::int64_t max_key,
+                     int iterations, int num_threads = 0,
+                     bool full_sort = true);
+
+bool is_verify(const IsResult& result, const IsClass& cls);
+
+/// Serial rank checksum in the *modular* formula used by the MiniZig kernel
+/// (kernels/is.mz) — i64-safe arithmetic so the transpiled and interpreted
+/// backends can be verified against the host implementation.
+std::int64_t is_rank_checksum_mod(std::vector<std::int64_t> keys,
+                                  std::int64_t max_key, int iterations);
+
+}  // namespace zomp::npb

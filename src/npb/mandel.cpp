@@ -1,0 +1,127 @@
+#include "npb/mandel.h"
+
+#include <cstdio>
+
+#include "runtime/hl.h"
+
+namespace zomp::npb {
+
+std::int64_t mandel_pixel(double cr, double ci, std::int64_t max_iter) {
+  double zr = 0.0;
+  double zi = 0.0;
+  std::int64_t it = 0;
+  while (it < max_iter && zr * zr + zi * zi <= 4.0) {
+    const double t = zr * zr - zi * zi + cr;
+    zi = 2.0 * zr * zi + ci;
+    zr = t;
+    ++it;
+  }
+  return it;
+}
+
+MandelResult mandel_serial(const MandelParams& params) {
+  MandelResult result;
+  for (std::int64_t y = 0; y < params.height; ++y) {
+    const double ci =
+        params.im_min + (params.im_max - params.im_min) * static_cast<double>(y) /
+                     static_cast<double>(params.height);
+    for (std::int64_t x = 0; x < params.width; ++x) {
+      const double cr =
+          params.re_min + (params.re_max - params.re_min) * static_cast<double>(x) /
+                       static_cast<double>(params.width);
+      const std::int64_t it = mandel_pixel(cr, ci, params.max_iter);
+      result.iter_checksum += static_cast<std::uint64_t>(it);
+      if (it == params.max_iter) ++result.inside;
+    }
+  }
+  return result;
+}
+
+MandelResult mandel_parallel(const MandelParams& params, int num_threads,
+                             int schedule_kind, std::int64_t chunk) {
+  std::int64_t inside = 0;
+  std::uint64_t checksum = 0;
+
+  zomp::ParallelOptions par;
+  par.num_threads = num_threads;
+  zomp::ForOptions rows;
+  rows.schedule =
+      zomp::rt::Schedule{static_cast<zomp::rt::ScheduleKind>(schedule_kind),
+                         chunk};
+  rows.nowait = true;
+
+  zomp::parallel(
+      [&] {
+        std::int64_t my_inside = 0;
+        std::uint64_t my_checksum = 0;
+        zomp::for_each(
+            0, params.height,
+            [&](std::int64_t y) {
+              const double ci = params.im_min + (params.im_max - params.im_min) *
+                                             static_cast<double>(y) /
+                                             static_cast<double>(params.height);
+              for (std::int64_t x = 0; x < params.width; ++x) {
+                const double cr = params.re_min + (params.re_max - params.re_min) *
+                                               static_cast<double>(x) /
+                                               static_cast<double>(params.width);
+                const std::int64_t it = mandel_pixel(cr, ci, params.max_iter);
+                my_checksum += static_cast<std::uint64_t>(it);
+                if (it == params.max_iter) ++my_inside;
+              }
+            },
+            rows);
+        zomp::critical([&] {
+          inside += my_inside;
+          checksum += my_checksum;
+        });
+      },
+      par);
+
+  return MandelResult{inside, checksum};
+}
+
+void mandel_render(const MandelParams& params, std::vector<std::int64_t>& out,
+                   int num_threads) {
+  out.assign(static_cast<std::size_t>(params.width * params.height), 0);
+  zomp::ParallelOptions par;
+  par.num_threads = num_threads;
+  zomp::ForOptions rows;
+  rows.schedule = zomp::rt::Schedule{zomp::rt::ScheduleKind::kDynamic, 1};
+  zomp::parallel(
+      [&] {
+        zomp::for_each(
+            0, params.height,
+            [&](std::int64_t y) {
+              const double ci = params.im_min + (params.im_max - params.im_min) *
+                                             static_cast<double>(y) /
+                                             static_cast<double>(params.height);
+              for (std::int64_t x = 0; x < params.width; ++x) {
+                const double cr = params.re_min + (params.re_max - params.re_min) *
+                                               static_cast<double>(x) /
+                                               static_cast<double>(params.width);
+                out[static_cast<std::size_t>(y * params.width + x)] =
+                    mandel_pixel(cr, ci, params.max_iter);
+              }
+            },
+            rows);
+      },
+      par);
+}
+
+bool mandel_write_pgm(const MandelParams& params,
+                      const std::vector<std::int64_t>& iters,
+                      const char* path) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P5\n%lld %lld\n255\n", static_cast<long long>(params.width),
+               static_cast<long long>(params.height));
+  for (const std::int64_t it : iters) {
+    const auto shade = static_cast<unsigned char>(
+        it >= params.max_iter ? 0 : 255 - (it * 255) / params.max_iter);
+    std::fputc(shade, f);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace zomp::npb

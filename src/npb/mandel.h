@@ -1,0 +1,52 @@
+// Mandelbrot set benchmark (the paper's fourth workload; its reference
+// implementation is C+OpenMP).
+//
+// Escape-time iteration over a pixel grid of the complex rectangle
+// [-2, 0.5] x [-1.25, 1.25]. Iteration counts vary wildly per pixel, so the
+// kernel is the schedule-clause showcase: static distributions load-imbalance
+// badly, dynamic/guided recover — this is what bench/ablate_schedule sweeps.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace zomp::npb {
+
+struct MandelParams {
+  std::int64_t width = 512;
+  std::int64_t height = 512;
+  std::int64_t max_iter = 1000;
+  // Complex-plane window. The default is the classic full view; benches that
+  // probe load imbalance use asymmetric windows (rows near the set cost
+  // ~max_iter per pixel, far rows almost nothing).
+  double re_min = -2.0;
+  double re_max = 0.5;
+  double im_min = -1.25;
+  double im_max = 1.25;
+};
+
+struct MandelResult {
+  std::int64_t inside = 0;          ///< pixels that never escaped
+  std::uint64_t iter_checksum = 0;  ///< sum of iteration counts (exact)
+};
+
+/// Iteration count for one pixel (max_iter if the point never escapes).
+std::int64_t mandel_pixel(double cr, double ci, std::int64_t max_iter);
+
+MandelResult mandel_serial(const MandelParams& params);
+
+/// Parallel reference: rows distributed with the given schedule.
+MandelResult mandel_parallel(const MandelParams& params, int num_threads = 0,
+                             int schedule_kind = 1 /*dynamic*/,
+                             std::int64_t chunk = 1);
+
+/// Writes a PGM image of the iteration counts (used by the example app).
+bool mandel_write_pgm(const MandelParams& params,
+                      const std::vector<std::int64_t>& iters,
+                      const char* path);
+
+/// Renders into a caller-provided buffer of width*height iteration counts.
+void mandel_render(const MandelParams& params, std::vector<std::int64_t>& out,
+                   int num_threads = 0);
+
+}  // namespace zomp::npb

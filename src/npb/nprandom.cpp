@@ -1,0 +1,59 @@
+#include "npb/nprandom.h"
+
+#include <cmath>
+
+namespace zomp::npb {
+
+namespace {
+
+// 2^-23, 2^23, 2^-46, 2^46 as exact doubles.
+constexpr double r23 = 1.0 / 8388608.0;
+constexpr double t23 = 8388608.0;
+constexpr double r46 = r23 * r23;
+constexpr double t46 = t23 * t23;
+
+}  // namespace
+
+double randlc(double* x, double a) {
+  // Split a and x into 23-bit halves so all products fit in the mantissa.
+  const double t1a = r23 * a;
+  const double a1 = static_cast<double>(static_cast<std::int64_t>(t1a));
+  const double a2 = a - t23 * a1;
+
+  const double t1x = r23 * (*x);
+  const double x1 = static_cast<double>(static_cast<std::int64_t>(t1x));
+  const double x2 = *x - t23 * x1;
+
+  const double t1 = a1 * x2 + a2 * x1;
+  const double t2 = static_cast<double>(static_cast<std::int64_t>(r23 * t1));
+  const double z = t1 - t23 * t2;
+  const double t3 = t23 * z + a2 * x2;
+  const double t4 = static_cast<double>(static_cast<std::int64_t>(r46 * t3));
+  *x = t3 - t46 * t4;
+  return r46 * (*x);
+}
+
+void vranlc(std::int64_t n, double* x, double a, double* y) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] = randlc(x, a);
+}
+
+double ipow46(double a, std::int64_t exponent) {
+  if (exponent == 0) return 1.0;
+  double q = a;
+  double r = 1.0;
+  std::int64_t n = exponent;
+  while (n > 1) {
+    const std::int64_t n2 = n / 2;
+    if (n2 * 2 == n) {
+      randlc(&q, q);  // q = q^2 mod 2^46
+      n = n2;
+    } else {
+      randlc(&r, q);  // r = r*q mod 2^46
+      n = n - 1;
+    }
+  }
+  randlc(&r, q);
+  return r;
+}
+
+}  // namespace zomp::npb

@@ -1,0 +1,25 @@
+// The NAS Parallel Benchmarks pseudorandom number generator (NPB 1 §2.3):
+// x_{k+1} = a * x_k mod 2^46 with a = 5^13, yielding uniform doubles in
+// (0, 1) as x_k * 2^-46. Implemented exactly as the reference (split 23-bit
+// arithmetic so every intermediate stays inside the 52-bit mantissa), so the
+// kernel inputs match the reference implementations bit-for-bit.
+#pragma once
+
+#include <cstdint>
+
+namespace zomp::npb {
+
+inline constexpr double kRandA = 1220703125.0;  // 5^13
+inline constexpr double kDefaultSeed = 314159265.0;
+
+/// Advances *x one step and returns the uniform double in (0, 1).
+double randlc(double* x, double a);
+
+/// Fills y[0..n) with uniform randoms, advancing *x.
+void vranlc(std::int64_t n, double* x, double a, double* y);
+
+/// a^exp mod 2^46 — used to jump a seed to a block offset so blocks can be
+/// generated independently in parallel (the EP blocking scheme).
+double ipow46(double a, std::int64_t exponent);
+
+}  // namespace zomp::npb

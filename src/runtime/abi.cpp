@@ -1,0 +1,245 @@
+#include "runtime/abi.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "runtime/api.h"
+#include "runtime/pool.h"
+#include "runtime/sync.h"
+#include "runtime/team.h"
+#include "runtime/worksharing.h"
+
+namespace {
+
+using zomp::rt::current_thread;
+using zomp::rt::i32;
+using zomp::rt::i64;
+using zomp::rt::Schedule;
+using zomp::rt::ScheduleKind;
+using zomp::rt::ThreadState;
+
+zomp::rt::SourceIdent to_ident(const zomp_ident_t* loc) {
+  if (loc == nullptr) return zomp::rt::SourceIdent{};
+  return zomp::rt::SourceIdent{loc->file, loc->construct, loc->line};
+}
+
+// CAS loop over plain memory via the __atomic builtins: the target object is
+// an ordinary variable owned by user code (a reduction target, say), so the
+// runtime must not assume std::atomic layout on it. These builtins are the
+// same primitives libomp's atomic entry points use.
+template <typename T, typename Op>
+void atomic_rmw(T* addr, T value, Op op) {
+  T expected;
+  __atomic_load(addr, &expected, __ATOMIC_RELAXED);
+  for (;;) {
+    T desired = op(expected, value);
+    if (__atomic_compare_exchange(addr, &expected, &desired, /*weak=*/true,
+                                  __ATOMIC_ACQ_REL, __ATOMIC_RELAXED)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" {
+
+void zomp_fork_call(const zomp_ident_t* loc, zomp_microtask_t fn,
+                    std::int32_t argc, void** args) {
+  (void)argc;
+  zomp::rt::ForkOptions opts;
+  opts.ident = to_ident(loc);
+  zomp::rt::fork_call(fn, args, opts);
+}
+
+void zomp_fork_call_if(const zomp_ident_t* loc, zomp_microtask_t fn,
+                       std::int32_t argc, void** args, std::int32_t cond) {
+  (void)argc;
+  zomp::rt::ForkOptions opts;
+  opts.ident = to_ident(loc);
+  opts.if_clause = cond != 0;
+  zomp::rt::fork_call(fn, args, opts);
+}
+
+void zomp_push_num_threads(const zomp_ident_t* /*loc*/, std::int32_t n) {
+  if (n > 0) current_thread().pushed_num_threads = n;
+}
+
+void zomp_for_static_init(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                          std::int64_t chunk, std::int64_t lo, std::int64_t hi,
+                          std::int64_t step, std::int64_t* plo,
+                          std::int64_t* phi, std::int64_t* pstride,
+                          std::int32_t* plast) {
+  ThreadState& ts = current_thread();
+  const zomp::rt::StaticRange r = zomp::rt::static_distribute(
+      lo, hi, step, chunk, ts.tid, ts.team->size());
+  *plo = r.lo;
+  *phi = r.hi;
+  *pstride = r.stride;
+  *plast = r.last ? 1 : 0;
+}
+
+void zomp_for_static_fini(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  // Shape parity with __kmpc_for_static_fini; nothing to release because the
+  // static path keeps no shared state.
+}
+
+void zomp_dispatch_init(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                        std::int32_t sched_kind, std::int64_t chunk,
+                        std::int64_t lo, std::int64_t hi, std::int64_t step) {
+  ThreadState& ts = current_thread();
+  Schedule schedule{static_cast<ScheduleKind>(sched_kind), chunk};
+  ts.team->dispatch_init(ts, schedule, lo, hi, step);
+}
+
+std::int32_t zomp_dispatch_next(const zomp_ident_t* /*loc*/,
+                                std::int32_t /*gtid*/, std::int64_t* plo,
+                                std::int64_t* phi, std::int32_t* plast) {
+  ThreadState& ts = current_thread();
+  bool last = false;
+  const bool more = ts.team->dispatch_next(ts, plo, phi, &last);
+  if (plast != nullptr) *plast = last ? 1 : 0;
+  return more ? 1 : 0;
+}
+
+void zomp_barrier(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  ThreadState& ts = current_thread();
+  ts.team->barrier_wait(ts.tid);
+}
+
+std::int32_t zomp_single(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  ThreadState& ts = current_thread();
+  return ts.team->single_begin(ts) ? 1 : 0;
+}
+
+void zomp_end_single(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  // The construct's implicit barrier (when not nowait) is emitted separately
+  // by the directive engine, matching libomp.
+}
+
+std::int32_t zomp_master(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  return current_thread().tid == 0 ? 1 : 0;
+}
+
+void zomp_critical(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                   const char* name) {
+  zomp::rt::critical_enter(name == nullptr ? "" : name);
+}
+
+void zomp_end_critical(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                       const char* name) {
+  zomp::rt::critical_exit(name == nullptr ? "" : name);
+}
+
+void zomp_ordered(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                  std::int64_t index) {
+  ThreadState& ts = current_thread();
+  ts.team->ordered_enter(ts, index);
+}
+
+void zomp_end_ordered(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                      std::int64_t index) {
+  ThreadState& ts = current_thread();
+  ts.team->ordered_exit(ts, index);
+}
+
+void zomp_reduce_enter(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  zomp::rt::critical_enter("__zomp_reduction");
+}
+
+void zomp_reduce_exit(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  zomp::rt::critical_exit("__zomp_reduction");
+}
+
+// -- Atomics --------------------------------------------------------------
+
+void zomp_atomic_add_i64(std::int64_t* addr, std::int64_t value) {
+  __atomic_fetch_add(addr, value, __ATOMIC_ACQ_REL);
+}
+void zomp_atomic_sub_i64(std::int64_t* addr, std::int64_t value) {
+  __atomic_fetch_sub(addr, value, __ATOMIC_ACQ_REL);
+}
+void zomp_atomic_mul_i64(std::int64_t* addr, std::int64_t value) {
+  atomic_rmw(addr, value, [](std::int64_t a, std::int64_t b) { return a * b; });
+}
+void zomp_atomic_div_i64(std::int64_t* addr, std::int64_t value) {
+  atomic_rmw(addr, value, [](std::int64_t a, std::int64_t b) { return a / b; });
+}
+void zomp_atomic_min_i64(std::int64_t* addr, std::int64_t value) {
+  atomic_rmw(addr, value,
+             [](std::int64_t a, std::int64_t b) { return std::min(a, b); });
+}
+void zomp_atomic_max_i64(std::int64_t* addr, std::int64_t value) {
+  atomic_rmw(addr, value,
+             [](std::int64_t a, std::int64_t b) { return std::max(a, b); });
+}
+void zomp_atomic_and_i64(std::int64_t* addr, std::int64_t value) {
+  __atomic_fetch_and(addr, value, __ATOMIC_ACQ_REL);
+}
+void zomp_atomic_or_i64(std::int64_t* addr, std::int64_t value) {
+  __atomic_fetch_or(addr, value, __ATOMIC_ACQ_REL);
+}
+void zomp_atomic_xor_i64(std::int64_t* addr, std::int64_t value) {
+  __atomic_fetch_xor(addr, value, __ATOMIC_ACQ_REL);
+}
+void zomp_atomic_add_f64(double* addr, double value) {
+  atomic_rmw(addr, value, [](double a, double b) { return a + b; });
+}
+void zomp_atomic_sub_f64(double* addr, double value) {
+  atomic_rmw(addr, value, [](double a, double b) { return a - b; });
+}
+void zomp_atomic_mul_f64(double* addr, double value) {
+  atomic_rmw(addr, value, [](double a, double b) { return a * b; });
+}
+void zomp_atomic_div_f64(double* addr, double value) {
+  atomic_rmw(addr, value, [](double a, double b) { return a / b; });
+}
+void zomp_atomic_min_f64(double* addr, double value) {
+  atomic_rmw(addr, value, [](double a, double b) { return std::min(a, b); });
+}
+void zomp_atomic_max_f64(double* addr, double value) {
+  atomic_rmw(addr, value, [](double a, double b) { return std::max(a, b); });
+}
+
+// -- Tasking --------------------------------------------------------------
+
+void zomp_task(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+               void (*fn)(void* arg), const void* arg, std::int64_t arg_size) {
+  ThreadState& ts = current_thread();
+  std::vector<unsigned char> capture(static_cast<std::size_t>(arg_size));
+  if (arg_size > 0) std::memcpy(capture.data(), arg, capture.size());
+  ts.team->task_create(ts, [fn, capture = std::move(capture)]() mutable {
+    fn(capture.data());
+  });
+}
+
+void zomp_taskwait(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  ThreadState& ts = current_thread();
+  ts.team->taskwait(ts);
+}
+
+// -- Queries ----------------------------------------------------------------
+
+std::int64_t mz_omp_get_thread_num(void) { return zomp::thread_num(); }
+std::int64_t mz_omp_get_num_threads(void) { return zomp::num_threads(); }
+std::int64_t mz_omp_get_max_threads(void) { return zomp::max_threads(); }
+std::int64_t mz_omp_get_num_procs(void) { return zomp::num_procs(); }
+std::int64_t mz_omp_in_parallel(void) { return zomp::in_parallel() ? 1 : 0; }
+std::int64_t mz_omp_get_level(void) { return zomp::level(); }
+void mz_omp_set_num_threads(std::int64_t n) {
+  zomp::set_num_threads(static_cast<i32>(n));
+}
+double mz_omp_get_wtime(void) { return zomp::wtime(); }
+
+std::int32_t zomp_get_thread_num(void) { return zomp::thread_num(); }
+std::int32_t zomp_get_num_threads(void) { return zomp::num_threads(); }
+std::int32_t zomp_get_max_threads(void) { return zomp::max_threads(); }
+std::int32_t zomp_get_num_procs(void) { return zomp::num_procs(); }
+std::int32_t zomp_in_parallel(void) { return zomp::in_parallel() ? 1 : 0; }
+std::int32_t zomp_get_level(void) { return zomp::level(); }
+void zomp_set_num_threads(std::int32_t n) { zomp::set_num_threads(n); }
+double zomp_get_wtime(void) { return zomp::wtime(); }
+double zomp_get_wtick(void) { return zomp::wtick(); }
+
+}  // extern "C"

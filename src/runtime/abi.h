@@ -1,0 +1,154 @@
+// C ABI targeted by generated code — the zomp analogue of libomp's __kmpc_*
+// entry points, which the paper's outlined Zig regions call.
+//
+// Shape parity with __kmpc_* is deliberate (location descriptor first, global
+// thread id second) so the lowering in src/core/ reads like the one in the
+// paper. The gtid parameter exists for that parity and for diagnostics: the
+// implementation resolves the calling thread via thread-local state, which is
+// also how user threads that never called fork get bound.
+//
+// Worksharing contract (all loops normalised to half-open [lo, hi), step>0):
+//   static:  call zomp_for_static_init once, then run the strided block loop
+//            (see StaticRange in worksharing.h for the block/stride meaning).
+//   dynamic: call zomp_dispatch_init once, then loop on zomp_dispatch_next
+//            until it returns 0; each success yields one chunk [*plo, *phi).
+#pragma once
+
+#include <cstdint>
+
+extern "C" {
+
+struct zomp_ident_t {
+  const char* file;
+  const char* construct;
+  std::int32_t line;
+};
+
+typedef void (*zomp_microtask_t)(std::int32_t gtid, std::int32_t tid,
+                                 void** args);
+
+// -- Parallel construct ------------------------------------------------------
+
+/// Forks a team and runs `fn` on every member; returns after the implicit
+/// (task-draining) join barrier.
+void zomp_fork_call(const zomp_ident_t* loc, zomp_microtask_t fn,
+                    std::int32_t argc, void** args);
+
+/// `if` clause variant: cond == 0 serialises the region.
+void zomp_fork_call_if(const zomp_ident_t* loc, zomp_microtask_t fn,
+                       std::int32_t argc, void** args, std::int32_t cond);
+
+/// `num_threads` clause: one-shot request consumed by the next fork on this
+/// thread.
+void zomp_push_num_threads(const zomp_ident_t* loc, std::int32_t n);
+
+// -- Worksharing loops --------------------------------------------------------
+
+/// Static schedules. chunk <= 0 selects the blocked distribution. Outputs:
+/// this thread's first block [*plo, *phi), the stride between successive
+/// block starts, and whether this thread runs the sequentially-last
+/// iteration (lastprivate support).
+void zomp_for_static_init(const zomp_ident_t* loc, std::int32_t gtid,
+                          std::int64_t chunk, std::int64_t lo, std::int64_t hi,
+                          std::int64_t step, std::int64_t* plo,
+                          std::int64_t* phi, std::int64_t* pstride,
+                          std::int32_t* plast);
+
+/// Marks the end of a statically-scheduled loop (diagnostic hook; keeps call
+/// shape parity with __kmpc_for_static_fini).
+void zomp_for_static_fini(const zomp_ident_t* loc, std::int32_t gtid);
+
+/// Dynamic/guided/runtime/auto schedules. `sched_kind` takes the
+/// zomp::rt::ScheduleKind values (0 static, 1 dynamic, 2 guided, 3 auto,
+/// 4 runtime).
+void zomp_dispatch_init(const zomp_ident_t* loc, std::int32_t gtid,
+                        std::int32_t sched_kind, std::int64_t chunk,
+                        std::int64_t lo, std::int64_t hi, std::int64_t step);
+
+/// Claims the next chunk; returns 0 when the construct is exhausted for this
+/// thread. *plast reports whether the chunk contains the final iteration.
+std::int32_t zomp_dispatch_next(const zomp_ident_t* loc, std::int32_t gtid,
+                                std::int64_t* plo, std::int64_t* phi,
+                                std::int32_t* plast);
+
+// -- Synchronisation -----------------------------------------------------------
+
+void zomp_barrier(const zomp_ident_t* loc, std::int32_t gtid);
+
+/// Returns 1 for exactly one thread per construct instance.
+std::int32_t zomp_single(const zomp_ident_t* loc, std::int32_t gtid);
+void zomp_end_single(const zomp_ident_t* loc, std::int32_t gtid);
+
+/// Returns 1 on the team master.
+std::int32_t zomp_master(const zomp_ident_t* loc, std::int32_t gtid);
+
+/// Named critical sections; name == nullptr or "" is the unnamed critical.
+void zomp_critical(const zomp_ident_t* loc, std::int32_t gtid,
+                   const char* name);
+void zomp_end_critical(const zomp_ident_t* loc, std::int32_t gtid,
+                       const char* name);
+
+/// Ordered region for normalised iteration `index` of the innermost
+/// dispatch-scheduled loop.
+void zomp_ordered(const zomp_ident_t* loc, std::int32_t gtid,
+                  std::int64_t index);
+void zomp_end_ordered(const zomp_ident_t* loc, std::int32_t gtid,
+                      std::int64_t index);
+
+/// Critical-based reduction combine: generated code wraps the combine of its
+/// private copy into the shared variable between enter/exit, then hits the
+/// construct barrier.
+void zomp_reduce_enter(const zomp_ident_t* loc, std::int32_t gtid);
+void zomp_reduce_exit(const zomp_ident_t* loc, std::int32_t gtid);
+
+// -- Atomic updates (`omp atomic`) ---------------------------------------------
+
+void zomp_atomic_add_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_sub_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_mul_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_div_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_min_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_max_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_and_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_or_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_xor_i64(std::int64_t* addr, std::int64_t value);
+void zomp_atomic_add_f64(double* addr, double value);
+void zomp_atomic_sub_f64(double* addr, double value);
+void zomp_atomic_mul_f64(double* addr, double value);
+void zomp_atomic_div_f64(double* addr, double value);
+void zomp_atomic_min_f64(double* addr, double value);
+void zomp_atomic_max_f64(double* addr, double value);
+
+// -- Tasking ----------------------------------------------------------------------
+
+/// Defers `fn(arg, arg_size bytes copied)` as an explicit task. The runtime
+/// copies `arg_size` bytes from `arg` (firstprivate capture by value).
+void zomp_task(const zomp_ident_t* loc, std::int32_t gtid,
+               void (*fn)(void* arg), const void* arg, std::int64_t arg_size);
+void zomp_taskwait(const zomp_ident_t* loc, std::int32_t gtid);
+
+// -- Queries / control (the omp_* routine family) -----------------------------------
+
+std::int32_t zomp_get_thread_num(void);
+std::int32_t zomp_get_num_threads(void);
+std::int32_t zomp_get_max_threads(void);
+std::int32_t zomp_get_num_procs(void);
+std::int32_t zomp_in_parallel(void);
+std::int32_t zomp_get_level(void);
+void zomp_set_num_threads(std::int32_t n);
+double zomp_get_wtime(void);
+double zomp_get_wtick(void);
+
+// MiniZig-facing variants: MiniZig's only integer type is i64, so its
+// `extern fn` declarations of the runtime API (the paper's route for calling
+// omp_* from Zig) bind to these.
+std::int64_t mz_omp_get_thread_num(void);
+std::int64_t mz_omp_get_num_threads(void);
+std::int64_t mz_omp_get_max_threads(void);
+std::int64_t mz_omp_get_num_procs(void);
+std::int64_t mz_omp_in_parallel(void);
+std::int64_t mz_omp_get_level(void);
+void mz_omp_set_num_threads(std::int64_t n);
+double mz_omp_get_wtime(void);
+
+}  // extern "C"

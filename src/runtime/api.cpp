@@ -1,0 +1,68 @@
+#include "runtime/api.h"
+
+#include <chrono>
+#include <thread>
+
+#include "runtime/icv.h"
+#include "runtime/team.h"
+
+namespace zomp {
+
+using rt::current_thread;
+using rt::GlobalIcv;
+using rt::i32;
+
+i32 thread_num() { return current_thread().tid; }
+
+i32 num_threads() { return current_thread().team->size(); }
+
+i32 max_threads() {
+  const rt::ThreadState& ts = current_thread();
+  if (ts.pushed_num_threads > 0) return ts.pushed_num_threads;
+  return ts.icv.nthreads > 0 ? ts.icv.nthreads
+                             : GlobalIcv::instance().default_team_size();
+}
+
+bool in_parallel() { return current_thread().team->active_level() > 0; }
+
+i32 level() { return current_thread().team->level(); }
+
+i32 active_level() { return current_thread().team->active_level(); }
+
+i32 num_procs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<i32>(hc);
+}
+
+void set_num_threads(i32 n) {
+  if (n > 0) current_thread().icv.nthreads = n;
+}
+
+void set_dynamic(bool dyn) { current_thread().icv.dynamic = dyn; }
+
+bool get_dynamic() { return current_thread().icv.dynamic; }
+
+void set_max_active_levels(i32 levels) {
+  if (levels >= 1) current_thread().icv.max_active_levels = levels;
+}
+
+i32 get_max_active_levels() { return current_thread().icv.max_active_levels; }
+
+void set_schedule(rt::Schedule schedule) {
+  current_thread().icv.run_sched = schedule;
+}
+
+rt::Schedule get_schedule() { return current_thread().icv.run_sched; }
+
+double wtime() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double>(clock::now() - epoch).count();
+}
+
+double wtick() {
+  using period = std::chrono::steady_clock::period;
+  return static_cast<double>(period::num) / static_cast<double>(period::den);
+}
+
+}  // namespace zomp

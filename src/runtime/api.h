@@ -1,0 +1,51 @@
+// User-facing query/control API, the zomp equivalent of <omp.h>'s omp_*
+// routine family. These are what MiniZig's `extern` runtime declarations and
+// the C++ examples call.
+#pragma once
+
+#include "runtime/common.h"
+#include "runtime/schedule.h"
+
+namespace zomp {
+
+/// Id of the calling thread within the innermost team (0 = master).
+rt::i32 thread_num();
+
+/// Size of the innermost team (1 outside parallel regions).
+rt::i32 num_threads();
+
+/// Team size a region forked right now would get (omp_get_max_threads).
+rt::i32 max_threads();
+
+/// True while inside an active (size > 1) parallel region.
+bool in_parallel();
+
+/// Nesting level counters (omp_get_level / omp_get_active_level).
+rt::i32 level();
+rt::i32 active_level();
+
+/// Number of processors the runtime believes it can use.
+rt::i32 num_procs();
+
+/// Sets the default team size for subsequent regions on this thread.
+void set_num_threads(rt::i32 n);
+
+/// dyn-var accessors (omp_set_dynamic / omp_get_dynamic).
+void set_dynamic(bool dyn);
+bool get_dynamic();
+
+/// max-active-levels accessors.
+void set_max_active_levels(rt::i32 levels);
+rt::i32 get_max_active_levels();
+
+/// run-sched-var accessors (omp_set_schedule / omp_get_schedule).
+void set_schedule(rt::Schedule schedule);
+rt::Schedule get_schedule();
+
+/// Monotonic wall-clock in seconds (omp_get_wtime).
+double wtime();
+
+/// Timer resolution in seconds (omp_get_wtick).
+double wtick();
+
+}  // namespace zomp

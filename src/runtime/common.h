@@ -1,0 +1,67 @@
+// Shared low-level definitions for the zomp runtime.
+//
+// The runtime is a from-scratch reproduction of the role LLVM's libomp plays
+// in the paper: the library that outlined parallel regions call into.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace zomp::rt {
+
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+/// Size used to pad hot shared state so that independently-updated fields do
+/// not false-share. 64 bytes covers x86-64; 128 would cover adjacent-line
+/// prefetching but doubles footprint for little gain at test scale.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Runtime invariant check. These guard *internal* invariants (a user data
+/// race cannot trip them) and are cheap enough to keep in release builds:
+/// a broken runtime invariant would otherwise surface as a hang.
+#define ZOMP_CHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "zomp runtime invariant violated: %s (%s:%d)\n", \
+                   msg, __FILE__, __LINE__);                               \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Bounded exponential backoff for spin loops.
+///
+/// The machines this repo targets (laptops, CI) are routinely oversubscribed,
+/// so every spin loop in the runtime must eventually yield the core: a pure
+/// spin barrier with threads > cores turns O(us) waits into O(scheduler
+/// quantum) waits.
+class Backoff {
+ public:
+  void pause() {
+    if (spins_ < kSpinLimit) {
+      ++spins_;
+      for (int i = 0; i < (1 << (spins_ < 6 ? spins_ : 6)); ++i) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#else
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+      }
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 10;
+  int spins_ = 0;
+};
+
+}  // namespace zomp::rt

@@ -1,0 +1,114 @@
+#include "runtime/env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+namespace zomp::rt {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
+void warn_malformed(const char* name, const char* value) {
+  std::fprintf(stderr, "zomp: ignoring malformed environment variable %s=\"%s\"\n",
+               name, value);
+}
+
+}  // namespace
+
+std::optional<std::string> env_string(const char* name) {
+  const std::string zomp_name = std::string("ZOMP_") + name;
+  if (const char* v = std::getenv(zomp_name.c_str())) return std::string(v);
+  const std::string omp_name = std::string("OMP_") + name;
+  if (const char* v = std::getenv(omp_name.c_str())) return std::string(v);
+  return std::nullopt;
+}
+
+std::optional<i64> env_int(const char* name) {
+  const auto text = env_string(name);
+  if (!text) return std::nullopt;
+  const std::string t = trim(*text);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (errno != 0 || end == t.c_str() || *end != '\0') {
+    warn_malformed(name, text->c_str());
+    return std::nullopt;
+  }
+  return static_cast<i64>(v);
+}
+
+std::optional<bool> env_bool(const char* name) {
+  const auto text = env_string(name);
+  if (!text) return std::nullopt;
+  const std::string t = lower(trim(*text));
+  if (t == "true" || t == "yes" || t == "1" || t == "on") return true;
+  if (t == "false" || t == "no" || t == "0" || t == "off") return false;
+  warn_malformed(name, text->c_str());
+  return std::nullopt;
+}
+
+std::optional<Schedule> env_schedule() {
+  const auto text = env_string("SCHEDULE");
+  if (!text) return std::nullopt;
+  auto sched = parse_schedule(*text);
+  if (!sched) warn_malformed("SCHEDULE", text->c_str());
+  return sched;
+}
+
+std::optional<Schedule> parse_schedule(const std::string& text) {
+  std::string t = lower(trim(text));
+  i64 chunk = 0;
+  if (const auto comma = t.find(','); comma != std::string::npos) {
+    const std::string chunk_text = trim(t.substr(comma + 1));
+    char* end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(chunk_text.c_str(), &end, 10);
+    if (errno != 0 || end == chunk_text.c_str() || *end != '\0' || v <= 0) {
+      return std::nullopt;
+    }
+    chunk = static_cast<i64>(v);
+    t = trim(t.substr(0, comma));
+  }
+  ScheduleKind kind;
+  if (t == "static") {
+    kind = ScheduleKind::kStatic;
+  } else if (t == "dynamic") {
+    kind = ScheduleKind::kDynamic;
+  } else if (t == "guided") {
+    kind = ScheduleKind::kGuided;
+  } else if (t == "auto") {
+    kind = ScheduleKind::kAuto;
+  } else if (t == "runtime") {
+    kind = ScheduleKind::kRuntime;
+  } else {
+    return std::nullopt;
+  }
+  return Schedule{kind, chunk};
+}
+
+const char* schedule_kind_name(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kStatic: return "static";
+    case ScheduleKind::kDynamic: return "dynamic";
+    case ScheduleKind::kGuided: return "guided";
+    case ScheduleKind::kAuto: return "auto";
+    case ScheduleKind::kRuntime: return "runtime";
+  }
+  return "<invalid>";
+}
+
+}  // namespace zomp::rt

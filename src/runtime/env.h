@@ -1,0 +1,32 @@
+// Environment-variable handling for runtime configuration.
+//
+// The runtime honours the standard OMP_* variables the paper's runs rely on
+// (OMP_NUM_THREADS, OMP_SCHEDULE, ...) plus ZOMP_*-prefixed overrides so the
+// test suite can configure the runtime without clobbering a user's real
+// OpenMP environment.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "runtime/common.h"
+#include "runtime/schedule.h"
+
+namespace zomp::rt {
+
+/// Reads `ZOMP_<name>` and falls back to `OMP_<name>`; nullopt if neither is
+/// set. The ZOMP_ spelling wins so this runtime can coexist with a real
+/// OpenMP runtime in one process.
+std::optional<std::string> env_string(const char* name);
+
+/// Integer variant; malformed values return nullopt and warn once on stderr.
+std::optional<i64> env_int(const char* name);
+
+/// Boolean variant accepting the OpenMP spellings: true/false/1/0/yes/no
+/// (case-insensitive).
+std::optional<bool> env_bool(const char* name);
+
+/// OMP_SCHEDULE / ZOMP_SCHEDULE.
+std::optional<Schedule> env_schedule();
+
+}  // namespace zomp::rt

@@ -1,0 +1,196 @@
+// High-level C++ API over the zomp runtime.
+//
+// This is the public face of the library for C++ consumers: examples, the
+// hand-written "reference" NPB kernels, and downstream users. It plays the
+// role `#pragma omp` plays for C in the paper — same engine underneath as the
+// generated-code ABI, different surface.
+//
+// Usage sketch:
+//   zomp::parallel([&] {
+//     zomp::for_each(0, n, [&](int64_t i) { y[i] = a * x[i] + y[i]; });
+//   });
+//   double s = zomp::parallel_reduce<double>(0, n, 0.0, std::plus<>{},
+//                                            [&](int64_t i) { return x[i] * x[i]; });
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "runtime/api.h"
+#include "runtime/pool.h"
+#include "runtime/sync.h"
+#include "runtime/team.h"
+#include "runtime/worksharing.h"
+
+namespace zomp {
+
+struct ParallelOptions {
+  /// Team size request; 0 = default (ICV / OMP_NUM_THREADS).
+  rt::i32 num_threads = 0;
+  /// `if` clause: false serialises the region.
+  bool if_clause = true;
+};
+
+struct ForOptions {
+  rt::Schedule schedule{rt::ScheduleKind::kStatic, 0};
+  /// Skip the barrier at the end of the loop.
+  bool nowait = false;
+};
+
+/// Runs `body` once on every member of a freshly forked team
+/// (`#pragma omp parallel`).
+inline void parallel(const std::function<void()>& body,
+                     ParallelOptions opts = {}) {
+  rt::ForkOptions fork_opts;
+  fork_opts.num_threads = opts.num_threads;
+  fork_opts.if_clause = opts.if_clause;
+  rt::fork_closure(body, fork_opts);
+}
+
+/// Worksharing loop over [lo, hi) (`#pragma omp for`). Must be reached by
+/// every member of the innermost team. `body` is invoked once per iteration.
+template <typename Body>
+void for_each(rt::i64 lo, rt::i64 hi, Body&& body, ForOptions opts = {}) {
+  rt::ThreadState& ts = rt::current_thread();
+  rt::Team& team = *ts.team;
+  if (opts.schedule.kind == rt::ScheduleKind::kStatic) {
+    // Fast path: pure bounds math, no shared dispatch state.
+    const rt::StaticRange r =
+        rt::static_distribute(lo, hi, 1, opts.schedule.chunk, ts.tid,
+                              team.size());
+    const rt::i64 span = r.hi - r.lo;
+    for (rt::i64 block = r.lo; block < hi; block += r.stride) {
+      const rt::i64 end = std::min(block + span, hi);
+      for (rt::i64 i = block; i < end; ++i) body(i);
+    }
+  } else {
+    team.dispatch_init(ts, opts.schedule, lo, hi, 1);
+    rt::i64 chunk_lo = 0;
+    rt::i64 chunk_hi = 0;
+    while (team.dispatch_next(ts, &chunk_lo, &chunk_hi, nullptr)) {
+      for (rt::i64 i = chunk_lo; i < chunk_hi; ++i) body(i);
+    }
+  }
+  if (!opts.nowait) team.barrier_wait(ts.tid);
+}
+
+/// Fused `#pragma omp parallel for`.
+template <typename Body>
+void parallel_for(rt::i64 lo, rt::i64 hi, Body&& body, ForOptions for_opts = {},
+                  ParallelOptions par_opts = {}) {
+  parallel([&] { for_each(lo, hi, body, for_opts); }, par_opts);
+}
+
+/// Worksharing reduction inside an existing region (`#pragma omp for
+/// reduction`): every member accumulates privately over its iterations, then
+/// combines into a team-shared cell under the reduction lock. Returns the
+/// combined value (identical on all members; ends with a barrier).
+///
+/// Protocol: one member initialises the cell (single), a barrier publishes
+/// it, members combine under the reduction critical, and a final barrier
+/// orders all combines before the shared read. The cell is double-buffered
+/// per construct so back-to-back reductions cannot race (see Team).
+template <typename T, typename Combine, typename Body>
+T reduce_each(rt::i64 lo, rt::i64 hi, T identity, Combine&& combine,
+              Body&& body, ForOptions opts = {}) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "reduce_each stores T in raw team storage");
+  static_assert(sizeof(T) <= rt::Team::kReduceStorageBytes,
+                "reduction type too large for the team cell");
+  rt::ThreadState& ts = rt::current_thread();
+  rt::Team& team = *ts.team;
+
+  const bool init_here = team.single_begin(ts);
+  // All members incremented their single counter above, so the parity is
+  // construct-wide consistent.
+  T* cell = static_cast<T*>(team.reduction_storage(ts.single_seq & 1));
+  if (init_here) *cell = identity;
+  team.barrier_wait(ts.tid);
+
+  T local = identity;
+  for_each(
+      lo, hi, [&](rt::i64 i) { local = combine(local, body(i)); },
+      ForOptions{opts.schedule, /*nowait=*/true});
+
+  rt::critical_enter("__zomp_reduction");
+  *cell = combine(*cell, local);
+  rt::critical_exit("__zomp_reduction");
+  team.barrier_wait(ts.tid);
+  return *cell;
+}
+
+/// Fused `#pragma omp parallel for reduction(...)` over [lo, hi).
+/// `body(i)` returns each iteration's contribution.
+template <typename T, typename Combine, typename Body>
+T parallel_reduce(rt::i64 lo, rt::i64 hi, T identity, Combine&& combine,
+                  Body&& body, ForOptions for_opts = {},
+                  ParallelOptions par_opts = {}) {
+  T result = identity;
+  parallel(
+      [&] {
+        T local = identity;
+        for_each(
+            lo, hi, [&](rt::i64 i) { local = combine(local, body(i)); },
+            ForOptions{for_opts.schedule, /*nowait=*/true});
+        rt::critical_enter("__zomp_reduction");
+        result = combine(result, local);
+        rt::critical_exit("__zomp_reduction");
+        // Implicit region-end barrier orders all combines before return.
+      },
+      par_opts);
+  return result;
+}
+
+/// Explicit barrier for the innermost team (`#pragma omp barrier`).
+inline void barrier() {
+  rt::ThreadState& ts = rt::current_thread();
+  ts.team->barrier_wait(ts.tid);
+}
+
+/// Runs `body` under the named critical section (`#pragma omp critical`).
+template <typename Body>
+void critical(Body&& body, const std::string& name = "") {
+  rt::critical_enter(name);
+  body();
+  rt::critical_exit(name);
+}
+
+/// Runs `body` on exactly one member; `barrier_after` mirrors the implicit
+/// barrier of a non-nowait single.
+template <typename Body>
+void single(Body&& body, bool barrier_after = true) {
+  rt::ThreadState& ts = rt::current_thread();
+  if (ts.team->single_begin(ts)) body();
+  if (barrier_after) ts.team->barrier_wait(ts.tid);
+}
+
+/// Runs `body` on the team master only (`#pragma omp master`; no barrier).
+template <typename Body>
+void master(Body&& body) {
+  if (rt::current_thread().tid == 0) body();
+}
+
+/// Defers `body` as an explicit task (`#pragma omp task`).
+inline void task(std::function<void()> body) {
+  rt::ThreadState& ts = rt::current_thread();
+  ts.team->task_create(ts, std::move(body));
+}
+
+/// Waits for the current task's children (`#pragma omp taskwait`).
+inline void taskwait() {
+  rt::ThreadState& ts = rt::current_thread();
+  ts.team->taskwait(ts);
+}
+
+/// Runs `body` inside a taskgroup; returns when every task created in the
+/// group (and their descendants) completed.
+template <typename Body>
+void taskgroup(Body&& body) {
+  rt::ThreadState& ts = rt::current_thread();
+  rt::TaskGroup group;
+  ts.team->taskgroup_begin(ts, group);
+  body();
+  ts.team->taskgroup_end(ts, group);
+}
+
+}  // namespace zomp

@@ -1,0 +1,62 @@
+#include "runtime/icv.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "runtime/env.h"
+
+namespace zomp::rt {
+
+namespace {
+
+i32 hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<i32>(hc);
+}
+
+}  // namespace
+
+GlobalIcv& GlobalIcv::instance() {
+  static GlobalIcv g;
+  return g;
+}
+
+GlobalIcv::GlobalIcv() {
+  default_team_size_ = hardware_threads();
+  if (const auto n = env_int("NUM_THREADS"); n && *n > 0) {
+    default_team_size_ = static_cast<i32>(*n);
+  }
+  // A generous default: teams larger than the hardware are legal (tests use
+  // them deliberately), but something must bound runaway nesting.
+  thread_limit_ = std::max(4 * hardware_threads(), 4 * default_team_size_);
+  if (const auto lim = env_int("THREAD_LIMIT"); lim && *lim > 0) {
+    thread_limit_ = static_cast<i32>(*lim);
+  }
+  if (const auto dyn = env_bool("DYNAMIC")) dynamic_default_ = *dyn;
+  if (const auto nested = env_bool("NESTED"); nested && *nested) {
+    max_levels_default_ = 8;
+  }
+  if (const auto levels = env_int("MAX_ACTIVE_LEVELS"); levels && *levels > 0) {
+    max_levels_default_ = static_cast<i32>(*levels);
+  }
+  if (const auto sched = env_schedule()) run_sched_default_ = *sched;
+}
+
+Icv GlobalIcv::initial() const {
+  Icv icv;
+  icv.nthreads = default_team_size_;
+  icv.run_sched = run_sched_default_;
+  icv.dynamic = dynamic_default_;
+  icv.max_active_levels = max_levels_default_;
+  return icv;
+}
+
+void GlobalIcv::set_default_team_size(i32 n) {
+  if (n > 0) default_team_size_ = n;
+}
+
+void GlobalIcv::set_max_active_levels(i32 levels) {
+  if (levels >= 1) max_levels_default_ = levels;
+}
+
+}  // namespace zomp::rt

@@ -1,0 +1,65 @@
+// Internal Control Variables (ICVs), OpenMP 5.2 §2.4.
+//
+// Scoping follows the spec: `nthreads-var`, `run-sched-var`, `dyn-var` and
+// `max-active-levels-var` are per-data-environment (inherited by the implicit
+// tasks of a new team); `num_threads` clauses override via a one-shot push.
+#pragma once
+
+#include "runtime/common.h"
+#include "runtime/schedule.h"
+
+namespace zomp::rt {
+
+/// Per-data-environment control variables, inherited across fork.
+struct Icv {
+  /// Default team size requested for the next parallel region
+  /// (`nthreads-var`). 0 means "use the global default".
+  i32 nthreads = 0;
+  /// Schedule applied when a loop says `schedule(runtime)` (`run-sched-var`).
+  Schedule run_sched{ScheduleKind::kStatic, 0};
+  /// Whether the implementation may deliver fewer threads than requested
+  /// (`dyn-var`). We always *may* (resource limits), but when false we only
+  /// shrink a team if the pool genuinely cannot grow.
+  bool dynamic = false;
+  /// Maximum number of nested active parallel levels
+  /// (`max-active-levels-var`).
+  i32 max_active_levels = 1;
+};
+
+/// Process-wide defaults, initialised once from the environment
+/// (OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC, OMP_MAX_ACTIVE_LEVELS,
+/// OMP_NESTED) with ZOMP_* overrides. See env.h.
+class GlobalIcv {
+ public:
+  static GlobalIcv& instance();
+
+  /// Initial ICV set for the main thread and for detached helper threads.
+  Icv initial() const;
+
+  /// Hard cap on total runtime-owned threads (OMP_THREAD_LIMIT).
+  i32 thread_limit() const { return thread_limit_; }
+
+  /// Default team size when nothing requests otherwise.
+  i32 default_team_size() const { return default_team_size_; }
+
+  // Setters back the omp_set_* style API; they affect regions forked after
+  // the call, matching the spec's "most recent enclosing" wording.
+  void set_default_team_size(i32 n);
+  void set_dynamic(bool dyn) { dynamic_default_ = dyn; }
+  bool dynamic_default() const { return dynamic_default_; }
+  void set_max_active_levels(i32 levels);
+  i32 max_active_levels_default() const { return max_levels_default_; }
+  Schedule run_sched_default() const { return run_sched_default_; }
+  void set_run_sched_default(Schedule s) { run_sched_default_ = s; }
+
+ private:
+  GlobalIcv();
+
+  i32 default_team_size_ = 1;
+  i32 thread_limit_ = 0;
+  bool dynamic_default_ = false;
+  i32 max_levels_default_ = 1;
+  Schedule run_sched_default_{ScheduleKind::kStatic, 0};
+};
+
+}  // namespace zomp::rt

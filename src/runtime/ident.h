@@ -1,0 +1,25 @@
+// Source-location descriptor passed through the C ABI.
+//
+// Mirrors libomp's `ident_t`: generated code passes a static descriptor so
+// runtime diagnostics can name the construct that misbehaved. The paper's
+// generated Zig does the same when calling __kmpc_* entry points.
+#pragma once
+
+#include "runtime/common.h"
+
+namespace zomp::rt {
+
+struct SourceIdent {
+  const char* file = "<unknown>";
+  const char* construct = "<unknown>";  // e.g. "parallel", "for", "critical"
+  i32 line = 0;
+};
+
+/// Default ident used by the C++ convenience API, where call sites are
+/// ordinary C++ and the construct name carries the useful information.
+inline const SourceIdent& unknown_ident() {
+  static const SourceIdent ident{};
+  return ident;
+}
+
+}  // namespace zomp::rt

@@ -1,0 +1,56 @@
+#include "runtime/lock.h"
+
+#include <functional>
+#include <thread>
+
+namespace zomp::rt {
+
+u64 NestLock::self_id() {
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+}
+
+i32 NestLock::set() {
+  const u64 me = self_id();
+  if (owner_.load(std::memory_order_acquire) == me) {
+    return ++depth_;
+  }
+  mutex_.lock();
+  owner_.store(me, std::memory_order_release);
+  depth_ = 1;
+  return depth_;
+}
+
+void NestLock::unset() {
+  ZOMP_CHECK(owner_.load(std::memory_order_acquire) == self_id(),
+             "nest lock unset by non-owner");
+  if (--depth_ == 0) {
+    owner_.store(kNoOwner, std::memory_order_release);
+    mutex_.unlock();
+  }
+}
+
+i32 NestLock::test() {
+  const u64 me = self_id();
+  if (owner_.load(std::memory_order_acquire) == me) {
+    return ++depth_;
+  }
+  if (!mutex_.try_lock()) return 0;
+  owner_.store(me, std::memory_order_release);
+  depth_ = 1;
+  return depth_;
+}
+
+void SpinLock::set() {
+  Backoff backoff;
+  for (;;) {
+    // Test-and-test-and-set: spin on the cheap load, attempt the exchange
+    // only when the lock looks free.
+    if (!flag_.load(std::memory_order_relaxed) &&
+        !flag_.exchange(true, std::memory_order_acquire)) {
+      return;
+    }
+    backoff.pause();
+  }
+}
+
+}  // namespace zomp::rt

@@ -1,0 +1,58 @@
+// OpenMP-style user locks (omp_lock_t / omp_nest_lock_t equivalents).
+//
+// Two flavours behind the same API shape as <omp.h>: a plain mutual-exclusion
+// lock and a nestable lock that the owning thread may re-acquire. A
+// test-and-test-and-set spinlock is provided separately for short critical
+// sections and for the micro benches.
+#pragma once
+
+#include <mutex>
+
+#include "runtime/common.h"
+
+namespace zomp::rt {
+
+/// Plain lock: like omp_lock_t. Non-recursive; relocking from the owner
+/// deadlocks, exactly like the OpenMP object it models.
+class Lock {
+ public:
+  void set() { mutex_.lock(); }
+  void unset() { mutex_.unlock(); }
+  bool test() { return mutex_.try_lock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Nestable lock: like omp_nest_lock_t. set() returns the nesting depth to
+/// mirror omp_test_nest_lock's contract.
+class NestLock {
+ public:
+  i32 set();
+  void unset();
+  i32 test();
+
+ private:
+  std::mutex mutex_;
+  std::atomic<u64> owner_{kNoOwner};
+  i32 depth_ = 0;
+
+  static constexpr u64 kNoOwner = ~u64{0};
+  static u64 self_id();
+};
+
+/// Test-and-test-and-set spinlock with backoff. Used by the atomic fallback
+/// path and compared against Lock in the micro_runtime bench.
+class SpinLock {
+ public:
+  void set();
+  void unset() { flag_.store(false, std::memory_order_release); }
+  bool test() {
+    return !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace zomp::rt

@@ -1,0 +1,174 @@
+#include "runtime/pool.h"
+
+#include <algorithm>
+
+namespace zomp::rt {
+
+// ---------------------------------------------------------------------------
+// Worker
+// ---------------------------------------------------------------------------
+
+Worker::Worker(i32 gtid) {
+  state_.gtid = gtid;
+  thread_ = std::thread([this] { loop(); });
+}
+
+Worker::~Worker() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::assign(Team* team, i32 tid, Microtask fn, void** args) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ZOMP_CHECK(!job_.has_value(), "worker assigned while busy");
+    job_ = Job{team, tid, fn, args};
+  }
+  cv_.notify_one();
+}
+
+void Worker::loop() {
+  bind_thread_state(&state_);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return job_.has_value() || shutdown_; });
+      if (!job_.has_value()) return;  // shutdown with no pending work
+      job = *job_;
+      job_.reset();
+    }
+    job.fn(state_.gtid, job.tid, job.args);
+    job.team->barrier_wait(job.tid);
+    // check_out() is this thread's final access to the team; the master
+    // destroys the team only after every member has checked out.
+    job.team->check_out();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pool
+// ---------------------------------------------------------------------------
+
+Pool& Pool::instance() {
+  static Pool pool;
+  return pool;
+}
+
+std::vector<Worker*> Pool::acquire(i32 want) {
+  std::vector<Worker*> out;
+  if (want <= 0) return out;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(static_cast<std::size_t>(want));
+  while (want > 0 && !idle_.empty()) {
+    out.push_back(idle_.back());
+    idle_.pop_back();
+    --want;
+  }
+  // Master threads count against the limit too, hence the -1.
+  const auto limit =
+      static_cast<std::size_t>(std::max(0, GlobalIcv::instance().thread_limit() - 1));
+  while (want > 0 && all_.size() < limit) {
+    all_.push_back(std::make_unique<Worker>(allocate_gtid()));
+    out.push_back(all_.back().get());
+    --want;
+  }
+  return out;
+}
+
+void Pool::release(const std::vector<Worker*>& workers) {
+  if (workers.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (Worker* w : workers) idle_.push_back(w);
+}
+
+i32 Pool::spawned() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<i32>(all_.size());
+}
+
+// ---------------------------------------------------------------------------
+// fork
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct SavedBinding {
+  Team* team;
+  i32 tid;
+  Icv icv;
+  u64 ws_seq;
+  u64 single_seq;
+  MemberDispatch dispatch;
+  TaskContext* current_task;
+};
+
+SavedBinding save(const ThreadState& ts) {
+  return SavedBinding{ts.team,   ts.tid,      ts.icv,         ts.ws_seq,
+                      ts.single_seq, ts.dispatch, ts.current_task};
+}
+
+void restore(ThreadState& ts, const SavedBinding& s) {
+  ts.team = s.team;
+  ts.tid = s.tid;
+  ts.icv = s.icv;
+  ts.ws_seq = s.ws_seq;
+  ts.single_seq = s.single_seq;
+  ts.dispatch = s.dispatch;
+  ts.current_task = s.current_task;
+}
+
+void closure_trampoline(i32 /*gtid*/, i32 /*tid*/, void** args) {
+  const auto* body = static_cast<const std::function<void()>*>(args[0]);
+  (*body)();
+}
+
+}  // namespace
+
+void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
+  ThreadState& ts = current_thread();
+
+  i32 want = opts.num_threads > 0      ? opts.num_threads
+             : ts.pushed_num_threads > 0 ? ts.pushed_num_threads
+                                         : ts.icv.nthreads;
+  ts.pushed_num_threads = 0;
+  if (want < 1) want = 1;
+  if (!opts.if_clause) want = 1;
+  if (ts.team->active_level() >= ts.icv.max_active_levels) want = 1;
+
+  std::vector<Worker*> workers;
+  if (want > 1) workers = Pool::instance().acquire(want - 1);
+
+  const SavedBinding saved = save(ts);
+  const i32 size = static_cast<i32>(workers.size()) + 1;
+  const i32 level = saved.team->level() + 1;
+  const i32 active = saved.team->active_level() + (size > 1 ? 1 : 0);
+
+  std::vector<ThreadState*> members;
+  members.reserve(static_cast<std::size_t>(size));
+  members.push_back(&ts);
+  for (Worker* w : workers) members.push_back(&w->state());
+
+  {
+    Team team(std::move(members), saved.icv, level, active);
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      workers[i]->assign(&team, static_cast<i32>(i) + 1, fn, args);
+    }
+    fn(ts.gtid, 0, args);
+    team.barrier_wait(0);
+    team.wait_all_checked_out();
+  }
+  Pool::instance().release(workers);
+  restore(ts, saved);
+}
+
+void fork_closure(const std::function<void()>& body, const ForkOptions& opts) {
+  void* args[1] = {const_cast<void*>(static_cast<const void*>(&body))};
+  fork_call(closure_trampoline, args, opts);
+}
+
+}  // namespace zomp::rt

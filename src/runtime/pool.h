@@ -1,0 +1,102 @@
+// Persistent worker-thread pool and the fork/join entry point.
+//
+// Fork semantics mirror libomp's __kmpc_fork_call, the entry point the
+// paper's outlined Zig regions target: the encountering ("master") thread
+// recruits workers, every member runs the outlined microtask, an implicit
+// task-draining barrier joins the team, and the workers return to the pool.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "runtime/ident.h"
+#include "runtime/team.h"
+
+namespace zomp::rt {
+
+/// Outlined parallel-region entry point: generated code receives its global
+/// thread id, its id within the team, and the shared-variable pointer array
+/// captured by the directive engine.
+using Microtask = void (*)(i32 gtid, i32 tid, void** args);
+
+struct ForkOptions {
+  /// Team size request (num_threads clause); 0 defers to pushed/ICV values.
+  i32 num_threads = 0;
+  /// `if` clause: false serialises the region (team of one).
+  bool if_clause = true;
+  SourceIdent ident{};
+};
+
+/// Runs `fn` on a new team. Blocks until every member has finished and
+/// passed the join barrier (all explicit tasks included). Reentrant: calling
+/// from inside a region forks a nested team subject to max-active-levels.
+void fork_call(Microtask fn, void** args, const ForkOptions& opts = {});
+
+/// Convenience overload for C++ callers: the closure is invoked once per
+/// team member.
+void fork_closure(const std::function<void()>& body,
+                  const ForkOptions& opts = {});
+
+/// One pooled OS thread. Parked on a mailbox between regions.
+class Worker {
+ public:
+  explicit Worker(i32 gtid);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Hands the worker a microtask for team `team`, member `tid`. The team's
+  /// constructor has already wired the worker's ThreadState.
+  void assign(Team* team, i32 tid, Microtask fn, void** args);
+
+  ThreadState& state() { return state_; }
+
+ private:
+  struct Job {
+    Team* team = nullptr;
+    i32 tid = 0;
+    Microtask fn = nullptr;
+    void** args = nullptr;
+  };
+
+  void loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<Job> job_;
+  bool shutdown_ = false;
+  ThreadState state_;
+  std::thread thread_;  // last member: starts after state_ is ready
+};
+
+/// Process-wide worker pool. Threads are spawned lazily up to the thread
+/// limit and live until process exit.
+class Pool {
+ public:
+  static Pool& instance();
+
+  /// Pops up to `want` idle workers, spawning new ones while the global
+  /// thread limit allows. May return fewer under contention or at the limit.
+  std::vector<Worker*> acquire(i32 want);
+
+  /// Returns workers to the idle list. Called by the master after the join
+  /// barrier, so reacquisition is deterministic for back-to-back regions.
+  void release(const std::vector<Worker*>& workers);
+
+  /// Total workers ever spawned (for tests/telemetry).
+  i32 spawned() const;
+
+ private:
+  Pool() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Worker>> all_;
+  std::vector<Worker*> idle_;
+};
+
+}  // namespace zomp::rt

@@ -1,0 +1,37 @@
+// Worksharing-loop schedule kinds (OpenMP `schedule` clause).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "runtime/common.h"
+
+namespace zomp::rt {
+
+/// OpenMP 5.2 schedule kinds supported by the worksharing engine.
+/// `kStatic` with chunk 0 means the "pure static" blocked distribution;
+/// with a chunk it is the round-robin chunked distribution.
+enum class ScheduleKind : i32 {
+  kStatic = 0,
+  kDynamic = 1,
+  kGuided = 2,
+  kAuto = 3,     // implementation picks; we map it to static
+  kRuntime = 4,  // read kind/chunk from the `run-sched-var` ICV
+};
+
+struct Schedule {
+  ScheduleKind kind = ScheduleKind::kStatic;
+  i64 chunk = 0;  // 0 = unspecified
+
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+};
+
+/// Parses the OMP_SCHEDULE syntax: `kind[,chunk]`, e.g. "dynamic,4".
+/// Returns nullopt on malformed input (callers fall back to the default and
+/// emit a warning, matching libomp's tolerance of bad environments).
+std::optional<Schedule> parse_schedule(const std::string& text);
+
+/// Human-readable name, for diagnostics and bench labels.
+const char* schedule_kind_name(ScheduleKind kind);
+
+}  // namespace zomp::rt

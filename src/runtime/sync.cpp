@@ -1,0 +1,25 @@
+#include "runtime/sync.h"
+
+namespace zomp::rt {
+
+CriticalRegistry& CriticalRegistry::instance() {
+  static CriticalRegistry registry;
+  return registry;
+}
+
+Lock* CriticalRegistry::get(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = locks_[name];
+  if (!slot) slot = std::make_unique<Lock>();
+  return slot.get();
+}
+
+void critical_enter(const std::string& name) {
+  CriticalRegistry::instance().get(name)->set();
+}
+
+void critical_exit(const std::string& name) {
+  CriticalRegistry::instance().get(name)->unset();
+}
+
+}  // namespace zomp::rt

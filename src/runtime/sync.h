@@ -1,0 +1,39 @@
+// Mutual-exclusion constructs: critical sections (named and unnamed) and the
+// atomic-update helpers generated code calls for `omp atomic` on types with
+// no native std::atomic support path.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/common.h"
+#include "runtime/lock.h"
+
+namespace zomp::rt {
+
+/// Process-wide registry of named critical sections. OpenMP gives all
+/// unnamed critical constructs one shared identity; named ones get a mutex
+/// per distinct name across the whole program, not per team.
+class CriticalRegistry {
+ public:
+  static CriticalRegistry& instance();
+
+  /// Returns the lock for `name` (empty string = the unnamed critical).
+  /// The pointer is stable for the process lifetime, so call sites may cache
+  /// it (generated code does).
+  Lock* get(const std::string& name);
+
+ private:
+  CriticalRegistry() = default;
+
+  std::mutex mutex_;
+  // Pointer stability across rehash is required; node-based map suffices.
+  std::unordered_map<std::string, std::unique_ptr<Lock>> locks_;
+};
+
+void critical_enter(const std::string& name);
+void critical_exit(const std::string& name);
+
+}  // namespace zomp::rt

@@ -1,0 +1,48 @@
+#include "runtime/task.h"
+
+namespace zomp::rt {
+
+TaskPool::TaskPool(i32 members) {
+  queues_.reserve(static_cast<std::size_t>(members));
+  for (i32 i = 0; i < members; ++i) {
+    queues_.push_back(std::make_unique<MemberQueue>());
+  }
+}
+
+void TaskPool::push(i32 tid, std::unique_ptr<Task> task) {
+  ZOMP_CHECK(tid >= 0 && tid < static_cast<i32>(queues_.size()),
+             "task push from non-member thread");
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  MemberQueue& q = *queues_[static_cast<std::size_t>(tid)];
+  const std::lock_guard<std::mutex> lock(q.mutex);
+  q.deque.push_back(std::move(task));
+}
+
+std::unique_ptr<Task> TaskPool::take(i32 tid) {
+  const auto n = static_cast<i32>(queues_.size());
+  ZOMP_CHECK(tid >= 0 && tid < n, "task take from non-member thread");
+  // Own queue first, LIFO for locality.
+  {
+    MemberQueue& q = *queues_[static_cast<std::size_t>(tid)];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.deque.empty()) {
+      auto task = std::move(q.deque.back());
+      q.deque.pop_back();
+      return task;
+    }
+  }
+  // Steal FIFO from siblings, starting just after ourselves so victims are
+  // spread without needing randomness.
+  for (i32 k = 1; k < n; ++k) {
+    MemberQueue& q = *queues_[static_cast<std::size_t>((tid + k) % n)];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.deque.empty()) {
+      auto task = std::move(q.deque.front());
+      q.deque.pop_front();
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace zomp::rt

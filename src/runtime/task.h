@@ -1,0 +1,70 @@
+// Explicit tasking (OpenMP `task`, `taskwait`, `taskgroup`).
+//
+// The paper lists tasking as future work for the Zig port; we implement it as
+// the documented extension so the runtime covers the OpenMP feature families
+// a downstream user expects. Scheduling model: one double-ended queue per
+// team member (owner pushes/pops the back, thieves take the front), a
+// team-wide outstanding-task count that the task-aware barrier drains, and
+// parent/child counting for `taskwait` plus group counting for `taskgroup`.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "runtime/common.h"
+
+namespace zomp::rt {
+
+struct TaskGroup {
+  std::atomic<i64> active{0};
+  TaskGroup* parent = nullptr;
+};
+
+/// Execution context shared by implicit tasks (one per team member) and
+/// explicit tasks. Tracks outstanding children for taskwait and the
+/// innermost live taskgroup.
+struct TaskContext {
+  std::atomic<i64> children{0};
+  TaskGroup* group = nullptr;
+};
+
+struct Task {
+  std::function<void()> body;
+  TaskContext ctx;           ///< context for code running inside this task
+  TaskContext* parent = nullptr;
+  TaskGroup* group = nullptr;
+};
+
+/// Per-team task queues. Thread-safe for the owning team's members.
+class TaskPool {
+ public:
+  explicit TaskPool(i32 members);
+
+  /// Enqueues `task` on member `tid`'s deque. Caller has already linked the
+  /// task into its parent/group counts.
+  void push(i32 tid, std::unique_ptr<Task> task);
+
+  /// Pops from `tid`'s own deque, or steals from a sibling. Returns nullptr
+  /// if no task is available right now.
+  std::unique_ptr<Task> take(i32 tid);
+
+  /// Tasks queued but not yet finished executing.
+  i64 outstanding() const { return outstanding_.load(std::memory_order_acquire); }
+
+  /// Called by the executor once a task's body has fully completed.
+  void mark_finished() { outstanding_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  struct alignas(kCacheLine) MemberQueue {
+    std::mutex mutex;
+    std::deque<std::unique_ptr<Task>> deque;
+  };
+
+  std::vector<std::unique_ptr<MemberQueue>> queues_;
+  alignas(kCacheLine) std::atomic<i64> outstanding_{0};
+};
+
+}  // namespace zomp::rt

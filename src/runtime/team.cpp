@@ -1,0 +1,299 @@
+#include "runtime/team.h"
+
+#include <algorithm>
+
+namespace zomp::rt {
+
+namespace {
+
+thread_local ThreadState* tls_state = nullptr;
+
+std::atomic<i32>& gtid_counter() {
+  static std::atomic<i32> counter{0};
+  return counter;
+}
+
+}  // namespace
+
+void bind_thread_state(ThreadState* state) { tls_state = state; }
+
+i32 allocate_gtid() {
+  return gtid_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+ThreadState& current_thread() {
+  if (tls_state == nullptr) {
+    // First runtime contact on this thread (the bootstrap thread or a
+    // user-created std::thread): give it a root state bound to a serial team.
+    thread_local std::unique_ptr<ThreadState> root;
+    root = std::make_unique<ThreadState>();
+    root->gtid = allocate_gtid();
+    root->icv = GlobalIcv::instance().initial();
+    tls_state = root.get();
+    root->serial_team = std::make_unique<Team>(
+        std::vector<ThreadState*>{root.get()}, root->icv, /*level=*/0,
+        /*active_level=*/0);
+  }
+  return *tls_state;
+}
+
+Team::Team(std::vector<ThreadState*> members, Icv icv, i32 level,
+           i32 active_level)
+    : members_(std::move(members)),
+      icv_(icv),
+      level_(level),
+      active_level_(active_level),
+      implicit_ctx_(members_.size()),
+      tasks_(static_cast<i32>(members_.size())) {
+  ZOMP_CHECK(!members_.empty(), "team must have at least one member");
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    ThreadState& ts = *members_[i];
+    ts.team = this;
+    ts.tid = static_cast<i32>(i);
+    ts.icv = icv_;
+    ts.ws_seq = 0;
+    ts.single_seq = 0;
+    ts.dispatch = MemberDispatch{};
+    ts.current_task = &implicit_ctx_[i];
+  }
+}
+
+void Team::barrier_wait(i32 tid) {
+  ThreadState& ts = member(tid);
+  if (size() == 1) {
+    Backoff backoff;
+    while (tasks_.outstanding() > 0) {
+      if (!run_one_task(ts)) backoff.pause();
+    }
+    return;
+  }
+  const u64 epoch = bar_epoch_.load(std::memory_order_acquire);
+  if (bar_arrived_.fetch_add(1, std::memory_order_acq_rel) == size() - 1) {
+    // Last arriver: drain the team's tasks (helping), then open the gate.
+    Backoff backoff;
+    while (tasks_.outstanding() > 0) {
+      if (run_one_task(ts)) {
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+    bar_arrived_.store(0, std::memory_order_relaxed);
+    bar_epoch_.store(epoch + 1, std::memory_order_release);
+    return;
+  }
+  Backoff backoff;
+  while (bar_epoch_.load(std::memory_order_acquire) == epoch) {
+    if (run_one_task(ts)) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+void Team::dispatch_init(ThreadState& ts, Schedule schedule, i64 lo, i64 hi,
+                         i64 step) {
+  ZOMP_CHECK(ts.team == this, "dispatch_init from non-member thread");
+  Schedule resolved = schedule;
+  if (resolved.kind == ScheduleKind::kRuntime) {
+    resolved = ts.icv.run_sched;
+    if (resolved.kind == ScheduleKind::kRuntime) {
+      resolved = Schedule{ScheduleKind::kStatic, 0};  // defensive default
+    }
+  }
+
+  const u64 seq = ++ts.ws_seq;
+  DispatchSlot& slot = dispatch_ring_[seq % kDispatchRing];
+
+  bool initialised = false;
+  Backoff backoff;
+  for (;;) {
+    u64 expected = 0;
+    if (slot.owner_seq.compare_exchange_strong(expected, seq,
+                                               std::memory_order_acq_rel)) {
+      initialised = true;
+      break;
+    }
+    if (expected == seq) break;  // another member initialised construct #seq
+    // Slot still owned by an older construct (fast threads under nowait);
+    // wait for it to drain — this is the ring's natural backpressure.
+    ZOMP_CHECK(expected < seq, "worksharing constructs encountered out of order");
+    backoff.pause();
+  }
+
+  if (initialised) {
+    slot.kind = resolved.kind;
+    slot.lo = lo;
+    slot.hi = hi;
+    slot.step = step;
+    slot.chunk = resolved.chunk;
+    slot.trips = trip_count(lo, hi, step);
+    slot.nthreads = size();
+    slot.next.store(0, std::memory_order_relaxed);
+    slot.done_members.store(0, std::memory_order_relaxed);
+    // Reset the ordered turnstile here, before `ready` is published: every
+    // member waits for `ready` before claiming a chunk, so no iteration can
+    // observe a stale turnstile value. Safe even while an unrelated nowait
+    // loop is still draining, because ordered loops end in a barrier and
+    // non-ordered loops never read the turnstile.
+    ordered_next_.store(0, std::memory_order_relaxed);
+    slot.ready.store(true, std::memory_order_release);
+  } else {
+    Backoff wait;
+    while (!slot.ready.load(std::memory_order_acquire)) wait.pause();
+  }
+
+  ts.dispatch.slot = &slot;
+  ts.dispatch.seq = seq;
+  ts.dispatch.last_chunk = false;
+  if (slot.kind == ScheduleKind::kStatic || slot.kind == ScheduleKind::kAuto) {
+    dispatch_init_static_cursor(slot, ts.dispatch, ts.tid);
+  }
+}
+
+bool Team::dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast) {
+  DispatchSlot* slot = ts.dispatch.slot;
+  ZOMP_CHECK(slot != nullptr, "dispatch_next without dispatch_init");
+  bool last = false;
+  if (dispatch_next_chunk(*slot, ts.dispatch, ts.tid, plo, phi, &last)) {
+    ts.dispatch.last_chunk = last;
+    if (plast != nullptr) *plast = last;
+    return true;
+  }
+  // Exhausted for this member: detach; the last member to detach frees the
+  // slot for reuse by a later construct.
+  ts.dispatch.slot = nullptr;
+  if (slot->done_members.fetch_add(1, std::memory_order_acq_rel) ==
+      slot->nthreads - 1) {
+    slot->ready.store(false, std::memory_order_relaxed);
+    slot->owner_seq.store(0, std::memory_order_release);
+  }
+  return false;
+}
+
+bool Team::single_begin(ThreadState& ts) {
+  ZOMP_CHECK(ts.team == this, "single from non-member thread");
+  const u64 seq = ++ts.single_seq;
+  // First arriver for construct #seq observes the counter at seq-1 (a member
+  // cannot reach construct k+1 without construct k having been claimed) and
+  // advances it; everyone else fails the exchange and skips the block.
+  u64 expected = seq - 1;
+  return single_counter_.compare_exchange_strong(expected, seq,
+                                                 std::memory_order_acq_rel);
+}
+
+void Team::ordered_enter(ThreadState& ts, i64 index) {
+  (void)ts;
+  Backoff backoff;
+  while (ordered_next_.load(std::memory_order_acquire) != index) {
+    backoff.pause();
+  }
+}
+
+void Team::ordered_exit(ThreadState& ts, i64 index) {
+  (void)ts;
+  ordered_next_.store(index + 1, std::memory_order_release);
+}
+
+void Team::task_create(ThreadState& ts, std::function<void()> body,
+                       bool deferred) {
+  ZOMP_CHECK(ts.team == this, "task created from non-member thread");
+  if (!deferred || size() == 1) {
+    // Undeferred (if(false)) and serial-team tasks run immediately in a
+    // fresh context so nested taskwait/taskgroup still behave.
+    TaskContext inline_ctx;
+    inline_ctx.group = ts.current_task->group;
+    TaskContext* saved = ts.current_task;
+    ts.current_task = &inline_ctx;
+    body();
+    // The inline task's own children must finish before it completes.
+    Backoff backoff;
+    while (inline_ctx.children.load(std::memory_order_acquire) > 0) {
+      if (!run_one_task(ts)) backoff.pause();
+    }
+    ts.current_task = saved;
+    return;
+  }
+  auto task = std::make_unique<Task>();
+  task->body = std::move(body);
+  task->parent = ts.current_task;
+  task->group = ts.current_task->group;
+  task->parent->children.fetch_add(1, std::memory_order_acq_rel);
+  if (task->group != nullptr) {
+    task->group->active.fetch_add(1, std::memory_order_acq_rel);
+  }
+  tasks_.push(ts.tid, std::move(task));
+}
+
+void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task) {
+  TaskContext* saved = ts.current_task;
+  task->ctx.group = task->group;  // descendants join the same group
+  ts.current_task = &task->ctx;
+  task->body();
+  // Children of this task must complete before the task itself does
+  // (OpenMP's implicit task completion ordering for taskwait counting is
+  // handled by the parent's explicit waits; here we only keep the counters
+  // sound: a finished task must not leave live children unaccounted).
+  Backoff backoff;
+  while (task->ctx.children.load(std::memory_order_acquire) > 0) {
+    if (run_one_task(ts)) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+  ts.current_task = saved;
+  if (task->group != nullptr) {
+    task->group->active.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  task->parent->children.fetch_sub(1, std::memory_order_acq_rel);
+  tasks_.mark_finished();
+}
+
+bool Team::run_one_task(ThreadState& ts) {
+  auto task = tasks_.take(ts.tid);
+  if (!task) return false;
+  execute_task(ts, std::move(task));
+  return true;
+}
+
+void Team::taskwait(ThreadState& ts) {
+  Backoff backoff;
+  while (ts.current_task->children.load(std::memory_order_acquire) > 0) {
+    if (run_one_task(ts)) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+}
+
+void Team::taskgroup_begin(ThreadState& ts, TaskGroup& group) {
+  group.parent = ts.current_task->group;
+  group.active.store(0, std::memory_order_relaxed);
+  ts.current_task->group = &group;
+}
+
+void Team::taskgroup_end(ThreadState& ts, TaskGroup& group) {
+  ZOMP_CHECK(ts.current_task->group == &group,
+             "mismatched taskgroup begin/end");
+  Backoff backoff;
+  while (group.active.load(std::memory_order_acquire) > 0) {
+    if (run_one_task(ts)) {
+      backoff.reset();
+    } else {
+      backoff.pause();
+    }
+  }
+  ts.current_task->group = group.parent;
+}
+
+void Team::wait_all_checked_out() {
+  Backoff backoff;
+  while (checked_out_.load(std::memory_order_acquire) != size() - 1) {
+    backoff.pause();
+  }
+}
+
+}  // namespace zomp::rt

@@ -1,0 +1,182 @@
+// Thread teams and per-thread runtime state.
+//
+// A Team is the runtime object behind one parallel region: its members, its
+// task-aware barrier, the worksharing dispatch ring, and the per-construct
+// counters that give `single`/`ordered` their identities. ThreadState is the
+// per-OS-thread view (libomp's "thread descriptor"): which team the thread is
+// in, its id, its data environment (ICVs), and its worksharing cursors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "runtime/common.h"
+#include "runtime/icv.h"
+#include "runtime/task.h"
+#include "runtime/worksharing.h"
+
+namespace zomp::rt {
+
+class Team;
+class Worker;
+
+/// Per-OS-thread runtime state. Exactly one per thread that ever touches the
+/// runtime; reachable via `current_thread()`.
+struct ThreadState {
+  i32 gtid = 0;   ///< process-wide thread id (0 = the bootstrap thread)
+  i32 tid = 0;    ///< id within the innermost team
+  Team* team = nullptr;  ///< innermost team; never null after binding
+  Icv icv;        ///< this thread's data environment
+  i32 pushed_num_threads = 0;  ///< one-shot num_threads for the next fork
+
+  u64 ws_seq = 0;      ///< worksharing constructs encountered in this region
+  u64 single_seq = 0;  ///< single constructs encountered in this region
+  MemberDispatch dispatch;  ///< cursor for the in-flight dispatch construct
+
+  /// Innermost executing task context; points into the team's implicit-task
+  /// array between explicit tasks.
+  TaskContext* current_task = nullptr;
+
+  Worker* worker = nullptr;  ///< pool worker backing this state, if any
+
+  /// Lazily-created size-1 team used when this thread executes runtime
+  /// constructs outside any parallel region (orphaned constructs bind to an
+  /// implicit team of one, per the spec).
+  std::unique_ptr<Team> serial_team;
+};
+
+/// Returns (creating on first use) the calling thread's runtime state, bound
+/// to its serial team if the thread is not currently in a parallel region.
+ThreadState& current_thread();
+
+/// Binds `state` as the calling thread's runtime state. Called once by pool
+/// worker threads before they accept work.
+void bind_thread_state(ThreadState* state);
+
+/// Hands out process-unique global thread ids (shared by pool workers and
+/// user threads that touch the runtime).
+i32 allocate_gtid();
+
+/// The team executing one parallel region. Construction wires every member's
+/// ThreadState; the master thread owns the object and destroys it after all
+/// members have checked out.
+class Team {
+ public:
+  /// `members` are the ThreadStates participating, index == tid. Level
+  /// counters follow OpenMP semantics: `level` counts enclosing parallel
+  /// regions, `active_level` only those with size > 1.
+  Team(std::vector<ThreadState*> members, Icv icv, i32 level, i32 active_level);
+
+  Team(const Team&) = delete;
+  Team& operator=(const Team&) = delete;
+
+  i32 size() const { return static_cast<i32>(members_.size()); }
+  i32 level() const { return level_; }
+  i32 active_level() const { return active_level_; }
+  const Icv& icv() const { return icv_; }
+  ThreadState& member(i32 tid) { return *members_[static_cast<std::size_t>(tid)]; }
+
+  /// Task-aware barrier: no member leaves until every member has arrived and
+  /// every outstanding explicit task of the team has completed. Members help
+  /// execute tasks while they wait.
+  void barrier_wait(i32 tid);
+
+  // -- Worksharing dispatch ------------------------------------------------
+
+  /// Binds the calling member to the dispatch slot for its next worksharing
+  /// construct, initialising the slot if this member arrives first.
+  /// `schedule(runtime)` is resolved against the member's ICVs here.
+  void dispatch_init(ThreadState& ts, Schedule schedule, i64 lo, i64 hi,
+                     i64 step);
+
+  /// Claims the next chunk. Returns false (and detaches the member from the
+  /// slot, freeing it once all members detached) when exhausted.
+  bool dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast);
+
+  // -- Per-construct identities ---------------------------------------------
+
+  /// True for exactly one member per `single` construct instance.
+  bool single_begin(ThreadState& ts);
+
+  // -- Ordered regions -------------------------------------------------------
+
+  /// Blocks until all iterations before normalised index `index` of the
+  /// current ordered loop have released their ordered region. Ordered loops
+  /// are always lowered through the dispatch path, whose init resets the
+  /// turnstile before any member can claim a chunk.
+  void ordered_enter(ThreadState& ts, i64 index);
+  void ordered_exit(ThreadState& ts, i64 index);
+
+  // -- Tasking ----------------------------------------------------------------
+
+  TaskPool& tasks() { return tasks_; }
+
+  /// Creates (or, for size-1 teams and `if(false)` tasks, runs inline) an
+  /// explicit task whose body is `body`.
+  void task_create(ThreadState& ts, std::function<void()> body,
+                   bool deferred = true);
+
+  /// Task scheduling point: waits until the current task's children finished,
+  /// executing queued tasks while waiting.
+  void taskwait(ThreadState& ts);
+
+  void taskgroup_begin(ThreadState& ts, TaskGroup& group);
+  void taskgroup_end(ThreadState& ts, TaskGroup& group);
+
+  /// Runs queued tasks until the pool is momentarily empty. Used by tests and
+  /// by the join path.
+  bool run_one_task(ThreadState& ts);
+
+  // -- Reduction scratch ------------------------------------------------------
+
+  /// Fixed team-shared storage for in-region reductions (hl.h). Two buffers,
+  /// alternated per construct instance, so a member reading the result of
+  /// construct k can never race the initialisation of construct k+1.
+  static constexpr std::size_t kReduceStorageBytes = 64;
+  void* reduction_storage(std::size_t parity) {
+    return &reduce_storage_[parity & 1][0];
+  }
+
+  // -- Join bookkeeping ------------------------------------------------------
+
+  /// Non-master members call this as their very last access to the team.
+  void check_out() { checked_out_.fetch_add(1, std::memory_order_release); }
+
+  /// Master blocks until all other members have checked out, making it safe
+  /// to destroy the team.
+  void wait_all_checked_out();
+
+ private:
+  static constexpr i32 kDispatchRing = 8;
+
+  void execute_task(ThreadState& ts, std::unique_ptr<Task> task);
+
+  std::vector<ThreadState*> members_;
+  Icv icv_;
+  i32 level_ = 0;
+  i32 active_level_ = 0;
+
+  // Task-aware sense barrier (epoch-based so members need no local flag).
+  alignas(kCacheLine) std::atomic<i32> bar_arrived_{0};
+  alignas(kCacheLine) std::atomic<u64> bar_epoch_{0};
+
+  DispatchSlot dispatch_ring_[kDispatchRing];
+
+  alignas(kCacheLine) std::atomic<u64> single_counter_{0};
+
+  // One ordered loop in flight at a time (ordered + nowait is rejected by the
+  // directive engine, so the enclosing loop's barrier serialises instances).
+  alignas(kCacheLine) std::atomic<i64> ordered_next_{0};
+
+  /// Implicit-task contexts, one per member (index == tid). Owned by the
+  /// team so nested regions cannot corrupt an outer region's child counts.
+  std::vector<TaskContext> implicit_ctx_;
+
+  TaskPool tasks_;
+
+  alignas(kCacheLine) unsigned char reduce_storage_[2][kReduceStorageBytes] = {};
+
+  alignas(kCacheLine) std::atomic<i32> checked_out_{0};
+};
+
+}  // namespace zomp::rt

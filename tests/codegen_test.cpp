@@ -1,0 +1,272 @@
+// Code generator tests: the emitted C++ must target the zomp ABI with the
+// documented shapes (fork + void** trampoline, static-init bounds,
+// dispatch-next loops), honour the safety flag, and expose pub functions.
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.h"
+#include "core/pipeline.h"
+
+namespace zomp::codegen {
+namespace {
+
+std::string gen(const std::string& source, CodegenOptions options = {}) {
+  auto result = core::compile_source(source, {true, "g"});
+  EXPECT_TRUE(result.ok) << result.diagnostics_text();
+  if (!result.ok) return "";
+  return emit_cpp(*result.module, options);
+}
+
+TEST(CppTypeTest, Spellings) {
+  EXPECT_EQ(cpp_type(lang::Type::i64()), "std::int64_t");
+  EXPECT_EQ(cpp_type(lang::Type::f64()), "double");
+  EXPECT_EQ(cpp_type(lang::Type::boolean()), "bool");
+  EXPECT_EQ(cpp_type(lang::Type::void_type()), "void");
+  EXPECT_EQ(cpp_type(lang::Type::slice_of(lang::ScalarKind::kF64)),
+            "mz::Slice<double>");
+  EXPECT_EQ(cpp_type(lang::Type::pointer_to(lang::ScalarKind::kI64)),
+            "std::int64_t*");
+}
+
+TEST(CodegenTest, ForkEmitsArgsArrayAndTrampoline) {
+  const std::string cpp = gen(R"(
+fn f() void {
+  var total: i64 = 0;
+  //#omp parallel
+  {
+    total += 1;
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_fork_call("), std::string::npos);
+  EXPECT_NE(cpp.find("_mt(std::int32_t __gtid, std::int32_t __tid, void** __args)"),
+            std::string::npos);
+  // Shared scalar: reference parameter, address in the args array.
+  EXPECT_NE(cpp.find("std::int64_t&"), std::string::npos);
+  EXPECT_NE(cpp.find("(void*)&total_"), std::string::npos);
+}
+
+TEST(CodegenTest, StaticScheduleUsesStaticInit) {
+  const std::string cpp = gen(R"(
+fn f(x: []f64) void {
+  const n: i64 = x.len;
+  //#omp parallel for schedule(static)
+  for (0..n) |i| {
+    x[i] = 0.0;
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_for_static_init("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_for_static_fini("), std::string::npos);
+  EXPECT_EQ(cpp.find("zomp_dispatch_init("), std::string::npos);
+}
+
+TEST(CodegenTest, DynamicScheduleUsesDispatch) {
+  const std::string cpp = gen(R"(
+fn f(x: []f64) void {
+  const n: i64 = x.len;
+  //#omp parallel for schedule(dynamic, 4)
+  for (0..n) |i| {
+    x[i] = 0.0;
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_dispatch_init("), std::string::npos);
+  EXPECT_NE(cpp.find("while (zomp_dispatch_next("), std::string::npos);
+}
+
+TEST(CodegenTest, OrderedLoopForcedThroughDispatch) {
+  const std::string cpp = gen(R"(
+fn f(x: []f64) void {
+  const n: i64 = x.len;
+  //#omp parallel for ordered schedule(static)
+  for (0..n) |i| {
+    //#omp ordered
+    {
+      x[i] = 1.0;
+    }
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_dispatch_init("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_ordered("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_end_ordered("), std::string::npos);
+}
+
+TEST(CodegenTest, ReductionEmitsIdentityAndCriticalCombine) {
+  const std::string cpp = gen(R"(
+fn f(n: i64) f64 {
+  var s: f64 = 0.0;
+  //#omp parallel for reduction(min: s)
+  for (0..n) |i| {
+    s = @min(s, @floatFromInt(i));
+  }
+  return s;
+}
+)");
+  EXPECT_NE(cpp.find("std::numeric_limits<double>::infinity()"),
+            std::string::npos);
+  EXPECT_NE(cpp.find("zomp_reduce_enter("), std::string::npos);
+  EXPECT_NE(cpp.find("mz::mz_min("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_reduce_exit("), std::string::npos);
+}
+
+TEST(CodegenTest, SinglesCriticalsMastersBarriers) {
+  const std::string cpp = gen(R"(
+fn f() void {
+  var t: i64 = 0;
+  //#omp parallel
+  {
+    //#omp single
+    {
+      t += 1;
+    }
+    //#omp critical(name)
+    {
+      t += 1;
+    }
+    //#omp master
+    {
+      t += 1;
+    }
+    //#omp barrier
+  }
+}
+)");
+  EXPECT_NE(cpp.find("if (zomp_single("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_end_single("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_critical("), std::string::npos);
+  EXPECT_NE(cpp.find("\"name\""), std::string::npos);
+  EXPECT_NE(cpp.find("if (zomp_master("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_barrier("), std::string::npos);
+}
+
+TEST(CodegenTest, AtomicMapsToTypedEntryPoint) {
+  const std::string cpp = gen(R"(
+fn f(x: []f64, c: []i64) void {
+  //#omp parallel
+  {
+    //#omp atomic
+    x[0] += 1.5;
+    //#omp atomic
+    c[0] += 2;
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_atomic_add_f64(&("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_atomic_add_i64(&("), std::string::npos);
+}
+
+TEST(CodegenTest, TaskEmitsPackAndThunk) {
+  const std::string cpp = gen(R"(
+fn f(v: i64) void {
+  //#omp parallel
+  {
+    //#omp task
+    {
+      var w: i64 = v + 1;
+      w += 1;
+    }
+    //#omp taskwait
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_task("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_taskwait("), std::string::npos);
+  EXPECT_NE(cpp.find("sizeof("), std::string::npos);
+}
+
+TEST(CodegenTest, SafetyFlagEmitsDefine) {
+  const std::string source = R"(
+fn f(x: []f64) f64 { return x[0]; }
+)";
+  CodegenOptions safe;
+  safe.safety_checks = true;
+  EXPECT_NE(gen(source, safe).find("#define ZOMP_MZ_SAFE 1"),
+            std::string::npos);
+  EXPECT_EQ(gen(source).find("#define ZOMP_MZ_SAFE"), std::string::npos);
+}
+
+TEST(CodegenTest, PubFunctionsHaveExternalLinkage) {
+  const std::string cpp = gen(R"(
+pub fn api(x: []f64) f64 { return x[0]; }
+fn internal() void {}
+)");
+  EXPECT_NE(cpp.find("double api(mz::Slice<double>"), std::string::npos);
+  EXPECT_NE(cpp.find("static void internal()"), std::string::npos);
+}
+
+TEST(CodegenTest, ExternFunctionsDeclaredWithCLinkage) {
+  const std::string cpp = gen(R"(
+extern fn cg_solve_(n: *i64, x: *f64) void;
+fn f() void {
+  var n: i64 = 3;
+  var v: f64 = 0.0;
+  cg_solve_(&n, &v);
+}
+)");
+  EXPECT_NE(cpp.find("extern \"C\""), std::string::npos);
+  EXPECT_NE(cpp.find("void cg_solve_(std::int64_t*, double*);"),
+            std::string::npos);
+}
+
+TEST(CodegenTest, WhileContinueExpressionBecomesForStep) {
+  const std::string cpp = gen(R"(
+fn f(n: i64) i64 {
+  var i: i64 = 0;
+  var s: i64 = 0;
+  while (i < n) : (i += 2) {
+    if (i == 4) { continue; }
+    s += i;
+  }
+  return s;
+}
+)");
+  // `continue` must still run the step: emitted as a for statement.
+  EXPECT_NE(cpp.find("for (; "), std::string::npos);
+  EXPECT_NE(cpp.find("+= INT64_C(2))"), std::string::npos);
+}
+
+TEST(CodegenTest, EmitMainWrapsPubMain) {
+  CodegenOptions with_main;
+  with_main.emit_main = true;
+  const std::string cpp = gen("pub fn main() void { @print(1); }", with_main);
+  EXPECT_NE(cpp.find("int main() {"), std::string::npos);
+}
+
+TEST(CodegenHeaderTest, DeclaresOnlyPubFunctions) {
+  auto result = core::compile_source(R"(
+pub fn visible(a: i64) i64 { return a; }
+fn hidden() void {}
+)",
+                                     {true, "h"});
+  ASSERT_TRUE(result.ok);
+  const std::string header = emit_header(*result.module);
+  EXPECT_NE(header.find("std::int64_t visible(std::int64_t a);"),
+            std::string::npos);
+  EXPECT_EQ(header.find("hidden"), std::string::npos);
+  EXPECT_NE(header.find("#pragma once"), std::string::npos);
+}
+
+TEST(CodegenTest, NumThreadsAndIfClauses) {
+  const std::string cpp = gen(R"(
+fn f(n: i64) void {
+  var t: i64 = 0;
+  //#omp parallel num_threads(4) if(n > 10)
+  {
+    t += 1;
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_push_num_threads("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_fork_call_if("), std::string::npos);
+}
+
+TEST(CodegenTest, StringEscapesInPrint) {
+  const std::string cpp = gen(R"(
+fn f() void { @print("a\"b\n"); }
+)");
+  EXPECT_NE(cpp.find(R"(mz::print("a\"b\n"))"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zomp::codegen

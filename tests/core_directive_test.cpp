@@ -1,0 +1,192 @@
+// Directive-clause grammar tests (core/directive_parser.h) — the parsing half
+// of the paper's contribution.
+#include <gtest/gtest.h>
+
+#include "core/directive_parser.h"
+
+namespace zomp::core {
+namespace {
+
+std::unique_ptr<Directive> parse_ok(const std::string& text) {
+  lang::Diagnostics diags;
+  auto d = parse_directive(text, lang::SourceLoc{}, diags);
+  EXPECT_NE(d, nullptr) << text;
+  EXPECT_FALSE(diags.has_errors()) << text;
+  return d;
+}
+
+void parse_fail(const std::string& text, const std::string& fragment = "") {
+  lang::Diagnostics diags;
+  auto d = parse_directive(text, lang::SourceLoc{}, diags);
+  EXPECT_EQ(d, nullptr) << text;
+  EXPECT_TRUE(diags.has_errors()) << text;
+  if (!fragment.empty()) {
+    bool found = false;
+    for (const auto& diag : diags.all()) {
+      if (diag.message.find(fragment) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << "wanted '" << fragment << "' for: " << text;
+  }
+}
+
+TEST(DirectiveParserTest, BareConstructs) {
+  EXPECT_EQ(parse_ok(" parallel")->kind, DirectiveKind::kParallel);
+  EXPECT_EQ(parse_ok(" for")->kind, DirectiveKind::kFor);
+  EXPECT_EQ(parse_ok(" parallel for")->kind, DirectiveKind::kParallelFor);
+  EXPECT_EQ(parse_ok(" barrier")->kind, DirectiveKind::kBarrier);
+  EXPECT_EQ(parse_ok(" critical")->kind, DirectiveKind::kCritical);
+  EXPECT_EQ(parse_ok(" single")->kind, DirectiveKind::kSingle);
+  EXPECT_EQ(parse_ok(" master")->kind, DirectiveKind::kMaster);
+  EXPECT_EQ(parse_ok(" atomic")->kind, DirectiveKind::kAtomic);
+  EXPECT_EQ(parse_ok(" ordered")->kind, DirectiveKind::kOrdered);
+  EXPECT_EQ(parse_ok(" task")->kind, DirectiveKind::kTask);
+  EXPECT_EQ(parse_ok(" taskwait")->kind, DirectiveKind::kTaskwait);
+}
+
+TEST(DirectiveParserTest, UnknownDirectiveRejected) {
+  parse_fail(" sections", "unknown OpenMP directive");
+  parse_fail(" paralel", "unknown OpenMP directive");
+}
+
+TEST(DirectiveParserTest, DataSharingLists) {
+  auto d = parse_ok(" parallel shared(a, b) private(c) firstprivate(d, e)");
+  EXPECT_EQ(d->shared_vars, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(d->private_vars, (std::vector<std::string>{"c"}));
+  EXPECT_EQ(d->firstprivate_vars, (std::vector<std::string>{"d", "e"}));
+}
+
+TEST(DirectiveParserTest, DefaultClause) {
+  EXPECT_EQ(parse_ok(" parallel default(shared)")->default_mode,
+            DefaultKind::kShared);
+  EXPECT_EQ(parse_ok(" parallel default(none)")->default_mode,
+            DefaultKind::kNone);
+  parse_fail(" parallel default(private)", "default");
+}
+
+TEST(DirectiveParserTest, ReductionOperators) {
+  using lang::ReduceOp;
+  const std::pair<const char*, ReduceOp> cases[] = {
+      {" parallel reduction(+: s)", ReduceOp::kAdd},
+      {" parallel reduction(-: s)", ReduceOp::kSub},
+      {" parallel reduction(*: s)", ReduceOp::kMul},
+      {" parallel reduction(min: s)", ReduceOp::kMin},
+      {" parallel reduction(max: s)", ReduceOp::kMax},
+      {" parallel reduction(&: s)", ReduceOp::kBitAnd},
+      {" parallel reduction(|: s)", ReduceOp::kBitOr},
+      {" parallel reduction(^: s)", ReduceOp::kBitXor},
+      {" parallel reduction(and: s)", ReduceOp::kLogAnd},
+      {" parallel reduction(or: s)", ReduceOp::kLogOr},
+  };
+  for (const auto& [text, op] : cases) {
+    auto d = parse_ok(text);
+    ASSERT_EQ(d->reductions.size(), 1u) << text;
+    EXPECT_EQ(d->reductions[0].op, op) << text;
+    EXPECT_EQ(d->reductions[0].vars, std::vector<std::string>{"s"}) << text;
+  }
+}
+
+TEST(DirectiveParserTest, ReductionMultipleVarsAndClauses) {
+  auto d = parse_ok(" parallel for reduction(+: a, b) reduction(max: c)");
+  ASSERT_EQ(d->reductions.size(), 2u);
+  EXPECT_EQ(d->reductions[0].vars, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(d->reductions[1].vars, (std::vector<std::string>{"c"}));
+}
+
+TEST(DirectiveParserTest, ReductionErrors) {
+  parse_fail(" parallel reduction(%: s)", "reduction operator");
+  parse_fail(" parallel reduction(+ s)", "':'");
+  parse_fail(" parallel reduction(+:)", "variable names");
+}
+
+TEST(DirectiveParserTest, ScheduleClause) {
+  using K = lang::ScheduleSpec::Kind;
+  EXPECT_EQ(parse_ok(" for schedule(static)")->schedule.kind, K::kStatic);
+  EXPECT_EQ(parse_ok(" for schedule(dynamic)")->schedule.kind, K::kDynamic);
+  EXPECT_EQ(parse_ok(" for schedule(guided)")->schedule.kind, K::kGuided);
+  EXPECT_EQ(parse_ok(" for schedule(auto)")->schedule.kind, K::kAuto);
+  EXPECT_EQ(parse_ok(" for schedule(runtime)")->schedule.kind, K::kRuntime);
+  auto with_chunk = parse_ok(" for schedule(dynamic, 16)");
+  ASSERT_NE(with_chunk->schedule.chunk, nullptr);
+  EXPECT_EQ(with_chunk->schedule.chunk->int_value, 16);
+}
+
+TEST(DirectiveParserTest, ScheduleChunkIsExpression) {
+  auto d = parse_ok(" for schedule(dynamic, n / 4)");
+  ASSERT_NE(d->schedule.chunk, nullptr);
+  EXPECT_EQ(lang::dump_expr(*d->schedule.chunk), "(/ n 4)");
+}
+
+TEST(DirectiveParserTest, ScheduleErrors) {
+  parse_fail(" for schedule(fast)", "unknown schedule kind");
+  parse_fail(" for schedule(runtime, 4)", "no chunk");
+  parse_fail(" for schedule(static, 1, 2)", "too many");
+}
+
+TEST(DirectiveParserTest, NumThreadsAndIfAreExpressions) {
+  auto d = parse_ok(" parallel num_threads(2 * n) if(n > 100)");
+  ASSERT_NE(d->num_threads, nullptr);
+  EXPECT_EQ(lang::dump_expr(*d->num_threads), "(* 2 n)");
+  ASSERT_NE(d->if_clause, nullptr);
+  EXPECT_EQ(lang::dump_expr(*d->if_clause), "(> n 100)");
+}
+
+TEST(DirectiveParserTest, CriticalName) {
+  EXPECT_EQ(parse_ok(" critical")->critical_name, "");
+  EXPECT_EQ(parse_ok(" critical(updates)")->critical_name, "updates");
+}
+
+TEST(DirectiveParserTest, NowaitOrderedLastprivate) {
+  auto d = parse_ok(" for nowait lastprivate(x, y)");
+  EXPECT_TRUE(d->nowait);
+  EXPECT_EQ(d->lastprivate_vars, (std::vector<std::string>{"x", "y"}));
+  EXPECT_TRUE(parse_ok(" for ordered")->ordered);
+  parse_fail(" for ordered nowait", "nowait");
+}
+
+TEST(DirectiveParserTest, ClausePlacementValidation) {
+  parse_fail(" for num_threads(4)", "not valid");
+  parse_fail(" parallel schedule(static)", "not valid");
+  parse_fail(" barrier nowait", "not valid");
+  parse_fail(" single schedule(static)", "not valid");
+  parse_fail(" for shared(x)", "not valid");
+  parse_fail(" parallel for nowait", "not valid");
+  parse_fail(" critical reduction(+: x)", "not valid");
+}
+
+TEST(DirectiveParserTest, SingleNowaitAllowed) {
+  EXPECT_TRUE(parse_ok(" single nowait")->nowait);
+}
+
+TEST(DirectiveParserTest, TaskClauses) {
+  auto d = parse_ok(" task if(n > 10) firstprivate(a)");
+  EXPECT_NE(d->if_clause, nullptr);
+  EXPECT_EQ(d->firstprivate_vars, (std::vector<std::string>{"a"}));
+}
+
+TEST(DirectiveParserTest, UnsupportedClausesWarnButPass) {
+  lang::Diagnostics diags;
+  auto d = parse_directive(" parallel proc_bind(close)", lang::SourceLoc{}, diags);
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(diags.has_errors());
+  bool warned = false;
+  for (const auto& diag : diags.all()) {
+    if (diag.severity == lang::Severity::kWarning) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(DirectiveParserTest, CollapseOneOkDeeperRejected) {
+  EXPECT_NE(parse_ok(" for collapse(1)"), nullptr);
+  parse_fail(" for collapse(2)", "collapse");
+}
+
+TEST(DirectiveParserTest, UnbalancedParensRejected) {
+  parse_fail(" parallel num_threads(2", "unbalanced");
+}
+
+TEST(DirectiveParserTest, UnknownClauseRejected) {
+  parse_fail(" parallel fancy(3)", "unknown clause");
+}
+
+}  // namespace
+}  // namespace zomp::core

@@ -1,0 +1,420 @@
+// Transform tests: capture analysis and the outlining rewrite (the paper's
+// Figure 1 machinery), validated on AST dumps and structure.
+#include <gtest/gtest.h>
+
+#include "core/capture.h"
+#include "core/pipeline.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace zomp::core {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Capture (free-variable) analysis
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> captures_of(const std::string& fn_body_text) {
+  const std::string source =
+      "var g: i64 = 0;\nfn helper() void {}\nfn f(a: i64, x: []f64) void " +
+      fn_body_text;
+  lang::SourceFile file("cap.mz", source);
+  lang::Diagnostics diags;
+  lang::Lexer lexer(file, diags);
+  lang::Parser parser(lexer.lex(), diags);
+  auto module = parser.parse_module("cap");
+  EXPECT_FALSE(diags.has_errors()) << diags.render(file);
+  const ModuleNames names = ModuleNames::collect(*module);
+  return free_variables(*module->find_function("f")->body, names);
+}
+
+TEST(CaptureTest, ParamsAreFree) {
+  EXPECT_EQ(captures_of("{ x[a] = 1.0; }"),
+            (std::vector<std::string>{"x", "a"}));
+}
+
+TEST(CaptureTest, LocalsAreBound) {
+  EXPECT_EQ(captures_of("{ var t: i64 = 1; t += 2; }"),
+            std::vector<std::string>{});
+}
+
+TEST(CaptureTest, GlobalsAndFunctionsNotCaptured) {
+  EXPECT_EQ(captures_of("{ g += 1; helper(); }"), std::vector<std::string>{});
+}
+
+TEST(CaptureTest, OrderIsFirstUse) {
+  EXPECT_EQ(captures_of("{ var t: f64 = x[0]; t += @floatFromInt(a); }"),
+            (std::vector<std::string>{"x", "a"}));
+}
+
+TEST(CaptureTest, LoopVariableIsBoundInBody) {
+  EXPECT_EQ(captures_of("{ for (0..a) |i| { x[i] = 0.0; } }"),
+            (std::vector<std::string>{"a", "x"}));
+}
+
+TEST(CaptureTest, ShadowingRespected) {
+  // Inner declaration of `a` binds later uses; the initialiser still refers
+  // to the outer `a`.
+  EXPECT_EQ(captures_of("{ var a: i64 = 3; a += 1; }"),
+            std::vector<std::string>{});
+  EXPECT_EQ(captures_of("{ { var q: i64 = a; } }"),
+            (std::vector<std::string>{"a"}));
+}
+
+TEST(CaptureTest, UseBeforeLocalDeclIsFree) {
+  // `a` used before a same-block declaration of `a`: block-scope tracking
+  // must count the first use as the outer variable.
+  EXPECT_EQ(captures_of("{ var t: i64 = a; { var a: i64 = 1; a += 1; } t += a; }"),
+            (std::vector<std::string>{"a"}));
+}
+
+// ---------------------------------------------------------------------------
+// Transform structure (via the pipeline, pre-backend dumps)
+// ---------------------------------------------------------------------------
+
+std::string transformed_dump(const std::string& source, bool expect_ok = true) {
+  auto result = compile_source(source, {true, "t"});
+  EXPECT_EQ(result.ok, expect_ok) << result.diagnostics_text();
+  if (!result.module) return "";
+  return lang::dump_ast(*result.module);
+}
+
+TEST(TransformTest, ParallelOutlinesRegion) {
+  const std::string out = transformed_dump(R"(
+fn f() void {
+  var total: i64 = 0;
+  //#omp parallel
+  {
+    total += 1;
+  }
+}
+)");
+  EXPECT_NE(out.find("(omp-fork __omp_f_parallel_0 [total shared-ptr])"),
+            std::string::npos);
+  EXPECT_NE(out.find("(outlined-fn __omp_f_parallel_0 (total:i64) void"),
+            std::string::npos);
+}
+
+TEST(TransformTest, SharedSliceRefinedBySema) {
+  const std::string out = transformed_dump(R"(
+fn f(x: []f64) void {
+  //#omp parallel
+  {
+    x[0] = 1.0;
+  }
+}
+)");
+  EXPECT_NE(out.find("[x shared-slice]"), std::string::npos);
+  EXPECT_NE(out.find("(x:[]f64)"), std::string::npos);
+}
+
+TEST(TransformTest, PrivateAndFirstprivateAreValueCaptures) {
+  const std::string out = transformed_dump(R"(
+fn f() void {
+  var a: i64 = 1;
+  var b: i64 = 2;
+  //#omp parallel private(a) firstprivate(b)
+  {
+    a = b;
+  }
+}
+)");
+  EXPECT_NE(out.find("[a value]"), std::string::npos);
+  EXPECT_NE(out.find("[b value]"), std::string::npos);
+}
+
+TEST(TransformTest, ReductionMaterialisesInitAndCombine) {
+  const std::string out = transformed_dump(R"(
+fn f(n: i64) f64 {
+  var s: f64 = 0.0;
+  //#omp parallel for reduction(+: s)
+  for (0..n) |i| {
+    s += 1.0;
+  }
+  return s;
+}
+)");
+  EXPECT_NE(out.find("[s reduction-ptr +]"), std::string::npos);
+  EXPECT_NE(out.find("(omp-red-init s + from s__red)"), std::string::npos);
+  EXPECT_NE(out.find("(omp-red-combine s__red + s)"), std::string::npos);
+}
+
+TEST(TransformTest, StandaloneForReductionCombinesIntoVisibleVar) {
+  const std::string out = transformed_dump(R"(
+fn f(n: i64) f64 {
+  var s: f64 = 0.0;
+  //#omp parallel
+  {
+    //#omp for reduction(+: s)
+    for (0..n) |i| {
+      s += 1.0;
+    }
+  }
+  return s;
+}
+)");
+  // Private accumulator with renamed body references + combine + barrier.
+  EXPECT_NE(out.find("(omp-red-init s__prv + from s)"), std::string::npos);
+  EXPECT_NE(out.find("(assign += s__prv 1)"), std::string::npos)
+      << "loop body must be renamed to the private accumulator";
+  EXPECT_NE(out.find("(omp-red-combine s + s__prv)"), std::string::npos);
+  EXPECT_NE(out.find("(omp-barrier)"), std::string::npos);
+}
+
+TEST(TransformTest, CombinedParallelForNestsWsLoopInRegion) {
+  auto result = compile_source(R"(
+fn f(x: []f64) void {
+  const n: i64 = x.len;
+  //#omp parallel for schedule(dynamic, 4)
+  for (0..n) |i| {
+    x[i] = 0.0;
+  }
+}
+)");
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+  EXPECT_EQ(result.stats.regions_outlined, 1);
+  EXPECT_EQ(result.stats.ws_loops, 1);
+  const std::string out = lang::dump_ast(*result.module);
+  EXPECT_NE(out.find("schedule=dynamic chunk=4"), std::string::npos);
+  // Combined form: no explicit barrier on the loop (join barrier covers it).
+  EXPECT_NE(out.find("nowait"), std::string::npos);
+}
+
+TEST(TransformTest, LastprivateCreatesPrivateCopyAndWriteback) {
+  const std::string out = transformed_dump(R"(
+fn f(n: i64) i64 {
+  var last: i64 = 0;
+  //#omp parallel for lastprivate(last)
+  for (0..n) |i| {
+    last = i;
+  }
+  return last;
+}
+)");
+  EXPECT_NE(out.find("last__lp"), std::string::npos);
+  EXPECT_NE(out.find("lastprivate=last__lp->last"), std::string::npos);
+}
+
+TEST(TransformTest, StandaloneBarrierAndTaskwait) {
+  const std::string out = transformed_dump(R"(
+fn f() void {
+  //#omp parallel
+  {
+    //#omp barrier
+    //#omp taskwait
+  }
+}
+)");
+  EXPECT_NE(out.find("(omp-barrier)"), std::string::npos);
+  EXPECT_NE(out.find("(omp-taskwait)"), std::string::npos);
+}
+
+TEST(TransformTest, BarrierBeforeStatementKeepsStatement) {
+  const std::string out = transformed_dump(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel
+  {
+    //#omp barrier
+    a += 1;
+  }
+}
+)");
+  // Both the barrier and the increment must survive.
+  EXPECT_NE(out.find("(omp-barrier)"), std::string::npos);
+  EXPECT_NE(out.find("(assign += a 1)"), std::string::npos);
+}
+
+TEST(TransformTest, CriticalSingleMasterAtomicOrdered) {
+  const std::string out = transformed_dump(R"(
+fn f(n: i64) void {
+  var t: i64 = 0;
+  //#omp parallel
+  {
+    //#omp critical(updates)
+    {
+      t += 1;
+    }
+    //#omp single nowait
+    {
+      t += 1;
+    }
+    //#omp master
+    {
+      t += 1;
+    }
+    //#omp atomic
+    t += 1;
+    //#omp for ordered
+    for (0..n) |i| {
+      //#omp ordered
+      {
+        t += 1;
+      }
+    }
+  }
+}
+)");
+  EXPECT_NE(out.find("(omp-critical \"updates\""), std::string::npos);
+  EXPECT_NE(out.find("(omp-single nowait"), std::string::npos);
+  EXPECT_NE(out.find("(omp-master"), std::string::npos);
+  EXPECT_NE(out.find("(omp-atomic"), std::string::npos);
+  EXPECT_NE(out.find("(omp-ordered"), std::string::npos);
+  EXPECT_NE(out.find("ordered"), std::string::npos);
+}
+
+TEST(TransformTest, TaskSharingFollowsEnclosingContext) {
+  // `v` is (implicitly) shared in the enclosing parallel region, so the task
+  // keeps it shared; `w` is a region-local, so the task firstprivatises it
+  // (OpenMP 5.2 task data-sharing defaults).
+  const std::string out = transformed_dump(R"(
+fn f(v: i64) void {
+  //#omp parallel
+  {
+    var w: i64 = 3;
+    //#omp task
+    {
+      var u: i64 = v + w;
+      u += 1;
+    }
+    //#omp taskwait
+  }
+}
+)");
+  EXPECT_NE(out.find("(omp-task __omp_"), std::string::npos);
+  EXPECT_NE(out.find("[v shared-ptr]"), std::string::npos);
+  EXPECT_NE(out.find("[w value]"), std::string::npos);
+}
+
+TEST(TransformTest, TaskExplicitClausesOverrideInheritance) {
+  const std::string out = transformed_dump(R"(
+fn f(v: i64) void {
+  var acc: i64 = 0;
+  //#omp parallel
+  {
+    //#omp task firstprivate(v) shared(acc)
+    {
+      acc += v;
+    }
+  }
+}
+)");
+  EXPECT_NE(out.find("[acc shared-ptr]"), std::string::npos);
+  EXPECT_NE(out.find("[v value]"), std::string::npos);
+}
+
+TEST(TransformTest, NestedParallelOutlinesTwice) {
+  auto result = compile_source(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel
+  {
+    //#omp parallel
+    {
+      a += 1;
+    }
+  }
+}
+)");
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+  EXPECT_EQ(result.stats.regions_outlined, 2);
+  int outlined = 0;
+  for (const auto& fn : result.module->functions) {
+    if (fn->is_outlined) ++outlined;
+  }
+  EXPECT_EQ(outlined, 2);
+}
+
+// -- Negative cases ------------------------------------------------------------
+
+TEST(TransformTest, DefaultNoneRequiresExplicitClauses) {
+  auto result = compile_source(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel default(none)
+  {
+    a += 1;
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("default(none)"), std::string::npos);
+}
+
+TEST(TransformTest, DefaultNoneSatisfiedByClauses) {
+  auto result = compile_source(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel default(none) shared(a)
+  {
+    a += 1;
+  }
+}
+)");
+  EXPECT_TRUE(result.ok) << result.diagnostics_text();
+}
+
+TEST(TransformTest, ParallelForNeedsLoop) {
+  auto result = compile_source(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel for
+  a += 1;
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("must immediately precede a for"),
+            std::string::npos);
+}
+
+TEST(TransformTest, AtomicNeedsCompoundAssignment) {
+  auto result = compile_source(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel
+  {
+    //#omp atomic
+    a = 1;
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("compound assignment"),
+            std::string::npos);
+}
+
+TEST(TransformTest, VariableInTwoClausesRejected) {
+  auto result = compile_source(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel shared(a) private(a)
+  {
+    a += 1;
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(TransformTest, NoOmpModeIgnoresDirectives) {
+  CompileOptions options;
+  options.openmp = false;
+  auto result = compile_source(R"(
+fn f(n: i64) f64 {
+  var s: f64 = 0.0;
+  //#omp parallel for reduction(+: s)
+  for (0..n) |i| {
+    s += 1.0;
+  }
+  return s;
+}
+)",
+                               options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.stats.regions_outlined, 0);
+  const std::string out = lang::dump_ast(*result.module);
+  EXPECT_EQ(out.find("omp-fork"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zomp::core

@@ -1,0 +1,117 @@
+// Fortran interop shim tests: mangling schemes, binding generation, layout
+// views, and the real kernel exports behind the Table 1 harness.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fortran/fview.h"
+#include "fortran/mangle.h"
+#include "npb/cg.h"
+#include "npb/ep.h"
+#include "npb/fortran_iface.h"
+
+namespace zomp::fortran {
+namespace {
+
+TEST(MangleTest, GnuSchemeLowercasesAndAppendsUnderscore) {
+  EXPECT_EQ(mangle("CONJ_GRAD"), "conj_grad_");
+  EXPECT_EQ(mangle("daxpy"), "daxpy_");
+  EXPECT_EQ(mangle("MixedCase"), "mixedcase_");
+}
+
+TEST(MangleTest, F2cSchemeDoublesUnderscoreWhenNamed) {
+  EXPECT_EQ(mangle("conj_grad", MangleScheme::kF2c), "conj_grad__");
+  EXPECT_EQ(mangle("daxpy", MangleScheme::kF2c), "daxpy_");
+}
+
+TEST(BindingTest, MiniZigDeclarationShape) {
+  FProc proc{"VRANLC",
+             {FArg::kInteger, FArg::kReal, FArg::kReal, FArg::kRealArray},
+             false};
+  EXPECT_EQ(minizig_binding(proc),
+            "extern fn vranlc_(a0: *i64, a1: *f64, a2: *f64, a3: *f64) void;");
+}
+
+TEST(BindingTest, FunctionReturningReal) {
+  FProc proc{"randlc", {FArg::kReal, FArg::kReal}, true};
+  EXPECT_EQ(minizig_binding(proc),
+            "extern fn randlc_(a0: *f64, a1: *f64) f64;");
+  EXPECT_EQ(cpp_prototype(proc),
+            "extern \"C\" double randlc_(double* a0, double* a1);");
+}
+
+TEST(BindingTest, CppPrototypeMatchesHandWrittenIface) {
+  // The declarations in npb/fortran_iface.h were written by hand (as the
+  // paper's authors write their extern declarations); the generator must
+  // agree with them for the same signatures.
+  FProc ep{"EP_KERNEL",
+           {FArg::kInteger, FArg::kInteger, FArg::kReal, FArg::kReal,
+            FArg::kInteger},
+           false};
+  EXPECT_EQ(cpp_prototype(ep),
+            "extern \"C\" void ep_kernel_(std::int64_t* a0, std::int64_t* a1, "
+            "double* a2, double* a3, std::int64_t* a4);");
+}
+
+TEST(FViewTest, ColMajorLayoutIsFortranOrder) {
+  // 3x2 array, leading dimension 3: memory is column after column.
+  std::vector<double> storage(6, 0.0);
+  ColMajorView<double> a(storage.data(), 3);
+  int v = 1;
+  for (std::int64_t j = 1; j <= 2; ++j) {
+    for (std::int64_t i = 1; i <= 3; ++i) {
+      a(i, j) = v++;
+    }
+  }
+  // Column-major: flat = [A(1,1) A(2,1) A(3,1) A(1,2) A(2,2) A(3,2)].
+  EXPECT_EQ(storage, (std::vector<double>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(a(3, 2), 6.0);
+}
+
+TEST(FViewTest, LeadingDimensionPadding) {
+  // ld > rows (Fortran submatrix views): element (1,2) skips the padding.
+  std::vector<double> storage(8, -1.0);
+  ColMajorView<double> a(storage.data(), 4);
+  a(1, 2) = 9.0;
+  EXPECT_EQ(storage[4], 9.0);
+}
+
+TEST(FViewTest, FVectorIsOneBased) {
+  std::vector<double> storage{10, 20, 30};
+  FVector<double> v(storage.data());
+  EXPECT_EQ(v(1), 10.0);
+  EXPECT_EQ(v(3), 30.0);
+  v(2) = 25.0;
+  EXPECT_EQ(storage[1], 25.0);
+}
+
+// -- The exported kernels behind Table 1 -----------------------------------------
+
+TEST(FortranIfaceTest, EpKernelMatchesDirectCall) {
+  const std::int64_t m = 18;
+  const std::int64_t threads = 2;
+  double sx = 0.0, sy = 0.0;
+  std::int64_t accepted = 0;
+  ep_kernel_(&m, &threads, &sx, &sy, &accepted);
+
+  const zomp::npb::EpResult direct = zomp::npb::ep_serial(18);
+  EXPECT_NEAR(sx, direct.sx, 1e-7);
+  EXPECT_NEAR(sy, direct.sy, 1e-7);
+  EXPECT_EQ(accepted, direct.pairs_in_disc);
+}
+
+TEST(FortranIfaceTest, CgSolveMatchesDirectCall) {
+  const zomp::npb::CgClass cls = zomp::npb::cg_class('m');
+  zomp::npb::SparseMatrix a = zomp::npb::cg_make_matrix(cls.na, cls.nonzer);
+  const std::int64_t n = a.n, niter = cls.niter, threads = 2;
+  double zeta = 0.0, rnorm = 0.0;
+  cg_solve_(&n, a.rowstr.data(), a.colidx.data(), a.values.data(), &niter,
+            &cls.shift, &threads, &zeta, &rnorm);
+
+  const zomp::npb::CgResult direct = zomp::npb::cg_serial(a, cls.niter, cls.shift);
+  EXPECT_DOUBLE_EQ(zeta, direct.zeta);
+  EXPECT_LT(rnorm, 1e-8);
+}
+
+}  // namespace
+}  // namespace zomp::fortran

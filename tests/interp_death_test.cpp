@@ -1,0 +1,93 @@
+// Failure-injection tests: runtime misuse must panic with a diagnostic
+// (Zig-style safety behaviour), never corrupt memory silently. Death tests
+// run the interpreter in a child process.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "interp/interp.h"
+
+namespace zomp::interp {
+namespace {
+
+void run_to_death(const std::string& source) {
+  auto result = core::compile_source(source);
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+  Interp interp(*result.module);
+  interp.run_main();  // expected to abort
+}
+
+using InterpDeathTest = ::testing::Test;
+
+TEST(InterpDeathTest, IndexOutOfBoundsLoad) {
+  EXPECT_DEATH(run_to_death(R"(
+pub fn main() void {
+  var a = @alloc(f64, 4);
+  @print(a[4]);
+}
+)"),
+               "index out of bounds");
+}
+
+TEST(InterpDeathTest, IndexOutOfBoundsStore) {
+  EXPECT_DEATH(run_to_death(R"(
+pub fn main() void {
+  var a = @alloc(i64, 2);
+  a[-1] = 5;
+}
+)"),
+               "out of bounds");
+}
+
+TEST(InterpDeathTest, IntegerDivisionByZero) {
+  EXPECT_DEATH(run_to_death(R"(
+pub fn main() void {
+  var z: i64 = 0;
+  @print(7 / z);
+}
+)"),
+               "division by zero");
+}
+
+TEST(InterpDeathTest, ModByZero) {
+  EXPECT_DEATH(run_to_death(R"(
+pub fn main() void {
+  var z: i64 = 0;
+  @print(@mod(7, z));
+}
+)"),
+               "by zero");
+}
+
+TEST(InterpDeathTest, NullPointerDeref) {
+  EXPECT_DEATH(run_to_death(R"(
+pub fn main() void {
+  var p: *f64 = undefined;
+  @print(p.*);
+}
+)"),
+               "null pointer");
+}
+
+TEST(InterpDeathTest, MissingExternBinding) {
+  EXPECT_DEATH(run_to_death(R"(
+extern fn not_registered() i64;
+pub fn main() void {
+  @print(not_registered());
+}
+)"),
+               "no host binding");
+}
+
+TEST(InterpDeathTest, NegativeAllocation) {
+  EXPECT_DEATH(run_to_death(R"(
+pub fn main() void {
+  var n: i64 = 0 - 3;
+  var a = @alloc(f64, n);
+  @print(a.len);
+}
+)"),
+               "negative");
+}
+
+}  // namespace
+}  // namespace zomp::interp

@@ -1,0 +1,170 @@
+// Lexer tests: token kinds, literals, trivia handling, and the directive
+// interception that makes the whole approach work (paper §2).
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+
+namespace zomp::lang {
+namespace {
+
+std::vector<Token> lex(const std::string& text, Diagnostics* diags_out = nullptr) {
+  SourceFile file("test.mz", text);
+  Diagnostics diags;
+  Lexer lexer(file, diags);
+  auto tokens = lexer.lex();
+  if (diags_out != nullptr) *diags_out = std::move(diags);
+  return tokens;
+}
+
+std::vector<TokenKind> kinds(const std::string& text) {
+  std::vector<TokenKind> out;
+  for (const Token& t : lex(text)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  const auto tokens = lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, Keywords) {
+  const auto k = kinds("fn var const if else while for return break continue "
+                       "true false and or extern pub undefined");
+  const std::vector<TokenKind> want = {
+      TokenKind::kKwFn,    TokenKind::kKwVar,      TokenKind::kKwConst,
+      TokenKind::kKwIf,    TokenKind::kKwElse,     TokenKind::kKwWhile,
+      TokenKind::kKwFor,   TokenKind::kKwReturn,   TokenKind::kKwBreak,
+      TokenKind::kKwContinue, TokenKind::kKwTrue,  TokenKind::kKwFalse,
+      TokenKind::kKwAnd,   TokenKind::kKwOr,       TokenKind::kKwExtern,
+      TokenKind::kKwPub,   TokenKind::kKwUndefined, TokenKind::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, IdentifiersKeepText) {
+  const auto tokens = lex("foo _bar baz42");
+  EXPECT_EQ(tokens[0].text, "foo");
+  EXPECT_EQ(tokens[1].text, "_bar");
+  EXPECT_EQ(tokens[2].text, "baz42");
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  const auto tokens = lex("0 42 1_000_000 0x1F");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 1000000);
+  EXPECT_EQ(tokens[3].int_value, 31);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(tokens[i].kind, TokenKind::kIntLiteral);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  const auto tokens = lex("1.5 0.25 2e10 3.5e-2");
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 2e10);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 3.5e-2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kFloatLiteral);
+  }
+}
+
+TEST(LexerTest, RangeDoesNotLexAsFloat) {
+  // "0..n" must be int, dotdot, ident — the Zig range spelling.
+  const auto k = kinds("0..n");
+  const std::vector<TokenKind> want = {TokenKind::kIntLiteral,
+                                       TokenKind::kDotDot,
+                                       TokenKind::kIdentifier, TokenKind::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, DotStarAndLen) {
+  const auto k = kinds("p.* x.len");
+  const std::vector<TokenKind> want = {
+      TokenKind::kIdentifier, TokenKind::kDotStar, TokenKind::kIdentifier,
+      TokenKind::kDot,        TokenKind::kIdentifier, TokenKind::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, Operators) {
+  const auto k = kinds("+ += - -= * *= / /= == = != ! < <= << > >= >> & | ^ %");
+  const std::vector<TokenKind> want = {
+      TokenKind::kPlus,  TokenKind::kPlusAssign,  TokenKind::kMinus,
+      TokenKind::kMinusAssign, TokenKind::kStar,  TokenKind::kStarAssign,
+      TokenKind::kSlash, TokenKind::kSlashAssign, TokenKind::kEq,
+      TokenKind::kAssign, TokenKind::kNe,         TokenKind::kBang,
+      TokenKind::kLt,    TokenKind::kLe,          TokenKind::kShl,
+      TokenKind::kGt,    TokenKind::kGe,          TokenKind::kShr,
+      TokenKind::kAmp,   TokenKind::kPipe,        TokenKind::kCaret,
+      TokenKind::kPercent, TokenKind::kEof};
+  EXPECT_EQ(k, want);
+}
+
+TEST(LexerTest, OrdinaryCommentsAreTrivia) {
+  const auto tokens = lex("a // comment\nb /// doc comment\nc");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(LexerTest, DirectiveCommentsBecomeTokens) {
+  const auto tokens = lex("//#omp parallel for schedule(static)\nx");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kDirective);
+  EXPECT_EQ(tokens[0].text, " parallel for schedule(static)");
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, DirectivePrefixMustBeExact) {
+  // "// #omp" (space before #) is an ordinary comment, not a directive —
+  // same as the paper's comment-sentinel approach.
+  const auto tokens = lex("// #omp parallel\nx");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+}
+
+TEST(LexerTest, BuiltinTokens) {
+  const auto tokens = lex("@sqrt(x)");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kBuiltin);
+  EXPECT_EQ(tokens[0].text, "sqrt");
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  const auto tokens = lex(R"("hello\n" "a\tb" "q\"q")");
+  EXPECT_EQ(tokens[0].text, "hello\n");
+  EXPECT_EQ(tokens[1].text, "a\tb");
+  EXPECT_EQ(tokens[2].text, "q\"q");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  Diagnostics diags;
+  lex("\"abc", &diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(LexerTest, UnknownCharacterIsErrorButLexingContinues) {
+  Diagnostics diags;
+  const auto tokens = lex("a $ b", &diags);
+  EXPECT_TRUE(diags.has_errors());
+  ASSERT_EQ(tokens.size(), 3u);  // a, b, eof
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, LocationsTrackLinesAndColumns) {
+  const auto tokens = lex("a\n  b");
+  EXPECT_EQ(tokens[0].loc.line, 1u);
+  EXPECT_EQ(tokens[0].loc.col, 1u);
+  EXPECT_EQ(tokens[1].loc.line, 2u);
+  EXPECT_EQ(tokens[1].loc.col, 3u);
+}
+
+TEST(DiagnosticsTest, RenderIncludesCaret) {
+  SourceFile file("t.mz", "var x = $;\n");
+  Diagnostics diags;
+  diags.error(SourceLoc{8, 1, 9}, "bad character");
+  const std::string text = diags.render(file);
+  EXPECT_NE(text.find("t.mz:1:9: error: bad character"), std::string::npos);
+  EXPECT_NE(text.find('^'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace zomp::lang

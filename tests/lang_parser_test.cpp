@@ -1,0 +1,232 @@
+// Parser tests: golden AST dumps per construct, directive attachment, and
+// error recovery.
+#include <gtest/gtest.h>
+
+#include "lang/lexer.h"
+#include "lang/parser.h"
+
+namespace zomp::lang {
+namespace {
+
+std::unique_ptr<Module> parse(const std::string& text, Diagnostics& diags) {
+  SourceFile file("test.mz", text);
+  Lexer lexer(file, diags);
+  Parser parser(lexer.lex(), diags);
+  return parser.parse_module("test");
+}
+
+std::string dump(const std::string& text) {
+  Diagnostics diags;
+  auto module = parse(text, diags);
+  EXPECT_FALSE(diags.has_errors()) << text;
+  return dump_ast(*module);
+}
+
+TEST(ParserTest, MinimalFunction) {
+  const std::string out = dump("fn f() void {}");
+  EXPECT_NE(out.find("(fn f () void"), std::string::npos);
+}
+
+TEST(ParserTest, ParamsAndReturnTypes) {
+  const std::string out = dump("fn f(a: i64, x: []f64, p: *i64) f64 { return 1.0; }");
+  EXPECT_NE(out.find("(fn f (a:i64 x:[]f64 p:*i64) f64"), std::string::npos);
+  EXPECT_NE(out.find("(return 1)"), std::string::npos);
+}
+
+TEST(ParserTest, ExternDeclaration) {
+  const std::string out = dump("extern fn get() i64;");
+  EXPECT_NE(out.find("(extern-fn get () i64"), std::string::npos);
+}
+
+TEST(ParserTest, PubMain) {
+  Diagnostics diags;
+  auto module = parse("pub fn main() void {}", diags);
+  ASSERT_EQ(module->functions.size(), 1u);
+  EXPECT_TRUE(module->functions[0]->is_pub);
+}
+
+TEST(ParserTest, VarAndConstDecls) {
+  const std::string out = dump(
+      "fn f() void { var a: i64 = 1; const b = 2.5; var c: f64 = undefined; }");
+  EXPECT_NE(out.find("(var a : i64 = 1)"), std::string::npos);
+  EXPECT_NE(out.find("(const b = 2.5)"), std::string::npos);
+  EXPECT_NE(out.find("(var c : f64 = undefined)"), std::string::npos);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  const std::string out = dump("fn f() i64 { return 1 + 2 * 3; }");
+  EXPECT_NE(out.find("(+ 1 (* 2 3))"), std::string::npos);
+  const std::string cmp = dump("fn f() bool { return 1 + 2 < 3 * 4; }");
+  EXPECT_NE(cmp.find("(< (+ 1 2) (* 3 4))"), std::string::npos);
+  const std::string logic = dump("fn f(a: bool, b: bool, c: bool) bool { return a or b and c; }");
+  EXPECT_NE(logic.find("(or a (and b c))"), std::string::npos);
+}
+
+TEST(ParserTest, UnaryAndPostfix) {
+  const std::string out =
+      dump("fn f(x: []f64, p: *f64) f64 { return -x[0] + p.* + "
+           "@floatFromInt(x.len); }");
+  EXPECT_NE(out.find("(- (index x 0))"), std::string::npos);
+  EXPECT_NE(out.find("(deref p)"), std::string::npos);
+  EXPECT_NE(out.find("(@floatFromInt (len x))"), std::string::npos);
+}
+
+TEST(ParserTest, AddressOf) {
+  const std::string out = dump("fn g(p: *i64) void {} fn f() void { var x: i64 = 0; g(&x); }");
+  EXPECT_NE(out.find("(call g (& x))"), std::string::npos);
+}
+
+TEST(ParserTest, IfElseChain) {
+  const std::string out = dump(
+      "fn f(a: i64) i64 { if (a > 0) { return 1; } else if (a < 0) { return "
+      "2; } else { return 3; } }");
+  EXPECT_NE(out.find("(if (> a 0)"), std::string::npos);
+  EXPECT_NE(out.find("(if (< a 0)"), std::string::npos);
+}
+
+TEST(ParserTest, WhileWithContinueExpression) {
+  const std::string out =
+      dump("fn f() void { var i: i64 = 0; while (i < 10) : (i += 1) {} }");
+  EXPECT_NE(out.find("(while (< i 10)"), std::string::npos);
+  EXPECT_NE(out.find("(assign += i 1)"), std::string::npos);
+}
+
+TEST(ParserTest, ForRange) {
+  const std::string out = dump("fn f(n: i64) void { for (0..n) |i| {} }");
+  EXPECT_NE(out.find("(for i in 0 .. n"), std::string::npos);
+}
+
+TEST(ParserTest, BreakContinue) {
+  const std::string out = dump(
+      "fn f() void { var i: i64 = 0; while (true) { if (i > 3) { break; } "
+      "continue; } }");
+  EXPECT_NE(out.find("(break)"), std::string::npos);
+  EXPECT_NE(out.find("(continue)"), std::string::npos);
+}
+
+TEST(ParserTest, CompoundAssignToIndex) {
+  const std::string out = dump("fn f(x: []f64) void { x[3] += 1.5; }");
+  EXPECT_NE(out.find("(assign += (index x 3) 1.5)"), std::string::npos);
+}
+
+TEST(ParserTest, GlobalsParse) {
+  Diagnostics diags;
+  auto module = parse("const N: i64 = 100;\nvar counter: i64 = 0;\nfn f() void {}", diags);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(module->globals.size(), 2u);
+}
+
+TEST(ParserTest, BuiltinAllocTakesTypeArgument) {
+  const std::string out = dump("fn f(n: i64) void { var x = @alloc(f64, n); @free(x); }");
+  EXPECT_NE(out.find("(@alloc f64 n)"), std::string::npos);
+  EXPECT_NE(out.find("(@free x)"), std::string::npos);
+}
+
+// -- Directive attachment ----------------------------------------------------
+
+TEST(ParserTest, DirectiveAttachesToFollowingStatement) {
+  Diagnostics diags;
+  auto module = parse(
+      "fn f(n: i64) void {\n"
+      "  //#omp parallel for\n"
+      "  for (0..n) |i| {}\n"
+      "}",
+      diags);
+  ASSERT_FALSE(diags.has_errors());
+  const Stmt& body = *module->functions[0]->body;
+  ASSERT_EQ(body.stmts.size(), 1u);
+  ASSERT_EQ(body.stmts[0]->pending_directives.size(), 1u);
+  EXPECT_EQ(body.stmts[0]->pending_directives[0].first, " parallel for");
+}
+
+TEST(ParserTest, MultipleDirectivesStack) {
+  Diagnostics diags;
+  auto module = parse(
+      "fn f(n: i64) void {\n"
+      "  //#omp parallel\n"
+      "  //#omp for\n"
+      "  for (0..n) |i| {}\n"
+      "}",
+      diags);
+  ASSERT_FALSE(diags.has_errors());
+  const Stmt& body = *module->functions[0]->body;
+  ASSERT_EQ(body.stmts[0]->pending_directives.size(), 2u);
+  EXPECT_EQ(body.stmts[0]->pending_directives[0].first, " parallel");
+  EXPECT_EQ(body.stmts[0]->pending_directives[1].first, " for");
+}
+
+TEST(ParserTest, TrailingDirectiveGetsPlaceholder) {
+  Diagnostics diags;
+  auto module = parse(
+      "fn f() void {\n"
+      "  var x: i64 = 0;\n"
+      "  //#omp barrier\n"
+      "}",
+      diags);
+  ASSERT_FALSE(diags.has_errors());
+  const Stmt& body = *module->functions[0]->body;
+  ASSERT_EQ(body.stmts.size(), 2u);
+  EXPECT_EQ(body.stmts[1]->kind, Stmt::Kind::kBlock);
+  EXPECT_TRUE(body.stmts[1]->stmts.empty());
+  ASSERT_EQ(body.stmts[1]->pending_directives.size(), 1u);
+}
+
+TEST(ParserTest, DirectiveAtModuleLevelIsError) {
+  Diagnostics diags;
+  parse("//#omp parallel\nfn f() void {}", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+// -- Errors / recovery ---------------------------------------------------------
+
+TEST(ParserTest, MissingSemicolonIsError) {
+  Diagnostics diags;
+  parse("fn f() void { var x: i64 = 1 }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ParserTest, UndefinedWithoutTypeIsError) {
+  Diagnostics diags;
+  parse("fn f() void { var x = undefined; }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ParserTest, UnknownTypeIsError) {
+  Diagnostics diags;
+  parse("fn f(a: banana) void {}", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ParserTest, RecoversToNextDeclaration) {
+  Diagnostics diags;
+  auto module = parse("fn broken( { } fn ok() void {}", diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(module->find_function("ok"), nullptr);
+}
+
+TEST(ParserTest, UnknownFieldIsError) {
+  Diagnostics diags;
+  parse("fn f(x: []f64) i64 { return x.size; }", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(ParserTest, ExpressionParserEntrypoint) {
+  SourceFile file("e.mz", "1 + 2 * x");
+  Diagnostics diags;
+  Lexer lexer(file, diags);
+  ExprPtr e = Parser::parse_expression(lexer.lex(), diags);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_EQ(dump_expr(*e), "(+ 1 (* 2 x))");
+}
+
+TEST(ParserTest, ExpressionEntrypointRejectsTrailingTokens) {
+  SourceFile file("e.mz", "1 + 2 garbage");
+  Diagnostics diags;
+  Lexer lexer(file, diags);
+  Parser::parse_expression(lexer.lex(), diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+}  // namespace
+}  // namespace zomp::lang

@@ -1,0 +1,304 @@
+// NPB kernel tests: the random generator, matrix properties, verification
+// values, and serial/parallel agreement for every workload of Table 1.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "npb/cg.h"
+#include "npb/ep.h"
+#include "npb/is.h"
+#include "npb/mandel.h"
+#include "npb/nprandom.h"
+
+namespace zomp::npb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// randlc / ipow46
+// ---------------------------------------------------------------------------
+
+TEST(RandomTest, ValuesAreInUnitInterval) {
+  double seed = kDefaultSeed;
+  for (int i = 0; i < 10000; ++i) {
+    const double r = randlc(&seed, kRandA);
+    ASSERT_GT(r, 0.0);
+    ASSERT_LT(r, 1.0);
+  }
+}
+
+TEST(RandomTest, SequenceIsDeterministic) {
+  double s1 = kDefaultSeed, s2 = kDefaultSeed;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(randlc(&s1, kRandA), randlc(&s2, kRandA));
+  }
+}
+
+TEST(RandomTest, MeanIsRoughlyHalf) {
+  double seed = kDefaultSeed;
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += randlc(&seed, kRandA);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, VranlcMatchesRepeatedRandlc) {
+  double s1 = kDefaultSeed, s2 = kDefaultSeed;
+  double buf[64];
+  vranlc(64, &s1, kRandA, buf);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(buf[i], randlc(&s2, kRandA));
+  }
+  ASSERT_EQ(s1, s2);
+}
+
+TEST(RandomTest, Ipow46JumpsMatchStepping) {
+  // seed * a^k (via ipow46) must equal k sequential steps.
+  for (const std::int64_t k : {1, 2, 3, 17, 100, 4096}) {
+    double stepped = kDefaultSeed;
+    for (std::int64_t i = 0; i < k; ++i) randlc(&stepped, kRandA);
+
+    const double t = ipow46(kRandA, k);
+    double jumped = kDefaultSeed;
+    randlc(&jumped, t);
+    ASSERT_EQ(jumped, stepped) << "k=" << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EP
+// ---------------------------------------------------------------------------
+
+TEST(EpTest, SmokeClassMatchesFrozenSums) {
+  const EpClass cls = ep_class('m');
+  const EpResult r = ep_serial(cls.m);
+  EXPECT_TRUE(ep_verify(r, cls));
+  EXPECT_NEAR(r.sx, -7.562892068717590e+2, 1e-9);
+  EXPECT_NEAR(r.sy, -4.968668248989351e+2, 1e-9);
+}
+
+TEST(EpTest, ParallelMatchesSerialAcrossThreadCounts) {
+  const EpResult serial = ep_serial(18);
+  for (const int threads : {1, 2, 4}) {
+    const EpResult par = ep_parallel(18, threads);
+    EXPECT_NEAR(par.sx, serial.sx, 1e-7) << threads;
+    EXPECT_NEAR(par.sy, serial.sy, 1e-7) << threads;
+    EXPECT_EQ(par.pairs_in_disc, serial.pairs_in_disc) << threads;
+    EXPECT_EQ(par.q, serial.q) << threads;
+  }
+}
+
+TEST(EpTest, AnnulusCountsSumToAccepted) {
+  const EpResult r = ep_serial(18);
+  std::int64_t total = 0;
+  for (const std::int64_t q : r.q) total += q;
+  EXPECT_EQ(total, r.pairs_in_disc);
+  // Gaussian deviates concentrate near zero: bin 0 dominates.
+  EXPECT_GT(r.q[0], r.q[1]);
+  EXPECT_GT(r.q[1], r.q[2]);
+}
+
+TEST(EpTest, AcceptanceRateNearPiOver4) {
+  const EpResult r = ep_serial(18);
+  const double rate =
+      static_cast<double>(r.pairs_in_disc) / static_cast<double>(1 << 18);
+  EXPECT_NEAR(rate, 3.14159265 / 4.0, 0.01);
+}
+
+TEST(EpTest, ClassTableIsConsistent) {
+  EXPECT_EQ(ep_class('S').m, 24);
+  EXPECT_EQ(ep_class('W').m, 25);
+  EXPECT_EQ(ep_class('A').m, 28);
+}
+
+// ---------------------------------------------------------------------------
+// CG
+// ---------------------------------------------------------------------------
+
+TEST(CgTest, MatrixIsSymmetric) {
+  const SparseMatrix a = cg_make_matrix(200, 5);
+  std::map<std::pair<std::int64_t, std::int64_t>, double> entries;
+  for (std::int64_t i = 0; i < a.n; ++i) {
+    for (std::int64_t k = a.rowstr[static_cast<std::size_t>(i)];
+         k < a.rowstr[static_cast<std::size_t>(i) + 1]; ++k) {
+      entries[{i, a.colidx[static_cast<std::size_t>(k)]}] =
+          a.values[static_cast<std::size_t>(k)];
+    }
+  }
+  for (const auto& [ij, v] : entries) {
+    const auto it = entries.find({ij.second, ij.first});
+    ASSERT_NE(it, entries.end());
+    ASSERT_EQ(it->second, v);
+  }
+}
+
+TEST(CgTest, MatrixIsStrictlyDiagonallyDominant) {
+  const SparseMatrix a = cg_make_matrix(300, 6);
+  for (std::int64_t i = 0; i < a.n; ++i) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::int64_t k = a.rowstr[static_cast<std::size_t>(i)];
+         k < a.rowstr[static_cast<std::size_t>(i) + 1]; ++k) {
+      if (a.colidx[static_cast<std::size_t>(k)] == i) {
+        diag = a.values[static_cast<std::size_t>(k)];
+      } else {
+        off += std::fabs(a.values[static_cast<std::size_t>(k)]);
+      }
+    }
+    ASSERT_GT(diag, off) << "row " << i;
+  }
+}
+
+TEST(CgTest, RowstrIsMonotoneAndCoversNnz) {
+  const SparseMatrix a = cg_make_matrix(100, 4);
+  ASSERT_EQ(a.rowstr.size(), 101u);
+  EXPECT_EQ(a.rowstr.front(), 0);
+  for (std::size_t i = 1; i < a.rowstr.size(); ++i) {
+    ASSERT_GE(a.rowstr[i], a.rowstr[i - 1]);
+  }
+  EXPECT_EQ(a.rowstr.back(), a.nnz());
+}
+
+TEST(CgTest, SolverConverges) {
+  const CgClass cls = cg_class('m');
+  const SparseMatrix a = cg_make_matrix(cls.na, cls.nonzer);
+  const CgResult r = cg_serial(a, cls.niter, cls.shift);
+  EXPECT_LT(r.final_rnorm, 1e-9);
+  EXPECT_EQ(r.iterations, cls.niter);
+}
+
+TEST(CgTest, ParallelMatchesSerialExactly) {
+  const CgClass cls = cg_class('m');
+  const SparseMatrix a = cg_make_matrix(cls.na, cls.nonzer);
+  const CgResult serial = cg_serial(a, cls.niter, cls.shift);
+  for (const int threads : {1, 2, 4}) {
+    const CgResult par = cg_parallel(a, cls.niter, cls.shift, threads);
+    // The parallel combine order for dot products can differ, but with the
+    // critical-section combine the residual stays tiny; zeta agrees to
+    // near-ulp for this matrix.
+    EXPECT_NEAR(par.zeta, serial.zeta, 1e-10) << threads;
+  }
+}
+
+TEST(CgTest, ClassSVerificationValue) {
+  const CgClass cls = cg_class('S');
+  const SparseMatrix a = cg_make_matrix(cls.na, cls.nonzer);
+  const CgResult r = cg_serial(a, cls.niter, cls.shift);
+  EXPECT_TRUE(cg_verify(r, cls)) << r.zeta;
+}
+
+// ---------------------------------------------------------------------------
+// IS
+// ---------------------------------------------------------------------------
+
+TEST(IsTest, KeysAreInRange) {
+  const IsClass cls = is_class('m');
+  const auto keys = is_make_keys(cls.total_keys, cls.max_key);
+  for (const std::int64_t k : keys) {
+    ASSERT_GE(k, 0);
+    ASSERT_LT(k, cls.max_key);
+  }
+}
+
+TEST(IsTest, KeyDistributionIsCentered) {
+  // Sum of four uniforms: mean 2 -> keys centre around max_key/2.
+  const IsClass cls = is_class('m');
+  const auto keys = is_make_keys(cls.total_keys, cls.max_key);
+  double mean = 0.0;
+  for (const std::int64_t k : keys) mean += static_cast<double>(k);
+  mean /= static_cast<double>(keys.size());
+  EXPECT_NEAR(mean, static_cast<double>(cls.max_key) / 2.0,
+              static_cast<double>(cls.max_key) * 0.02);
+}
+
+TEST(IsTest, SerialSortsAndChecksums) {
+  const IsClass cls = is_class('m');
+  const auto keys = is_make_keys(cls.total_keys, cls.max_key);
+  const IsResult r = is_serial(keys, cls.max_key, cls.iterations);
+  EXPECT_TRUE(r.sorted);
+  EXPECT_NE(r.rank_checksum, 0u);
+}
+
+TEST(IsTest, ParallelMatchesSerialExactly) {
+  const IsClass cls = is_class('m');
+  const auto keys = is_make_keys(cls.total_keys, cls.max_key);
+  const IsResult serial = is_serial(keys, cls.max_key, cls.iterations);
+  for (const int threads : {1, 2, 4}) {
+    const IsResult par = is_parallel(keys, cls.max_key, cls.iterations, threads);
+    EXPECT_EQ(par.rank_checksum, serial.rank_checksum) << threads;
+    EXPECT_TRUE(par.sorted) << threads;
+  }
+}
+
+TEST(IsTest, ClassSVerificationChecksum) {
+  const IsClass cls = is_class('S');
+  const auto keys = is_make_keys(cls.total_keys, cls.max_key);
+  const IsResult r = is_serial(keys, cls.max_key, cls.iterations);
+  EXPECT_TRUE(is_verify(r, cls)) << r.rank_checksum;
+}
+
+TEST(IsTest, ModularChecksumIsDeterministic) {
+  const IsClass cls = is_class('m');
+  const auto keys = is_make_keys(cls.total_keys, cls.max_key);
+  const std::int64_t a = is_rank_checksum_mod(keys, cls.max_key, cls.iterations);
+  const std::int64_t b = is_rank_checksum_mod(keys, cls.max_key, cls.iterations);
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, std::int64_t{1} << 30);
+}
+
+// ---------------------------------------------------------------------------
+// Mandelbrot
+// ---------------------------------------------------------------------------
+
+TEST(MandelTest, KnownPixels) {
+  // The origin is in the set; 2+2i escapes immediately.
+  EXPECT_EQ(mandel_pixel(0.0, 0.0, 1000), 1000);
+  EXPECT_LE(mandel_pixel(2.0, 2.0, 1000), 2);
+  // -1 is in the set (period-2 orbit).
+  EXPECT_EQ(mandel_pixel(-1.0, 0.0, 1000), 1000);
+}
+
+TEST(MandelTest, ParallelMatchesSerialExactlyForAllSchedules) {
+  const MandelParams params{128, 128, 500};
+  const MandelResult serial = mandel_serial(params);
+  EXPECT_GT(serial.inside, 0);
+  for (const int sched : {0, 1, 2}) {
+    for (const int threads : {1, 2, 4}) {
+      const MandelResult par = mandel_parallel(params, threads, sched, 2);
+      ASSERT_EQ(par.inside, serial.inside) << sched << "/" << threads;
+      ASSERT_EQ(par.iter_checksum, serial.iter_checksum)
+          << sched << "/" << threads;
+    }
+  }
+}
+
+TEST(MandelTest, RenderBufferMatchesChecksum) {
+  const MandelParams params{64, 64, 200};
+  const MandelResult serial = mandel_serial(params);
+  std::vector<std::int64_t> buf;
+  mandel_render(params, buf, 2);
+  ASSERT_EQ(buf.size(), 64u * 64u);
+  std::uint64_t checksum = 0;
+  std::int64_t inside = 0;
+  for (const std::int64_t it : buf) {
+    checksum += static_cast<std::uint64_t>(it);
+    if (it == params.max_iter) ++inside;
+  }
+  EXPECT_EQ(checksum, serial.iter_checksum);
+  EXPECT_EQ(inside, serial.inside);
+}
+
+TEST(MandelTest, AsymmetricWindowChangesWork) {
+  MandelParams window{64, 64, 300};
+  window.im_min = -2.5;
+  window.im_max = 0.3;
+  const MandelResult a = mandel_serial(window);
+  const MandelResult b = mandel_serial(MandelParams{64, 64, 300});
+  EXPECT_NE(a.iter_checksum, b.iter_checksum);
+  const MandelResult par = mandel_parallel(window, 2, 1, 1);
+  EXPECT_EQ(par.iter_checksum, a.iter_checksum);
+}
+
+}  // namespace
+}  // namespace zomp::npb

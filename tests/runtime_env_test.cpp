@@ -1,0 +1,111 @@
+// Unit tests: environment handling and schedule parsing (runtime/env.h).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "runtime/env.h"
+
+namespace zomp::rt {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("ZOMP_TESTVAR");
+    unsetenv("OMP_TESTVAR");
+  }
+};
+
+TEST_F(EnvTest, UnsetReturnsNullopt) {
+  EXPECT_FALSE(env_string("TESTVAR").has_value());
+  EXPECT_FALSE(env_int("TESTVAR").has_value());
+  EXPECT_FALSE(env_bool("TESTVAR").has_value());
+}
+
+TEST_F(EnvTest, OmpPrefixIsRead) {
+  setenv("OMP_TESTVAR", "17", 1);
+  EXPECT_EQ(env_int("TESTVAR"), 17);
+}
+
+TEST_F(EnvTest, ZompPrefixWinsOverOmp) {
+  setenv("OMP_TESTVAR", "17", 1);
+  setenv("ZOMP_TESTVAR", "42", 1);
+  EXPECT_EQ(env_int("TESTVAR"), 42);
+}
+
+TEST_F(EnvTest, MalformedIntIsRejected) {
+  setenv("ZOMP_TESTVAR", "seventeen", 1);
+  EXPECT_FALSE(env_int("TESTVAR").has_value());
+}
+
+TEST_F(EnvTest, IntWithTrailingGarbageIsRejected) {
+  setenv("ZOMP_TESTVAR", "17abc", 1);
+  EXPECT_FALSE(env_int("TESTVAR").has_value());
+}
+
+TEST_F(EnvTest, WhitespaceAroundIntIsAccepted) {
+  setenv("ZOMP_TESTVAR", "  8 ", 1);
+  EXPECT_EQ(env_int("TESTVAR"), 8);
+}
+
+TEST_F(EnvTest, BoolSpellings) {
+  for (const char* t : {"true", "TRUE", "yes", "1", "on"}) {
+    setenv("ZOMP_TESTVAR", t, 1);
+    EXPECT_EQ(env_bool("TESTVAR"), true) << t;
+  }
+  for (const char* f : {"false", "False", "no", "0", "off"}) {
+    setenv("ZOMP_TESTVAR", f, 1);
+    EXPECT_EQ(env_bool("TESTVAR"), false) << f;
+  }
+  setenv("ZOMP_TESTVAR", "maybe", 1);
+  EXPECT_FALSE(env_bool("TESTVAR").has_value());
+}
+
+struct ScheduleCase {
+  const char* text;
+  bool ok;
+  ScheduleKind kind;
+  i64 chunk;
+};
+
+class ScheduleParseTest : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(ScheduleParseTest, Parses) {
+  const ScheduleCase& c = GetParam();
+  const auto parsed = parse_schedule(c.text);
+  ASSERT_EQ(parsed.has_value(), c.ok) << c.text;
+  if (c.ok) {
+    EXPECT_EQ(parsed->kind, c.kind) << c.text;
+    EXPECT_EQ(parsed->chunk, c.chunk) << c.text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpellings, ScheduleParseTest,
+    ::testing::Values(
+        ScheduleCase{"static", true, ScheduleKind::kStatic, 0},
+        ScheduleCase{"static,4", true, ScheduleKind::kStatic, 4},
+        ScheduleCase{"STATIC, 16", true, ScheduleKind::kStatic, 16},
+        ScheduleCase{"dynamic", true, ScheduleKind::kDynamic, 0},
+        ScheduleCase{"dynamic,1", true, ScheduleKind::kDynamic, 1},
+        ScheduleCase{"guided,8", true, ScheduleKind::kGuided, 8},
+        ScheduleCase{"auto", true, ScheduleKind::kAuto, 0},
+        ScheduleCase{"runtime", true, ScheduleKind::kRuntime, 0},
+        ScheduleCase{"  guided  ", true, ScheduleKind::kGuided, 0},
+        ScheduleCase{"bogus", false, ScheduleKind::kStatic, 0},
+        ScheduleCase{"static,", false, ScheduleKind::kStatic, 0},
+        ScheduleCase{"static,0", false, ScheduleKind::kStatic, 0},
+        ScheduleCase{"static,-3", false, ScheduleKind::kStatic, 0},
+        ScheduleCase{"static,4x", false, ScheduleKind::kStatic, 0},
+        ScheduleCase{"", false, ScheduleKind::kStatic, 0}));
+
+TEST(ScheduleNameTest, AllKindsNamed) {
+  EXPECT_STREQ(schedule_kind_name(ScheduleKind::kStatic), "static");
+  EXPECT_STREQ(schedule_kind_name(ScheduleKind::kDynamic), "dynamic");
+  EXPECT_STREQ(schedule_kind_name(ScheduleKind::kGuided), "guided");
+  EXPECT_STREQ(schedule_kind_name(ScheduleKind::kAuto), "auto");
+  EXPECT_STREQ(schedule_kind_name(ScheduleKind::kRuntime), "runtime");
+}
+
+}  // namespace
+}  // namespace zomp::rt

@@ -1,0 +1,109 @@
+// Lock family tests: plain, nestable, and spin locks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "runtime/lock.h"
+
+namespace zomp::rt {
+namespace {
+
+template <typename LockT>
+void contention_test(LockT& lock, int threads, int per_thread) {
+  long counter = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < per_thread; ++i) {
+        lock.set();
+        ++counter;
+        lock.unset();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, static_cast<long>(threads) * per_thread);
+}
+
+TEST(LockTest, MutualExclusion) {
+  Lock lock;
+  contention_test(lock, 4, 10000);
+}
+
+TEST(LockTest, TestAcquiresWhenFree) {
+  Lock lock;
+  EXPECT_TRUE(lock.test());
+  lock.unset();
+}
+
+TEST(LockTest, TestFailsWhenHeld) {
+  Lock lock;
+  lock.set();
+  std::thread other([&] { EXPECT_FALSE(lock.test()); });
+  other.join();
+  lock.unset();
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  contention_test(lock, 4, 10000);
+}
+
+TEST(SpinLockTest, TestSemantics) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.test());
+  EXPECT_FALSE(lock.test());
+  lock.unset();
+  EXPECT_TRUE(lock.test());
+  lock.unset();
+}
+
+TEST(NestLockTest, OwnerMayReacquire) {
+  NestLock lock;
+  EXPECT_EQ(lock.set(), 1);
+  EXPECT_EQ(lock.set(), 2);
+  EXPECT_EQ(lock.set(), 3);
+  lock.unset();
+  lock.unset();
+  lock.unset();
+  // Fully released: another thread can take it now.
+  std::thread other([&] {
+    EXPECT_EQ(lock.set(), 1);
+    lock.unset();
+  });
+  other.join();
+}
+
+TEST(NestLockTest, TestReturnsDepthForOwnerZeroForOthers) {
+  NestLock lock;
+  EXPECT_EQ(lock.test(), 1);
+  EXPECT_EQ(lock.test(), 2);
+  std::thread other([&] { EXPECT_EQ(lock.test(), 0); });
+  other.join();
+  lock.unset();
+  lock.unset();
+}
+
+TEST(NestLockTest, ContendedCounting) {
+  NestLock lock;
+  long counter = 0;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        lock.set();
+        lock.set();  // nested reacquire
+        ++counter;
+        lock.unset();
+        lock.unset();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(counter, 8000);
+}
+
+}  // namespace
+}  // namespace zomp::rt

@@ -1,0 +1,301 @@
+// Fork/join, team queries, ICVs, and the in-region constructs (single,
+// master, critical, ordered, reductions) through the high-level API.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace zomp {
+namespace {
+
+TEST(ForkJoinTest, TeamHasRequestedSize) {
+  for (const int want : {1, 2, 3, 4, 8}) {
+    std::atomic<int> members{0};
+    std::set<int> tids;
+    std::mutex m;
+    parallel(
+        [&] {
+          members.fetch_add(1);
+          const std::lock_guard<std::mutex> lock(m);
+          tids.insert(thread_num());
+        },
+        ParallelOptions{want, true});
+    EXPECT_EQ(members.load(), want);
+    EXPECT_EQ(static_cast<int>(tids.size()), want);
+    EXPECT_TRUE(tids.contains(0)) << "master participates as tid 0";
+  }
+}
+
+TEST(ForkJoinTest, NumThreadsQueryInsideRegion) {
+  parallel(
+      [&] {
+        EXPECT_EQ(num_threads(), 3);
+        EXPECT_GE(thread_num(), 0);
+        EXPECT_LT(thread_num(), 3);
+        EXPECT_TRUE(in_parallel());
+        EXPECT_EQ(level(), 1);
+        EXPECT_EQ(active_level(), 1);
+      },
+      ParallelOptions{3, true});
+  EXPECT_FALSE(in_parallel());
+  EXPECT_EQ(num_threads(), 1);
+  EXPECT_EQ(level(), 0);
+}
+
+TEST(ForkJoinTest, IfClauseFalseSerialises) {
+  parallel(
+      [&] {
+        EXPECT_EQ(num_threads(), 1);
+        EXPECT_EQ(thread_num(), 0);
+      },
+      ParallelOptions{4, /*if_clause=*/false});
+}
+
+TEST(ForkJoinTest, NestedRegionsSerialiseByDefault) {
+  parallel(
+      [&] {
+        parallel([&] {
+          EXPECT_EQ(num_threads(), 1);
+          EXPECT_EQ(level(), 2);
+          EXPECT_EQ(active_level(), 1);
+        });
+      },
+      ParallelOptions{2, true});
+}
+
+TEST(ForkJoinTest, NestedRegionsActivateWhenAllowed) {
+  set_max_active_levels(2);
+  std::atomic<int> inner_total{0};
+  parallel(
+      [&] {
+        parallel([&] { inner_total.fetch_add(1); }, ParallelOptions{2, true});
+      },
+      ParallelOptions{2, true});
+  set_max_active_levels(1);
+  // 2 outer members x 2 inner members (resources permitting, >= outer count).
+  EXPECT_GE(inner_total.load(), 2);
+  EXPECT_LE(inner_total.load(), 4);
+}
+
+TEST(ForkJoinTest, MasterValueVisibleAfterJoin) {
+  int value = 0;
+  parallel([&] { master([&] { value = 42; }); }, ParallelOptions{4, true});
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ForkJoinTest, RegionsAreReentrantBackToBack) {
+  for (int i = 0; i < 100; ++i) {
+    std::atomic<int> n{0};
+    parallel([&] { n.fetch_add(1); }, ParallelOptions{4, true});
+    ASSERT_EQ(n.load(), 4) << "region " << i;
+  }
+}
+
+TEST(ForkJoinTest, UserThreadsCanForkIndependently) {
+  std::atomic<int> total{0};
+  std::thread t1([&] {
+    parallel([&] { total.fetch_add(1); }, ParallelOptions{2, true});
+  });
+  std::thread t2([&] {
+    parallel([&] { total.fetch_add(1); }, ParallelOptions{2, true});
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(total.load(), 4);
+}
+
+TEST(IcvTest, SetNumThreadsAffectsNextRegion) {
+  set_num_threads(3);
+  int seen = 0;
+  parallel([&] { single([&] { seen = num_threads(); }); });
+  EXPECT_EQ(seen, 3);
+  set_num_threads(2);
+}
+
+TEST(IcvTest, DynamicFlagRoundTrips) {
+  set_dynamic(true);
+  EXPECT_TRUE(get_dynamic());
+  set_dynamic(false);
+  EXPECT_FALSE(get_dynamic());
+}
+
+TEST(IcvTest, ScheduleRoundTrips) {
+  set_schedule({rt::ScheduleKind::kGuided, 9});
+  const rt::Schedule s = get_schedule();
+  EXPECT_EQ(s.kind, rt::ScheduleKind::kGuided);
+  EXPECT_EQ(s.chunk, 9);
+  set_schedule({rt::ScheduleKind::kStatic, 0});
+}
+
+TEST(IcvTest, WtimeIsMonotonic) {
+  const double a = wtime();
+  const double b = wtime();
+  EXPECT_GE(b, a);
+  EXPECT_GT(wtick(), 0.0);
+  EXPECT_LT(wtick(), 1.0);
+}
+
+TEST(SingleTest, ExactlyOneMemberPerConstructInstance) {
+  constexpr int kRounds = 25;
+  std::atomic<int> executed{0};
+  parallel(
+      [&] {
+        for (int i = 0; i < kRounds; ++i) {
+          single([&] { executed.fetch_add(1); });
+        }
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(executed.load(), kRounds);
+}
+
+TEST(SingleTest, NowaitSingleStillRunsOnce) {
+  std::atomic<int> executed{0};
+  parallel(
+      [&] {
+        single([&] { executed.fetch_add(1); }, /*barrier_after=*/false);
+        barrier();
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(executed.load(), 1);
+}
+
+TEST(MasterTest, OnlyTidZeroRuns) {
+  std::atomic<int> runs{0};
+  std::atomic<int> runner_tid{-1};
+  parallel(
+      [&] {
+        master([&] {
+          runs.fetch_add(1);
+          runner_tid.store(thread_num());
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(runner_tid.load(), 0);
+}
+
+TEST(CriticalTest, MutualExclusionUnderContention) {
+  // Non-atomic counter updated under critical must not lose updates.
+  long counter = 0;
+  constexpr int kPerThread = 5000;
+  parallel(
+      [&] {
+        for (int i = 0; i < kPerThread; ++i) {
+          critical([&] { ++counter; });
+        }
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(counter, 4L * kPerThread);
+}
+
+TEST(CriticalTest, DifferentNamesDoNotExclude) {
+  // Two named criticals must be independent locks; same name shares one.
+  rt::Lock* a1 = rt::CriticalRegistry::instance().get("alpha");
+  rt::Lock* a2 = rt::CriticalRegistry::instance().get("alpha");
+  rt::Lock* b = rt::CriticalRegistry::instance().get("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST(OrderedTest, IterationsEnterInSequence) {
+  constexpr rt::i64 n = 200;
+  std::vector<rt::i64> order;
+  order.reserve(n);
+  parallel(
+      [&] {
+        rt::ThreadState& ts = rt::current_thread();
+        rt::Team& team = *ts.team;
+        // ordered loops go through the dispatch path, as the engine lowers them
+        team.dispatch_init(ts, {rt::ScheduleKind::kDynamic, 7}, 0, n, 1);
+        rt::i64 lo = 0, hi = 0;
+        bool last = false;
+        while (team.dispatch_next(ts, &lo, &hi, &last)) {
+          for (rt::i64 i = lo; i < hi; ++i) {
+            team.ordered_enter(ts, i);
+            order.push_back(i);  // protected by the ordered region itself
+            team.ordered_exit(ts, i);
+          }
+        }
+        team.barrier_wait(ts.tid);
+      },
+      ParallelOptions{4, true});
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+  for (rt::i64 i = 0; i < n; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(ReduceTest, InRegionReductionMatchesSerial) {
+  constexpr rt::i64 n = 10000;
+  double expected = 0.0;
+  for (rt::i64 i = 0; i < n; ++i) expected += static_cast<double>(i) * 0.5;
+  double got = 0.0;
+  parallel(
+      [&] {
+        const double r = reduce_each<double>(
+            0, n, 0.0, std::plus<>{},
+            [](rt::i64 i) { return static_cast<double>(i) * 0.5; });
+        single([&] { got = r; });
+      },
+      ParallelOptions{4, true});
+  EXPECT_DOUBLE_EQ(got, expected);
+}
+
+TEST(ReduceTest, BackToBackReductionsUseAlternatingCells) {
+  // Regression guard for the double-buffered reduction scratch: consecutive
+  // reductions must not corrupt each other.
+  double a = 0.0, b = 0.0, c = 0.0;
+  parallel(
+      [&] {
+        const double r1 = reduce_each<rt::i64>(0, 100, rt::i64{0}, std::plus<>{},
+                                               [](rt::i64) { return rt::i64{1}; });
+        const double r2 = reduce_each<rt::i64>(0, 200, rt::i64{0}, std::plus<>{},
+                                               [](rt::i64) { return rt::i64{1}; });
+        const double r3 = reduce_each<rt::i64>(0, 300, rt::i64{0}, std::plus<>{},
+                                               [](rt::i64) { return rt::i64{1}; });
+        single([&] {
+          a = r1;
+          b = r2;
+          c = r3;
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(a, 100);
+  EXPECT_EQ(b, 200);
+  EXPECT_EQ(c, 300);
+}
+
+TEST(ReduceTest, MinMaxCombines) {
+  const double mn = parallel_reduce<double>(
+      0, 1000, 1e300, [](double x, double y) { return std::min(x, y); },
+      [](rt::i64 i) { return static_cast<double>((i * 37 + 11) % 1000); });
+  EXPECT_EQ(mn, 0.0);
+  const double mx = parallel_reduce<double>(
+      0, 1000, -1e300, [](double x, double y) { return std::max(x, y); },
+      [](rt::i64 i) { return static_cast<double>((i * 37 + 11) % 1000); });
+  EXPECT_EQ(mx, 999.0);
+}
+
+TEST(BarrierApiTest, BarrierSeparatesPhases) {
+  constexpr int kThreads = 4;
+  std::vector<int> phase1(kThreads, 0);
+  std::atomic<int> mismatches{0};
+  parallel(
+      [&] {
+        phase1[static_cast<std::size_t>(thread_num())] = 1;
+        barrier();
+        for (int i = 0; i < kThreads; ++i) {
+          if (phase1[static_cast<std::size_t>(i)] != 1) mismatches.fetch_add(1);
+        }
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace zomp

@@ -1,0 +1,223 @@
+// Property tests for the worksharing engine: every (schedule, chunk,
+// threads, trip-count) combination must cover each iteration exactly once —
+// the core invariant of the OpenMP `for` construct.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "runtime/hl.h"
+#include "runtime/worksharing.h"
+
+namespace zomp::rt {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pure static_distribute math (no threads involved).
+// ---------------------------------------------------------------------------
+
+struct StaticCase {
+  i64 lo, hi, step, chunk;
+  i32 nthreads;
+};
+
+class StaticDistributeTest : public ::testing::TestWithParam<StaticCase> {};
+
+TEST_P(StaticDistributeTest, PartitionsIterationSpaceExactly) {
+  const StaticCase& c = GetParam();
+  const i64 trips = trip_count(c.lo, c.hi, c.step);
+  std::vector<int> hits(static_cast<std::size_t>(trips), 0);
+  int last_owners = 0;
+  for (i32 tid = 0; tid < c.nthreads; ++tid) {
+    const StaticRange r =
+        static_distribute(c.lo, c.hi, c.step, c.chunk, tid, c.nthreads);
+    if (r.last) ++last_owners;
+    const i64 span = r.hi - r.lo;
+    for (i64 block = r.lo; block < c.hi; block += r.stride) {
+      const i64 end = std::min(block + span, c.hi);
+      for (i64 i = block; i < end; i += c.step) {
+        const i64 index = (i - c.lo) / c.step;
+        ASSERT_GE(index, 0);
+        ASSERT_LT(index, trips);
+        ++hits[static_cast<std::size_t>(index)];
+      }
+    }
+  }
+  for (i64 i = 0; i < trips; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)], 1) << "iteration " << i;
+  }
+  if (trips > 0) {
+    EXPECT_EQ(last_owners, 1) << "exactly one thread owns the last iteration";
+  }
+}
+
+std::vector<StaticCase> static_cases() {
+  std::vector<StaticCase> cases;
+  for (const i32 threads : {1, 2, 3, 4, 7, 16}) {
+    for (const i64 chunk : {0, 1, 3, 8}) {
+      for (const auto& [lo, hi, step] :
+           std::vector<std::tuple<i64, i64, i64>>{{0, 0, 1},
+                                                  {0, 1, 1},
+                                                  {0, 17, 1},
+                                                  {5, 100, 1},
+                                                  {-10, 10, 1},
+                                                  {0, 100, 3},
+                                                  {1, 1000, 7},
+                                                  {0, 16, 1}}) {
+        cases.push_back(StaticCase{lo, hi, step, chunk, threads});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StaticDistributeTest,
+                         ::testing::ValuesIn(static_cases()));
+
+TEST(StaticDistributeTest, ZeroTripLoopGivesEmptyRanges) {
+  for (i32 tid = 0; tid < 4; ++tid) {
+    const StaticRange r = static_distribute(10, 10, 1, 0, tid, 4);
+    EXPECT_GE(r.lo, r.hi);
+    EXPECT_FALSE(r.last);
+  }
+}
+
+TEST(StaticDistributeTest, BlockedIsContiguousAndOrdered) {
+  // schedule(static) must give thread t a contiguous range before t+1's.
+  i64 prev_end = 0;
+  for (i32 tid = 0; tid < 5; ++tid) {
+    const StaticRange r = static_distribute(0, 103, 1, 0, tid, 5);
+    EXPECT_EQ(r.lo, prev_end);
+    prev_end = r.hi;
+  }
+  EXPECT_EQ(prev_end, 103);
+}
+
+TEST(StaticDistributeTest, ChunkedRoundRobinAssignment) {
+  // chunk=2, 3 threads: thread 0 gets [0,2), [6,8), ...
+  const StaticRange r = static_distribute(0, 12, 1, 2, 0, 3);
+  EXPECT_EQ(r.lo, 0);
+  EXPECT_EQ(r.hi, 2);
+  EXPECT_EQ(r.stride, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Team dispatch (real threads through the high-level API).
+// ---------------------------------------------------------------------------
+
+struct DispatchCase {
+  ScheduleKind kind;
+  i64 chunk;
+  int threads;
+  i64 n;
+};
+
+class DispatchCoverageTest : public ::testing::TestWithParam<DispatchCase> {};
+
+TEST_P(DispatchCoverageTest, EveryIterationExactlyOnce) {
+  const DispatchCase& c = GetParam();
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(c.n));
+  for (auto& h : hits) h.store(0);
+  zomp::parallel(
+      [&] {
+        zomp::for_each(
+            0, c.n,
+            [&](i64 i) {
+              hits[static_cast<std::size_t>(i)].fetch_add(
+                  1, std::memory_order_relaxed);
+            },
+            zomp::ForOptions{{c.kind, c.chunk}, false});
+      },
+      zomp::ParallelOptions{c.threads, true});
+  for (i64 i = 0; i < c.n; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "iteration " << i;
+  }
+}
+
+std::vector<DispatchCase> dispatch_cases() {
+  std::vector<DispatchCase> cases;
+  for (const auto kind : {ScheduleKind::kStatic, ScheduleKind::kDynamic,
+                          ScheduleKind::kGuided, ScheduleKind::kAuto}) {
+    for (const i64 chunk : {0, 1, 7}) {
+      if (kind == ScheduleKind::kDynamic && chunk == 0) continue;
+      for (const int threads : {1, 2, 4}) {
+        for (const i64 n : {0, 1, 63, 1024}) {
+          cases.push_back(DispatchCase{kind, chunk, threads, n});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DispatchCoverageTest,
+                         ::testing::ValuesIn(dispatch_cases()));
+
+TEST(DispatchTest, ConsecutiveNowaitLoopsDoNotInterfere) {
+  // Fast threads may run several constructs ahead under nowait; the slot
+  // ring has to keep the constructs separate.
+  constexpr i64 n = 64;
+  constexpr int loops = 32;  // several times the ring size
+  std::vector<std::atomic<int>> hits(n * loops);
+  for (auto& h : hits) h.store(0);
+  zomp::parallel(
+      [&] {
+        for (int l = 0; l < loops; ++l) {
+          zomp::for_each(
+              0, n,
+              [&](i64 i) {
+                hits[static_cast<std::size_t>(l * n + i)].fetch_add(
+                    1, std::memory_order_relaxed);
+              },
+              zomp::ForOptions{{ScheduleKind::kDynamic, 3}, /*nowait=*/true});
+        }
+      },
+      zomp::ParallelOptions{4, true});
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+}
+
+TEST(DispatchTest, RuntimeScheduleFollowsIcv) {
+  zomp::set_schedule({ScheduleKind::kDynamic, 5});
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  zomp::parallel(
+      [&] {
+        zomp::for_each(
+            0, 100,
+            [&](i64 i) {
+              hits[static_cast<std::size_t>(i)].fetch_add(1);
+            },
+            zomp::ForOptions{{ScheduleKind::kRuntime, 0}, false});
+      },
+      zomp::ParallelOptions{2, true});
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  zomp::set_schedule({ScheduleKind::kStatic, 0});
+}
+
+TEST(DispatchTest, GuidedChunksShrink) {
+  // First chunk claimed must be the largest (guided-self-scheduling shape).
+  std::vector<i64> sizes;
+  zomp::parallel(
+      [&] {
+        rt::ThreadState& ts = rt::current_thread();
+        rt::Team& team = *ts.team;
+        team.dispatch_init(ts, {ScheduleKind::kGuided, 1}, 0, 10000, 1);
+        i64 lo = 0, hi = 0;
+        bool last = false;
+        while (team.dispatch_next(ts, &lo, &hi, &last)) {
+          zomp::critical([&] { sizes.push_back(hi - lo); });
+        }
+        team.barrier_wait(ts.tid);
+      },
+      zomp::ParallelOptions{1, true});
+  ASSERT_GT(sizes.size(), 2u);
+  EXPECT_GE(sizes.front(), sizes.back());
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), i64{0}), 10000);
+}
+
+}  // namespace
+}  // namespace zomp::rt
