@@ -6,6 +6,9 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -150,6 +153,318 @@ void BM_TaskSpawnDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * tasks);
 }
 BENCHMARK(BM_TaskSpawnDrain)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
+
+// ---------------------------------------------------------------------------
+// Scheduler-substrate before/after (PR 1). The seed's mutex-guarded task
+// deque and one-chunk-per-fetch_add dynamic cursor are kept here, bench-local,
+// so the speedup of the lock-free work-stealing deque and the batched shared
+// cursor stays measurable on any machine in a single run.
+// ---------------------------------------------------------------------------
+
+/// The seed TaskPool: one mutex-guarded std::deque per member.
+class MutexTaskPool {
+ public:
+  explicit MutexTaskPool(int members) : queues_(members) {}
+
+  void push(int tid, std::unique_ptr<zomp::rt::Task> task) {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    MemberQueue& q = queues_[static_cast<std::size_t>(tid)];
+    const std::lock_guard<std::mutex> lock(q.mutex);
+    q.deque.push_back(std::move(task));
+  }
+
+  std::unique_ptr<zomp::rt::Task> take(int tid) {
+    const int n = static_cast<int>(queues_.size());
+    {
+      MemberQueue& q = queues_[static_cast<std::size_t>(tid)];
+      const std::lock_guard<std::mutex> lock(q.mutex);
+      if (!q.deque.empty()) {
+        auto task = std::move(q.deque.back());
+        q.deque.pop_back();
+        return task;
+      }
+    }
+    for (int k = 1; k < n; ++k) {
+      MemberQueue& q = queues_[static_cast<std::size_t>((tid + k) % n)];
+      const std::lock_guard<std::mutex> lock(q.mutex);
+      if (!q.deque.empty()) {
+        auto task = std::move(q.deque.front());
+        q.deque.pop_front();
+        return task;
+      }
+    }
+    return nullptr;
+  }
+
+  std::int64_t outstanding() const {
+    return outstanding_.load(std::memory_order_acquire);
+  }
+  void mark_finished() { outstanding_.fetch_sub(1, std::memory_order_acq_rel); }
+
+ private:
+  struct alignas(zomp::rt::kCacheLine) MemberQueue {
+    std::mutex mutex;
+    std::deque<std::unique_ptr<zomp::rt::Task>> deque;
+  };
+  std::deque<MemberQueue> queues_;
+  alignas(zomp::rt::kCacheLine) std::atomic<std::int64_t> outstanding_{0};
+};
+
+std::unique_ptr<zomp::rt::Task> make_dummy_task(zomp::rt::TaskContext* parent) {
+  auto t = std::make_unique<zomp::rt::Task>();
+  t->body = [] {};
+  t->parent = parent;
+  return t;
+}
+
+/// Owner-side push/pop throughput, no contention: the per-task queue cost
+/// every spawn pays. Tasks are preallocated and recycled so the measurement
+/// isolates the queue operations from task allocation.
+/// range(0): 0 = seed mutex pool, 1 = lock-free deque.
+void BM_TaskQueueOwnerOps(benchmark::State& state) {
+  const bool lockfree = state.range(0) == 1;
+  constexpr int kBurst = 256;
+  zomp::rt::TaskContext parent;
+  zomp::rt::TaskPool ws_pool(1);
+  MutexTaskPool mutex_pool(1);
+  std::vector<std::unique_ptr<zomp::rt::Task>> arena;
+  arena.reserve(kBurst);
+  for (int i = 0; i < kBurst; ++i) arena.push_back(make_dummy_task(&parent));
+  std::vector<zomp::rt::Task*> raw(kBurst);
+  for (int i = 0; i < kBurst; ++i) raw[static_cast<std::size_t>(i)] = arena[static_cast<std::size_t>(i)].get();
+  for (auto _ : state) {
+    for (int i = 0; i < kBurst; ++i) {
+      std::unique_ptr<zomp::rt::Task> t(raw[static_cast<std::size_t>(i)]);
+      if (lockfree) {
+        if (auto rejected = ws_pool.push(0, std::move(t))) {
+          rejected.release();  // kBurst < capacity, so this never fires
+          state.SkipWithError("unexpected deque overflow");
+        }
+      } else {
+        mutex_pool.push(0, std::move(t));
+      }
+    }
+    for (int i = 0; i < kBurst; ++i) {
+      auto t = lockfree ? ws_pool.take(0) : mutex_pool.take(0);
+      if (!t) {
+        state.SkipWithError("queue lost a task");
+        break;
+      }
+      (lockfree ? static_cast<void>(ws_pool.mark_finished())
+                : mutex_pool.mark_finished());
+      t.release();  // back to the arena; freed once by `arena` at teardown
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+  state.SetLabel(lockfree ? "lockfree-deque" : "mutex-seed");
+}
+BENCHMARK(BM_TaskQueueOwnerOps)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond)->Iterations(2000);
+
+/// Steal throughput under contention: one member's queue is pre-loaded and
+/// `thieves` threads drain it through take() — the path the task-aware
+/// barrier exercises. range(0): 0 = mutex, 1 = lock-free; range(1): thieves.
+void BM_TaskQueueStealDrain(benchmark::State& state) {
+  const bool lockfree = state.range(0) == 1;
+  const int thieves = static_cast<int>(state.range(1));
+  constexpr int kTasks = 1024;  // == WorkStealingDeque::kCapacity
+  zomp::rt::TaskContext parent;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto ws_pool = std::make_unique<zomp::rt::TaskPool>(thieves + 1);
+    auto mutex_pool = std::make_unique<MutexTaskPool>(thieves + 1);
+    for (int i = 0; i < kTasks; ++i) {
+      if (lockfree) {
+        if (auto rejected = ws_pool->push(0, make_dummy_task(&parent))) {
+          state.SkipWithError("unexpected deque overflow");
+        }
+      } else {
+        mutex_pool->push(0, make_dummy_task(&parent));
+      }
+    }
+    std::atomic<int> drained{0};
+    state.ResumeTiming();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(thieves));
+    for (int t = 1; t <= thieves; ++t) {
+      threads.emplace_back([&, t] {
+        for (;;) {
+          auto task = lockfree ? ws_pool->take(t) : mutex_pool->take(t);
+          if (task) {
+            (lockfree ? static_cast<void>(ws_pool->mark_finished())
+                      : mutex_pool->mark_finished());
+            drained.fetch_add(1, std::memory_order_relaxed);
+          } else if ((lockfree ? ws_pool->outstanding()
+                               : mutex_pool->outstanding()) == 0) {
+            return;
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    if (drained.load() != kTasks) state.SkipWithError("lost tasks");
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.SetLabel(lockfree ? "lockfree-deque" : "mutex-seed");
+}
+BENCHMARK(BM_TaskQueueStealDrain)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(50);
+
+/// Concurrent spawn + steal: one producer pushes a task stream while
+/// `thieves` consumers drain it through the steal path, all using the
+/// runtime's backoff discipline — the shape of a `single`-producer task storm
+/// inside a parallel region. Overflowing the bounded deque counts as an
+/// inline execution, exactly as Team::task_create handles it.
+/// range(0): 0 = mutex seed pool, 1 = lock-free deque; range(1): thieves.
+void BM_TaskSpawnStealThroughput(benchmark::State& state) {
+  const bool lockfree = state.range(0) == 1;
+  const int thieves = static_cast<int>(state.range(1));
+  constexpr int kTasks = 4096;
+  zomp::rt::TaskContext parent;
+  for (auto _ : state) {
+    auto ws_pool = std::make_unique<zomp::rt::TaskPool>(thieves + 1);
+    auto mutex_pool = std::make_unique<MutexTaskPool>(thieves + 1);
+    std::atomic<bool> producing{true};
+    std::atomic<int> done{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(thieves));
+    for (int t = 1; t <= thieves; ++t) {
+      threads.emplace_back([&, t] {
+        zomp::rt::Backoff backoff;
+        for (;;) {
+          auto task = lockfree ? ws_pool->take(t) : mutex_pool->take(t);
+          if (task) {
+            (lockfree ? static_cast<void>(ws_pool->mark_finished())
+                      : mutex_pool->mark_finished());
+            done.fetch_add(1, std::memory_order_relaxed);
+            backoff.reset();
+          } else if (!producing.load(std::memory_order_acquire) &&
+                     (lockfree ? ws_pool->outstanding()
+                               : mutex_pool->outstanding()) == 0) {
+            return;
+          } else {
+            backoff.pause();
+          }
+        }
+      });
+    }
+    for (int i = 0; i < kTasks; ++i) {
+      auto task = make_dummy_task(&parent);
+      if (lockfree) {
+        if (ws_pool->push(0, std::move(task))) {
+          done.fetch_add(1, std::memory_order_relaxed);  // inline on overflow
+        }
+      } else {
+        mutex_pool->push(0, std::move(task));
+      }
+    }
+    producing.store(false, std::memory_order_release);
+    for (;;) {  // producer helps drain, like the join barrier
+      auto task = lockfree ? ws_pool->take(0) : mutex_pool->take(0);
+      if (task) {
+        (lockfree ? static_cast<void>(ws_pool->mark_finished())
+                  : mutex_pool->mark_finished());
+        done.fetch_add(1, std::memory_order_relaxed);
+      } else if ((lockfree ? ws_pool->outstanding()
+                           : mutex_pool->outstanding()) == 0) {
+        break;
+      }
+    }
+    for (auto& th : threads) th.join();
+    if (done.load() != kTasks) state.SkipWithError("lost tasks");
+  }
+  state.SetItemsProcessed(state.iterations() * kTasks);
+  state.SetLabel(lockfree ? "lockfree-deque" : "mutex-seed");
+}
+BENCHMARK(BM_TaskSpawnStealThroughput)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 7})
+    ->Args({1, 7})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20);
+
+/// Fine-grained dynamic scheduling: threads claim a 1<<16-iteration space in
+/// chunk-1 units. Seed behaviour (one fetch_add per chunk) vs the batched
+/// shared cursor behind dispatch_next_chunk. range(0): 0 = seed, 1 = batched;
+/// range(1): claiming threads.
+void BM_DynamicChunkClaim(benchmark::State& state) {
+  const bool batched = state.range(0) == 1;
+  const int threads = static_cast<int>(state.range(1));
+  constexpr std::int64_t kTrips = 1 << 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto slot = std::make_unique<zomp::rt::DispatchSlot>();
+    slot->kind = zomp::rt::ScheduleKind::kDynamic;
+    slot->lo = 0;
+    slot->hi = kTrips;
+    slot->step = 1;
+    slot->chunk = 1;
+    slot->trips = kTrips;
+    slot->nthreads = threads;
+    slot->next.store(0, std::memory_order_relaxed);
+    std::atomic<std::int64_t> claimed_total{0};
+    state.ResumeTiming();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        std::int64_t mine = 0;
+        if (batched) {
+          zomp::rt::MemberDispatch md;
+          std::int64_t lo = 0, hi = 0;
+          bool last = false;
+          while (zomp::rt::dispatch_next_chunk(*slot, md, t, &lo, &hi, &last)) {
+            mine += hi - lo;
+          }
+        } else {
+          for (;;) {  // the seed path: one chunk per atomic RMW
+            const std::int64_t c =
+                slot->next.fetch_add(1, std::memory_order_relaxed);
+            if (c >= kTrips) break;
+            ++mine;
+          }
+        }
+        claimed_total.fetch_add(mine, std::memory_order_relaxed);
+      });
+    }
+    for (auto& th : workers) th.join();
+    if (claimed_total.load() != kTrips) state.SkipWithError("missed iterations");
+  }
+  state.SetItemsProcessed(state.iterations() * kTrips);
+  state.SetLabel(batched ? "batched-cursor" : "seed-cursor");
+}
+BENCHMARK(BM_DynamicChunkClaim)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20);
+
+/// Steal-heavy tasking through the public API: every task is produced by one
+/// member inside `single`, so every execution on another member is a steal.
+void BM_TaskStormSingleProducer(benchmark::State& state) {
+  const auto tasks = static_cast<int>(state.range(0));
+  std::atomic<int> done{0};
+  for (auto _ : state) {
+    done.store(0);
+    zomp::parallel([&] {
+      zomp::single([&] {
+        for (int i = 0; i < tasks; ++i) {
+          zomp::task([&] { done.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    });
+    if (done.load() != tasks) state.SkipWithError("lost tasks");
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+}
+BENCHMARK(BM_TaskStormSingleProducer)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
 
 void BM_AtomicF64Add(benchmark::State& state) {
   double cell = 0.0;

@@ -96,6 +96,9 @@ void zomp_dispatch_init(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
 std::int32_t zomp_dispatch_next(const zomp_ident_t* /*loc*/,
                                 std::int32_t /*gtid*/, std::int64_t* plo,
                                 std::int64_t* phi, std::int32_t* plast) {
+  // The returned range may cover a batch of chunks claimed with a single
+  // fetch_add (worksharing.cpp); generated code just runs [lo, hi) either
+  // way, so fine-grained dynamic loops get the batching for free.
   ThreadState& ts = current_thread();
   bool last = false;
   const bool more = ts.team->dispatch_next(ts, plo, phi, &last);

@@ -54,6 +54,12 @@ void set_schedule(rt::Schedule schedule) {
 
 rt::Schedule get_schedule() { return current_thread().icv.run_sched; }
 
+void set_wait_policy(rt::WaitPolicy policy) {
+  GlobalIcv::instance().set_wait_policy(policy);
+}
+
+rt::WaitPolicy get_wait_policy() { return GlobalIcv::instance().wait_policy(); }
+
 double wtime() {
   using clock = std::chrono::steady_clock;
   static const clock::time_point epoch = clock::now();

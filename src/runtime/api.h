@@ -42,6 +42,11 @@ rt::i32 get_max_active_levels();
 void set_schedule(rt::Schedule schedule);
 rt::Schedule get_schedule();
 
+/// wait-policy-var accessors (OMP_WAIT_POLICY). Process-wide: the policy
+/// governs every runtime spin loop (barriers, joins, task drains).
+void set_wait_policy(rt::WaitPolicy policy);
+rt::WaitPolicy get_wait_policy();
+
 /// Monotonic wall-clock in seconds (omp_get_wtime).
 double wtime();
 

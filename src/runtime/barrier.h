@@ -7,7 +7,10 @@
 //  * TreeBarrier    — arity-4 combining tree: arrive up the tree, release
 //    down it. O(log n) critical path, far less contention on wide teams.
 //
-// Both spin-then-yield (see Backoff) so oversubscribed test runs stay fast.
+// Both wait with the exponential-backoff spin-then-yield policy (Backoff in
+// common.h), governed by the OMP_WAIT_POLICY ICV: active waiters spin an
+// exponentially growing budget before yielding, passive waiters yield at
+// once — so oversubscribed test runs stay fast either way.
 #pragma once
 
 #include <memory>

@@ -34,17 +34,31 @@ inline constexpr std::size_t kCacheLine = 64;
     }                                                                      \
   } while (0)
 
-/// Bounded exponential backoff for spin loops.
+/// Waiting behaviour for runtime spin loops (`wait-policy-var`,
+/// OMP_WAIT_POLICY): active waiters burn an exponentially-growing spin budget
+/// before yielding the core; passive waiters yield immediately.
+enum class WaitPolicy : i32 { kActive = 0, kPassive = 1 };
+
+/// Spin budget implied by the process wait policy (defined in icv.cpp next to
+/// the ICV storage): kPassive -> 0, kActive -> a bounded spin count.
+i32 backoff_spin_limit() noexcept;
+
+/// Bounded exponential backoff for spin loops, honouring OMP_WAIT_POLICY.
 ///
-/// The machines this repo targets (laptops, CI) are routinely oversubscribed,
-/// so every spin loop in the runtime must eventually yield the core: a pure
-/// spin barrier with threads > cores turns O(us) waits into O(scheduler
-/// quantum) waits.
+/// Every barrier / join / task-drain wait in the runtime sits on one of
+/// these. The machines this repo targets (laptops, CI) are routinely
+/// oversubscribed, so even under the active policy the spin is bounded and
+/// falls back to yielding the core: a pure spin barrier with threads > cores
+/// turns O(us) waits into O(scheduler quantum) waits.
 class Backoff {
  public:
+  Backoff() : limit_(backoff_spin_limit()) {}
+  explicit Backoff(i32 spin_limit) : limit_(spin_limit) {}
+
   void pause() {
-    if (spins_ < kSpinLimit) {
+    if (spins_ < limit_) {
       ++spins_;
+      // Exponential: 2, 4, ... up to 64 pause instructions per round.
       for (int i = 0; i < (1 << (spins_ < 6 ? spins_ : 6)); ++i) {
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
@@ -60,8 +74,8 @@ class Backoff {
   void reset() { spins_ = 0; }
 
  private:
-  static constexpr int kSpinLimit = 10;
-  int spins_ = 0;
+  i32 limit_ = 0;
+  i32 spins_ = 0;
 };
 
 }  // namespace zomp::rt

@@ -69,6 +69,21 @@ std::optional<Schedule> env_schedule() {
   return sched;
 }
 
+std::optional<WaitPolicy> env_wait_policy() {
+  const auto text = env_string("WAIT_POLICY");
+  if (!text) return std::nullopt;
+  auto policy = parse_wait_policy(*text);
+  if (!policy) warn_malformed("WAIT_POLICY", text->c_str());
+  return policy;
+}
+
+std::optional<WaitPolicy> parse_wait_policy(const std::string& text) {
+  const std::string t = lower(trim(text));
+  if (t == "active") return WaitPolicy::kActive;
+  if (t == "passive") return WaitPolicy::kPassive;
+  return std::nullopt;
+}
+
 std::optional<Schedule> parse_schedule(const std::string& text) {
   std::string t = lower(trim(text));
   i64 chunk = 0;

@@ -29,4 +29,11 @@ std::optional<bool> env_bool(const char* name);
 /// OMP_SCHEDULE / ZOMP_SCHEDULE.
 std::optional<Schedule> env_schedule();
 
+/// OMP_WAIT_POLICY / ZOMP_WAIT_POLICY: "active" or "passive"
+/// (case-insensitive); malformed values warn and return nullopt.
+std::optional<WaitPolicy> env_wait_policy();
+
+/// Parses a wait-policy spelling (exposed for tests).
+std::optional<WaitPolicy> parse_wait_policy(const std::string& text);
+
 }  // namespace zomp::rt

@@ -64,6 +64,9 @@ void for_each(rt::i64 lo, rt::i64 hi, Body&& body, ForOptions opts = {}) {
       for (rt::i64 i = block; i < end; ++i) body(i);
     }
   } else {
+    // Dynamic/guided/runtime: shared-cursor dispatch. Each dispatch_next may
+    // return a whole batch of chunks claimed with one atomic (worksharing.cpp),
+    // so this loop touches shared state far less than once per chunk.
     team.dispatch_init(ts, opts.schedule, lo, hi, 1);
     rt::i64 chunk_lo = 0;
     rt::i64 chunk_hi = 0;

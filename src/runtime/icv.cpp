@@ -27,8 +27,11 @@ GlobalIcv::GlobalIcv() {
     default_team_size_ = static_cast<i32>(*n);
   }
   // A generous default: teams larger than the hardware are legal (tests use
-  // them deliberately), but something must bound runaway nesting.
-  thread_limit_ = std::max(4 * hardware_threads(), 4 * default_team_size_);
+  // them deliberately, and single-core CI containers still fork 8-wide
+  // teams), but something must bound runaway nesting. The spec leaves
+  // thread-limit-var implementation-defined; libomp's default is "huge".
+  thread_limit_ =
+      std::max({64, 4 * hardware_threads(), 4 * default_team_size_});
   if (const auto lim = env_int("THREAD_LIMIT"); lim && *lim > 0) {
     thread_limit_ = static_cast<i32>(*lim);
   }
@@ -40,6 +43,18 @@ GlobalIcv::GlobalIcv() {
     max_levels_default_ = static_cast<i32>(*levels);
   }
   if (const auto sched = env_schedule()) run_sched_default_ = *sched;
+  if (const auto policy = env_wait_policy()) set_wait_policy(*policy);
+}
+
+i32 backoff_spin_limit() noexcept {
+  // Active: 10 exponential rounds (~100 pause instructions total) before
+  // yielding; passive: hand the core back immediately. The lookup is one
+  // relaxed load after the first call; GlobalIcv construction is guarded by
+  // the usual magic-static once-flag.
+  constexpr i32 kActiveSpinRounds = 10;
+  return GlobalIcv::instance().wait_policy() == WaitPolicy::kPassive
+             ? 0
+             : kActiveSpinRounds;
 }
 
 Icv GlobalIcv::initial() const {

@@ -52,6 +52,17 @@ class GlobalIcv {
   Schedule run_sched_default() const { return run_sched_default_; }
   void set_run_sched_default(Schedule s) { run_sched_default_ = s; }
 
+  /// wait-policy-var (OMP_WAIT_POLICY): process-wide, read by every Backoff
+  /// at construction. Atomic so a test / tuning call can flip it safely from
+  /// any thread; waits already in progress keep their snapshotted spin
+  /// budget and only *future* waits observe the new policy.
+  WaitPolicy wait_policy() const {
+    return wait_policy_.load(std::memory_order_relaxed);
+  }
+  void set_wait_policy(WaitPolicy policy) {
+    wait_policy_.store(policy, std::memory_order_relaxed);
+  }
+
  private:
   GlobalIcv();
 
@@ -60,6 +71,7 @@ class GlobalIcv {
   bool dynamic_default_ = false;
   i32 max_levels_default_ = 1;
   Schedule run_sched_default_{ScheduleKind::kStatic, 0};
+  std::atomic<WaitPolicy> wait_policy_{WaitPolicy::kActive};
 };
 
 }  // namespace zomp::rt

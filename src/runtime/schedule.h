@@ -26,6 +26,16 @@ struct Schedule {
   friend bool operator==(const Schedule&, const Schedule&) = default;
 };
 
+/// Tuning for the shared-cursor dispatch path (worksharing.cpp).
+///
+/// Dynamic schedules claim several chunks per `fetch_add` so a
+/// `schedule(dynamic, 1)` loop does not ping-pong the cursor's cache line
+/// once per iteration. The batch is scaled to the work remaining —
+/// at most 1/(kBatchDivisor × nthreads) of it, so the tail imbalance a big
+/// batch could cause stays bounded — and capped at kMaxBatchChunks.
+inline constexpr i64 kMaxBatchChunks = 16;
+inline constexpr i64 kBatchDivisor = 4;
+
 /// Parses the OMP_SCHEDULE syntax: `kind[,chunk]`, e.g. "dynamic,4".
 /// Returns nullopt on malformed input (callers fall back to the default and
 /// emit a warning, matching libomp's tolerance of bad environments).

@@ -5,41 +5,48 @@ namespace zomp::rt {
 TaskPool::TaskPool(i32 members) {
   queues_.reserve(static_cast<std::size_t>(members));
   for (i32 i = 0; i < members; ++i) {
-    queues_.push_back(std::make_unique<MemberQueue>());
+    queues_.push_back(std::make_unique<WorkStealingDeque>());
   }
 }
 
-void TaskPool::push(i32 tid, std::unique_ptr<Task> task) {
+TaskPool::~TaskPool() {
+  // Normal joins drain every deque before the team dies, but reclaim any
+  // stragglers so teardown never leaks parked tasks (the deque slots hold
+  // raw pointers the unique_ptr wrapper released on push).
+  for (auto& queue : queues_) {
+    while (Task* task = queue->pop()) delete task;
+  }
+}
+
+std::unique_ptr<Task> TaskPool::push(i32 tid, std::unique_ptr<Task> task) {
   ZOMP_CHECK(tid >= 0 && tid < static_cast<i32>(queues_.size()),
              "task push from non-member thread");
+  // Count before publishing: a thief must never observe a task whose
+  // completion could drop `outstanding` below zero.
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  MemberQueue& q = *queues_[static_cast<std::size_t>(tid)];
-  const std::lock_guard<std::mutex> lock(q.mutex);
-  q.deque.push_back(std::move(task));
+  if (queues_[static_cast<std::size_t>(tid)]->push(task.get())) {
+    task.release();  // ownership parked in the deque until pop/steal
+    return nullptr;
+  }
+  outstanding_.fetch_sub(1, std::memory_order_acq_rel);
+  return task;  // deque full: caller executes inline
 }
 
 std::unique_ptr<Task> TaskPool::take(i32 tid) {
   const auto n = static_cast<i32>(queues_.size());
   ZOMP_CHECK(tid >= 0 && tid < n, "task take from non-member thread");
-  // Own queue first, LIFO for locality.
-  {
-    MemberQueue& q = *queues_[static_cast<std::size_t>(tid)];
-    const std::lock_guard<std::mutex> lock(q.mutex);
-    if (!q.deque.empty()) {
-      auto task = std::move(q.deque.back());
-      q.deque.pop_back();
-      return task;
-    }
+  // Own deque first, LIFO for locality.
+  if (Task* task = queues_[static_cast<std::size_t>(tid)]->pop()) {
+    return std::unique_ptr<Task>(task);
   }
   // Steal FIFO from siblings, starting just after ourselves so victims are
-  // spread without needing randomness.
+  // spread without needing randomness. A lost CAS race just moves on to the
+  // next victim; the caller's retry loop provides the backoff.
   for (i32 k = 1; k < n; ++k) {
-    MemberQueue& q = *queues_[static_cast<std::size_t>((tid + k) % n)];
-    const std::lock_guard<std::mutex> lock(q.mutex);
-    if (!q.deque.empty()) {
-      auto task = std::move(q.deque.front());
-      q.deque.pop_front();
-      return task;
+    WorkStealingDeque& q = *queues_[static_cast<std::size_t>((tid + k) % n)];
+    if (q.maybe_empty()) continue;
+    if (Task* task = q.steal()) {
+      return std::unique_ptr<Task>(task);
     }
   }
   return nullptr;

@@ -2,16 +2,17 @@
 //
 // The paper lists tasking as future work for the Zig port; we implement it as
 // the documented extension so the runtime covers the OpenMP feature families
-// a downstream user expects. Scheduling model: one double-ended queue per
-// team member (owner pushes/pops the back, thieves take the front), a
-// team-wide outstanding-task count that the task-aware barrier drains, and
-// parent/child counting for `taskwait` plus group counting for `taskgroup`.
+// a downstream user expects. Scheduling model (DESIGN.md S1): one bounded
+// lock-free work-stealing deque per team member — the owner pushes and pops
+// its back end LIFO with plain release/acquire atomics, thieves take the
+// front end FIFO with a CAS — plus a team-wide outstanding-task count that
+// the task-aware barrier drains, and parent/child counting for `taskwait`
+// with group counting for `taskgroup`.
 #pragma once
 
-#include <deque>
+#include <array>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "runtime/common.h"
@@ -38,32 +39,127 @@ struct Task {
   TaskGroup* group = nullptr;
 };
 
-/// Per-team task queues. Thread-safe for the owning team's members.
+/// Bounded lock-free work-stealing deque (Chase–Lev, in the fence-free
+/// formulation of Lê et al. 2013 with the standalone fences strengthened to
+/// seq_cst accesses so ThreadSanitizer can reason about the algorithm).
+///
+/// Single owner, many thieves. The owner pushes/pops `bottom` (LIFO); thieves
+/// race on `top` with a CAS (FIFO). Slots are atomic pointers: a stale thief
+/// may read a slot the owner is simultaneously recycling, but it then always
+/// fails its CAS and discards the value, so the race is benign and — because
+/// the slot itself is atomic — well-defined.
+///
+/// Memory-ordering notes (DESIGN.md S1):
+///  * push: slot store may be relaxed; the release store of `bottom`
+///    publishes it to any thief that acquires `bottom` afterwards.
+///  * pop: the decremented `bottom` must be globally visible before reading
+///    `top` (the classic SC store→load edge), hence seq_cst on both.
+///  * steal: `top` read / `bottom` read need the mirror-image SC edge, and
+///    the CAS on `top` decides the owner-vs-thief race for the last element.
+class WorkStealingDeque {
+ public:
+  /// Capacity is fixed (bounded deque): overflow is handled by the caller
+  /// executing the task inline, the same safety valve libomp uses when its
+  /// task queue fills. 1024 tasks × 8 bytes = 8 KiB per member.
+  static constexpr i64 kCapacity = 1024;
+
+  /// Owner only. False when the deque is full (caller runs the task inline).
+  bool push(Task* task) {
+    const i64 b = bottom_.load(std::memory_order_relaxed);
+    const i64 t = top_.load(std::memory_order_acquire);
+    if (b - t >= kCapacity) return false;
+    slots_[static_cast<std::size_t>(b & kMask)].store(
+        task, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Owner only. LIFO: newest task, for locality. Null when empty.
+  Task* pop() {
+    const i64 b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    i64 t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Deque was empty; undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Task* task =
+        slots_[static_cast<std::size_t>(b & kMask)].load(std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via `top`.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        task = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return task;
+  }
+
+  /// Any thread. FIFO: oldest task, maximising the stolen subtree. Null when
+  /// empty or when the CAS race is lost (caller just tries the next victim).
+  Task* steal() {
+    i64 t = top_.load(std::memory_order_seq_cst);
+    const i64 b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Task* task =
+        slots_[static_cast<std::size_t>(t & kMask)].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return task;
+  }
+
+  /// Racy size estimate, only used to skip obviously-empty victims.
+  bool maybe_empty() const {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr i64 kMask = kCapacity - 1;
+  static_assert((kCapacity & kMask) == 0, "capacity must be a power of two");
+
+  alignas(kCacheLine) std::atomic<i64> top_{0};
+  alignas(kCacheLine) std::atomic<i64> bottom_{0};
+  std::array<std::atomic<Task*>, kCapacity> slots_{};
+};
+
+/// Per-team task queues: one work-stealing deque per member.
 class TaskPool {
  public:
   explicit TaskPool(i32 members);
 
-  /// Enqueues `task` on member `tid`'s deque. Caller has already linked the
-  /// task into its parent/group counts.
-  void push(i32 tid, std::unique_ptr<Task> task);
+  /// Drains and frees any tasks still parked in the deques (the slots hold
+  /// raw pointers, so teardown must reclaim them explicitly).
+  ~TaskPool();
 
-  /// Pops from `tid`'s own deque, or steals from a sibling. Returns nullptr
-  /// if no task is available right now.
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `task` on member `tid`'s deque. Caller has already linked the
+  /// task into its parent/group counts. Returns null on success; returns the
+  /// task back when the bounded deque is full, in which case the caller MUST
+  /// execute it inline (without touching the outstanding count) — dropping
+  /// the rejected task would strand its parent/group counters forever.
+  [[nodiscard]] std::unique_ptr<Task> push(i32 tid, std::unique_ptr<Task> task);
+
+  /// Pops from `tid`'s own deque (LIFO), or steals FIFO from a sibling.
+  /// Returns nullptr if no task is available right now.
   std::unique_ptr<Task> take(i32 tid);
 
   /// Tasks queued but not yet finished executing.
   i64 outstanding() const { return outstanding_.load(std::memory_order_acquire); }
 
-  /// Called by the executor once a task's body has fully completed.
+  /// Called by the executor once a queued task's body has fully completed.
   void mark_finished() { outstanding_.fetch_sub(1, std::memory_order_acq_rel); }
 
  private:
-  struct alignas(kCacheLine) MemberQueue {
-    std::mutex mutex;
-    std::deque<std::unique_ptr<Task>> deque;
-  };
-
-  std::vector<std::unique_ptr<MemberQueue>> queues_;
+  // Each deque heap-allocated so neighbouring members' hot words never share
+  // a line regardless of vector layout.
+  std::vector<std::unique_ptr<WorkStealingDeque>> queues_;
   alignas(kCacheLine) std::atomic<i64> outstanding_{0};
 };
 

@@ -162,10 +162,14 @@ bool Team::dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast) {
     return true;
   }
   // Exhausted for this member: detach; the last member to detach frees the
-  // slot for reuse by a later construct.
+  // slot for reuse by a later construct. Read `nthreads` *before* the
+  // detach RMW: the operands of == are unsequenced, and a read evaluated
+  // after our own fetch_add would race the next construct's initialiser
+  // once the last detacher frees the slot.
   ts.dispatch.slot = nullptr;
+  const i32 nthreads = slot->nthreads;
   if (slot->done_members.fetch_add(1, std::memory_order_acq_rel) ==
-      slot->nthreads - 1) {
+      nthreads - 1) {
     slot->ready.store(false, std::memory_order_relaxed);
     slot->owner_seq.store(0, std::memory_order_release);
   }
@@ -223,10 +227,15 @@ void Team::task_create(ThreadState& ts, std::function<void()> body,
   if (task->group != nullptr) {
     task->group->active.fetch_add(1, std::memory_order_acq_rel);
   }
-  tasks_.push(ts.tid, std::move(task));
+  if (auto rejected = tasks_.push(ts.tid, std::move(task))) {
+    // Bounded deque full: run at the creation point (a legal task scheduling
+    // point), which also throttles runaway producers.
+    execute_task(ts, std::move(rejected), /*counted=*/false);
+  }
 }
 
-void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task) {
+void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task,
+                        bool counted) {
   TaskContext* saved = ts.current_task;
   task->ctx.group = task->group;  // descendants join the same group
   ts.current_task = &task->ctx;
@@ -248,7 +257,7 @@ void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task) {
     task->group->active.fetch_sub(1, std::memory_order_acq_rel);
   }
   task->parent->children.fetch_sub(1, std::memory_order_acq_rel);
-  tasks_.mark_finished();
+  if (counted) tasks_.mark_finished();
 }
 
 bool Team::run_one_task(ThreadState& ts) {

@@ -149,7 +149,11 @@ class Team {
  private:
   static constexpr i32 kDispatchRing = 8;
 
-  void execute_task(ThreadState& ts, std::unique_ptr<Task> task);
+  /// Runs a task body with full parent/group accounting. `counted` says the
+  /// task went through the pool (and must decrement `outstanding`); tasks
+  /// that overflowed the bounded deque run inline with counted == false.
+  void execute_task(ThreadState& ts, std::unique_ptr<Task> task,
+                    bool counted = true);
 
   std::vector<ThreadState*> members_;
   Icv icv_;

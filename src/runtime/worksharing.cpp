@@ -99,9 +99,23 @@ bool dispatch_next_chunk(DispatchSlot& slot, MemberDispatch& md, i32 tid,
     }
     case ScheduleKind::kDynamic: {
       const i64 chunk = std::max<i64>(1, slot.chunk);
-      const i64 claimed = slot.next.fetch_add(chunk, std::memory_order_relaxed);
+      // Claim a *batch* of chunks with one fetch_add. The batch size comes
+      // from a relaxed pre-read of the cursor: stale is fine — overshoot is
+      // clamped at the trip count, and scaling the batch to the remaining
+      // work (÷ kBatchDivisor·nthreads, cap kMaxBatchChunks) bounds the tail
+      // imbalance to a 1/(kBatchDivisor·nthreads) fraction of what's left.
+      const i64 seen = slot.next.load(std::memory_order_relaxed);
+      i64 batch = 1;
+      if (seen < slot.trips) {
+        const i64 remaining_chunks = (slot.trips - seen + chunk - 1) / chunk;
+        batch = std::clamp<i64>(
+            remaining_chunks / (kBatchDivisor * i64{slot.nthreads}), 1,
+            kMaxBatchChunks);
+      }
+      const i64 claimed =
+          slot.next.fetch_add(batch * chunk, std::memory_order_relaxed);
       if (claimed >= slot.trips) return false;
-      const i64 end = std::min(claimed + chunk, slot.trips);
+      const i64 end = std::min(claimed + batch * chunk, slot.trips);
       *plo = slot.lo + claimed * slot.step;
       *phi = slot.lo + end * slot.step;
       *phi = std::min(*phi, slot.hi);
@@ -109,21 +123,24 @@ bool dispatch_next_chunk(DispatchSlot& slot, MemberDispatch& md, i32 tid,
       return true;
     }
     case ScheduleKind::kGuided: {
+      // Guided shares the single fetch_add cursor: the chunk size is computed
+      // from a relaxed pre-read of the cursor, then claimed with one
+      // fetch_add — no CAS retry loop. A concurrent claim between the read
+      // and the add only makes this chunk slightly larger than exact
+      // guided-self-scheduling prescribes; it is still >= the requested
+      // minimum, still clamped at the trip count, and the decreasing shape
+      // is preserved because `remaining` only shrinks.
       const i64 min_chunk = std::max<i64>(1, slot.chunk);
-      i64 claimed = slot.next.load(std::memory_order_relaxed);
-      for (;;) {
-        if (claimed >= slot.trips) return false;
-        const i64 size = guided_size(slot.trips - claimed, min_chunk,
-                                     slot.nthreads);
-        const i64 end = std::min(claimed + size, slot.trips);
-        if (slot.next.compare_exchange_weak(claimed, end,
-                                            std::memory_order_relaxed)) {
-          *plo = slot.lo + claimed * slot.step;
-          *phi = std::min(slot.lo + end * slot.step, slot.hi);
-          *plast = end == slot.trips;
-          return true;
-        }
-      }
+      const i64 seen = slot.next.load(std::memory_order_relaxed);
+      if (seen >= slot.trips) return false;
+      const i64 size = guided_size(slot.trips - seen, min_chunk, slot.nthreads);
+      const i64 claimed = slot.next.fetch_add(size, std::memory_order_relaxed);
+      if (claimed >= slot.trips) return false;
+      const i64 end = std::min(claimed + size, slot.trips);
+      *plo = slot.lo + claimed * slot.step;
+      *phi = std::min(slot.lo + end * slot.step, slot.hi);
+      *plast = end == slot.trips;
+      return true;
     }
     case ScheduleKind::kRuntime:
       ZOMP_CHECK(false, "runtime schedule must be resolved before dispatch");

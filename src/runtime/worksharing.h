@@ -57,6 +57,9 @@ struct DispatchSlot {
   i32 nthreads = 1;
 
   /// Next unclaimed iteration index (normalised space) for dynamic/guided.
+  /// Single shared cursor advanced only by fetch_add; dynamic claims batch
+  /// several chunks per add (see kMaxBatchChunks in schedule.h) so
+  /// fine-grained schedules do not ping-pong this cache line per chunk.
   alignas(kCacheLine) std::atomic<i64> next{0};
   /// Members that have drained the construct; the last one frees the slot.
   alignas(kCacheLine) std::atomic<i32> done_members{0};

@@ -8,6 +8,8 @@
 
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "interp/interp.h"
@@ -117,6 +119,108 @@ TEST(BackendEquivalenceTest, IsKernelInterpretedVsTranspiled) {
   EXPECT_EQ(native_checksum, zomp::npb::is_rank_checksum_mod(
                                  keys0, cls.max_key, cls.iterations));
 }
+
+// -- Equivalence under every schedule kind ----------------------------------
+//
+// The scheduling substrate (work-stealing deques, batched dispatch cursor)
+// must be invisible to results: interp and codegen runs of the same kernels
+// have to agree under schedule(static), schedule(dynamic,1) and
+// schedule(guided) alike.
+
+struct ScheduleSweepCase {
+  zomp::rt::ScheduleKind kind;
+  std::int64_t chunk;
+  const char* clause;  // source-level spelling, for the mandel rewrite
+};
+
+class BackendScheduleSweep : public ::testing::TestWithParam<ScheduleSweepCase> {};
+
+TEST_P(BackendScheduleSweep, IsKernelAgreesUnderScheduleIcv) {
+  // is.mz's loops say schedule(runtime); sweeping run-sched-var runs the
+  // same interpreted and transpiled code under each schedule kind.
+  const ScheduleSweepCase& c = GetParam();
+  auto result = core::compile_source(read_kernel("is.mz"), {true, "is_interp"});
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+
+  const zomp::npb::IsClass cls = zomp::npb::is_class('m');
+  const auto keys0 = zomp::npb::is_make_keys(cls.total_keys, cls.max_key);
+  const std::int64_t oracle =
+      zomp::npb::is_rank_checksum_mod(keys0, cls.max_key, cls.iterations);
+
+  constexpr int kThreads = 3;
+  zomp::set_num_threads(kThreads);
+  zomp::set_schedule({c.kind, c.chunk});
+
+  Interp interp(*result.module);
+  SliceVal keys = make_slice_i64(cls.total_keys);
+  for (std::int64_t i = 0; i < cls.total_keys; ++i) {
+    (*keys.data)[static_cast<std::size_t>(i)] =
+        Value(keys0[static_cast<std::size_t>(i)]);
+  }
+  SliceVal count = make_slice_i64(cls.max_key);
+  SliceVal hist = make_slice_i64(cls.max_key * kThreads);
+  const Value interp_checksum = interp.call_by_name(
+      "is_run", {Value(keys), Value(cls.max_key),
+                 Value(static_cast<std::int64_t>(cls.iterations)), Value(count),
+                 Value(hist)});
+
+  std::vector<std::int64_t> nkeys = keys0;
+  std::vector<std::int64_t> ncount(static_cast<std::size_t>(cls.max_key));
+  std::vector<std::int64_t> nhist(
+      static_cast<std::size_t>(cls.max_key * kThreads));
+  const std::int64_t native_checksum = mzgen_is_mz::is_run(
+      mz::Slice<std::int64_t>{nkeys.data(),
+                              static_cast<std::int64_t>(nkeys.size())},
+      cls.max_key, cls.iterations,
+      mz::Slice<std::int64_t>{ncount.data(),
+                              static_cast<std::int64_t>(ncount.size())},
+      mz::Slice<std::int64_t>{nhist.data(),
+                              static_cast<std::int64_t>(nhist.size())});
+
+  zomp::set_schedule({zomp::rt::ScheduleKind::kStatic, 0});
+  EXPECT_EQ(interp_checksum.as_i64(), native_checksum) << c.clause;
+  EXPECT_EQ(native_checksum, oracle) << c.clause;
+}
+
+TEST_P(BackendScheduleSweep, MandelKernelAgreesUnderRewrittenSchedule) {
+  // mandel.mz fixes schedule(dynamic, 1); rewriting the clause in source and
+  // interpreting the result must still match the transpiled original —
+  // integer-exact results cannot depend on the schedule.
+  const ScheduleSweepCase& c = GetParam();
+  std::string source = read_kernel("mandel.mz");
+  const std::string fixed = "schedule(dynamic, 1)";
+  const auto at = source.find(fixed);
+  ASSERT_NE(at, std::string::npos) << "mandel.mz lost its schedule clause";
+  source.replace(at, fixed.size(), c.clause);
+
+  auto result = core::compile_source(source, {true, "mandel_interp"});
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+
+  constexpr std::int64_t w = 40, h = 40, iters = 150;
+  zomp::set_num_threads(3);
+
+  Interp interp(*result.module);
+  SliceVal res = make_slice_i64(2);
+  interp.call_by_name("mandel_run",
+                      {Value(w), Value(h), Value(iters), Value(res)});
+
+  std::vector<std::int64_t> native(2, 0);
+  mzgen_mandel_mz::mandel_run(w, h, iters,
+                              mz::Slice<std::int64_t>{native.data(), 2});
+
+  EXPECT_EQ((*res.data)[0].as_i64(), native[0]) << c.clause;
+  EXPECT_EQ((*res.data)[1].as_i64(), native[1]) << c.clause;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, BackendScheduleSweep,
+    ::testing::Values(
+        ScheduleSweepCase{zomp::rt::ScheduleKind::kStatic, 0,
+                          "schedule(static)"},
+        ScheduleSweepCase{zomp::rt::ScheduleKind::kDynamic, 1,
+                          "schedule(dynamic, 1)"},
+        ScheduleSweepCase{zomp::rt::ScheduleKind::kGuided, 0,
+                          "schedule(guided)"}));
 
 TEST(BackendEquivalenceTest, EpRandlcInterpretedMatchesHost) {
   // The MiniZig randlc (float-split arithmetic) must match the host

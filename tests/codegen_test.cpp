@@ -3,6 +3,8 @@
 // dispatch-next loops), honour the safety flag, and expose pub functions.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "codegen/codegen.h"
 #include "core/pipeline.h"
 

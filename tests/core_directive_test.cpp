@@ -2,6 +2,10 @@
 // of the paper's contribution.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "core/directive_parser.h"
 
 namespace zomp::core {

@@ -3,6 +3,8 @@
 // combinations a user can write).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/pipeline.h"
 
 namespace zomp::core {

@@ -2,6 +2,9 @@
 // Figure 1 machinery), validated on AST dumps and structure.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "core/capture.h"
 #include "core/pipeline.h"
 #include "lang/lexer.h"

@@ -3,6 +3,8 @@
 // run the interpreter in a child process.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "core/pipeline.h"
 #include "interp/interp.h"
 

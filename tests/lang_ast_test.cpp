@@ -2,6 +2,9 @@
 // dump format the golden tests depend on.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "lang/clone.h"
 #include "lang/lexer.h"
 #include "lang/parser.h"

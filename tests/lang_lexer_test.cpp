@@ -2,6 +2,9 @@
 // interception that makes the whole approach work (paper §2).
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "lang/lexer.h"
 
 namespace zomp::lang {

@@ -2,6 +2,9 @@
 // error recovery.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "lang/lexer.h"
 #include "lang/parser.h"
 

@@ -2,6 +2,9 @@
 // keep MiniZig's "no implicit conversions" (Zig-like) discipline.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "lang/lexer.h"
 #include "lang/parser.h"
 #include "lang/sema.h"

@@ -4,6 +4,7 @@
 
 #include <cmath>
 #include <map>
+#include <vector>
 
 #include "npb/cg.h"
 #include "npb/ep.h"

@@ -99,6 +99,25 @@ INSTANTIATE_TEST_SUITE_P(
         ScheduleCase{"static,4x", false, ScheduleKind::kStatic, 0},
         ScheduleCase{"", false, ScheduleKind::kStatic, 0}));
 
+TEST(WaitPolicyParseTest, AcceptsActiveAndPassive) {
+  EXPECT_EQ(parse_wait_policy("active"), WaitPolicy::kActive);
+  EXPECT_EQ(parse_wait_policy("passive"), WaitPolicy::kPassive);
+  EXPECT_EQ(parse_wait_policy("  PASSIVE "), WaitPolicy::kPassive);
+  EXPECT_EQ(parse_wait_policy("Active"), WaitPolicy::kActive);
+  EXPECT_FALSE(parse_wait_policy("spin").has_value());
+  EXPECT_FALSE(parse_wait_policy("").has_value());
+}
+
+TEST(WaitPolicyParseTest, EnvVariantReadsWaitPolicy) {
+  unsetenv("OMP_WAIT_POLICY");
+  setenv("ZOMP_WAIT_POLICY", "passive", 1);
+  EXPECT_EQ(env_wait_policy(), WaitPolicy::kPassive);
+  setenv("ZOMP_WAIT_POLICY", "nonsense", 1);
+  EXPECT_FALSE(env_wait_policy().has_value());
+  unsetenv("ZOMP_WAIT_POLICY");
+  EXPECT_FALSE(env_wait_policy().has_value());
+}
+
 TEST(ScheduleNameTest, AllKindsNamed) {
   EXPECT_STREQ(schedule_kind_name(ScheduleKind::kStatic), "static");
   EXPECT_STREQ(schedule_kind_name(ScheduleKind::kDynamic), "dynamic");

@@ -1,0 +1,260 @@
+// Stress tests for the work-stealing scheduler substrate (PR 1 tentpole):
+// task storms across the steal path, nested parallelism inside tasks,
+// taskwait/taskgroup ordering under contention, deque-overflow inline
+// execution, and a randomized worksharing sweep that checks the
+// exactly-once invariant for every schedule kind. Designed to run under
+// ThreadSanitizer (CI's Debug+TSan job); keep the iteration counts modest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime.h"
+
+namespace zomp {
+namespace {
+
+TEST(SchedStressTest, SingleProducerStormIsFullyStolen) {
+  // All tasks are spawned by member 0, which then refuses to execute any of
+  // them: every completion must come from another member's steal. This pins
+  // the thief side of the deque (CAS on top) under real contention.
+  constexpr int kTasks = 512;
+  constexpr int kThreads = 4;
+  std::atomic<int> done{0};
+  std::atomic<int> stolen{0};
+  parallel(
+      [&] {
+        if (thread_num() == 0) {
+          for (int i = 0; i < kTasks; ++i) {
+            task([&] {
+              if (thread_num() != 0) stolen.fetch_add(1, std::memory_order_relaxed);
+              done.fetch_add(1, std::memory_order_relaxed);
+            });
+          }
+          // Wait for the thieves without helping (yield, don't run tasks):
+          // the members parked in the region-end barrier drain the pool.
+          while (done.load(std::memory_order_acquire) < kTasks) {
+            std::this_thread::yield();
+          }
+        }
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(done.load(), kTasks);
+  // Member 0 never ran a task body after spawning, so every task that ran on
+  // a non-zero tid was stolen; the producer's own queue drained via steals.
+  EXPECT_EQ(stolen.load(), kTasks) << "steal path must serve the whole storm";
+}
+
+TEST(SchedStressTest, AllMembersStormWithInterleavedConsumption) {
+  // Every member produces and consumes concurrently (taskwait interleaved),
+  // mixing owner pop and thief steal on every deque at once.
+  constexpr int kPerMember = 300;
+  constexpr int kThreads = 4;
+  std::atomic<long> sum{0};
+  long expect = 0;
+  for (int i = 0; i < kPerMember; ++i) expect += i;
+  parallel(
+      [&] {
+        for (int i = 0; i < kPerMember; ++i) {
+          task([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+          if (i % 64 == 63) taskwait();
+        }
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(sum.load(), expect * kThreads);
+}
+
+TEST(SchedStressTest, DequeOverflowExecutesInline) {
+  // More tasks than the bounded deque holds: the overflow must execute
+  // inline at the creation point, never hang and never lose a task.
+  const int kTasks = static_cast<int>(rt::WorkStealingDeque::kCapacity) + 500;
+  std::atomic<int> done{0};
+  parallel(
+      [&] {
+        single([&] {
+          for (int i = 0; i < kTasks; ++i) {
+            task([&] { done.fetch_add(1, std::memory_order_relaxed); });
+          }
+        });
+      },
+      ParallelOptions{2, true});
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(SchedStressTest, NestedParallelInsideTasks) {
+  // Tasks that fork their own (active) nested teams: ThreadState save/restore
+  // and per-team task pools must not bleed into each other.
+  set_max_active_levels(2);
+  constexpr int kTasks = 16;
+  constexpr int kInner = 2;
+  std::atomic<int> inner_runs{0};
+  parallel(
+      [&] {
+        single([&] {
+          for (int i = 0; i < kTasks; ++i) {
+            task([&] {
+              parallel([&] { inner_runs.fetch_add(1, std::memory_order_relaxed); },
+                       ParallelOptions{kInner, true});
+            });
+          }
+        });
+      },
+      ParallelOptions{2, true});
+  set_max_active_levels(1);
+  // Every nested region contributes >= 1 (its master) and <= kInner members.
+  EXPECT_GE(inner_runs.load(), kTasks);
+  EXPECT_LE(inner_runs.load(), kTasks * kInner);
+}
+
+TEST(SchedStressTest, TaskwaitOrdersChildrenUnderContention) {
+  // After taskwait, every child spawned before it must have completed, even
+  // while sibling members flood the deques with their own tasks.
+  constexpr int kRounds = 20;
+  constexpr int kChildren = 24;
+  std::atomic<int> violations{0};
+  parallel(
+      [&] {
+        for (int r = 0; r < kRounds; ++r) {
+          std::atomic<int> mine{0};
+          for (int c = 0; c < kChildren; ++c) {
+            task([&mine] { mine.fetch_add(1, std::memory_order_relaxed); });
+          }
+          taskwait();
+          if (mine.load(std::memory_order_acquire) != kChildren) {
+            violations.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(SchedStressTest, TaskgroupWaitsForDeepDescendants) {
+  // taskgroup must hold for grandchildren spawned from stolen children while
+  // other members contend for the same deques.
+  constexpr int kOuter = 12;
+  std::atomic<int> leaves{0};
+  std::atomic<int> bad_exits{0};
+  parallel(
+      [&] {
+        single([&] {
+          taskgroup([&] {
+            for (int i = 0; i < kOuter; ++i) {
+              task([&] {
+                task([&] {
+                  task([&] { leaves.fetch_add(1, std::memory_order_relaxed); });
+                });
+              });
+            }
+          });
+          if (leaves.load(std::memory_order_acquire) != kOuter) {
+            bad_exits.fetch_add(1);
+          }
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(bad_exits.load(), 0);
+  EXPECT_EQ(leaves.load(), kOuter);
+}
+
+TEST(SchedStressTest, PassiveWaitPolicyStillDrainsStorms) {
+  // The passive policy yields instead of spinning; the storm must still
+  // complete and the policy round-trip must hold.
+  const rt::WaitPolicy saved = get_wait_policy();
+  set_wait_policy(rt::WaitPolicy::kPassive);
+  EXPECT_EQ(get_wait_policy(), rt::WaitPolicy::kPassive);
+  std::atomic<int> done{0};
+  parallel(
+      [&] {
+        single([&] {
+          for (int i = 0; i < 256; ++i) {
+            task([&] { done.fetch_add(1, std::memory_order_relaxed); });
+          }
+        });
+      },
+      ParallelOptions{4, true});
+  set_wait_policy(saved);
+  EXPECT_EQ(done.load(), 256);
+}
+
+struct RandomLoopCase {
+  unsigned seed;
+};
+
+class RandomizedDispatchStress : public ::testing::TestWithParam<RandomLoopCase> {};
+
+TEST_P(RandomizedDispatchStress, EveryIterationExactlyOnceAcrossSchedules) {
+  // Randomized (schedule, chunk, threads, trip count) sweep over the batched
+  // shared-cursor dispatch: each iteration of each loop must run exactly
+  // once, under every schedule kind, including chunk sizes around the batch
+  // boundaries.
+  std::mt19937 rng(GetParam().seed);
+  for (int round = 0; round < 12; ++round) {
+    const rt::ScheduleKind kind = static_cast<rt::ScheduleKind>(
+        std::uniform_int_distribution<int>(0, 3)(rng));  // static..auto
+    const rt::i64 chunk = std::uniform_int_distribution<rt::i64>(
+        kind == rt::ScheduleKind::kDynamic ? 1 : 0, 9)(rng);
+    const int threads = std::uniform_int_distribution<int>(1, 6)(rng);
+    const rt::i64 n = std::uniform_int_distribution<rt::i64>(0, 3000)(rng);
+    std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    parallel(
+        [&] {
+          for_each(
+              0, n,
+              [&](rt::i64 i) {
+                hits[static_cast<std::size_t>(i)].fetch_add(
+                    1, std::memory_order_relaxed);
+              },
+              ForOptions{{kind, chunk}, false});
+        },
+        ParallelOptions{threads, true});
+    for (rt::i64 i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "iteration " << i << " kind=" << static_cast<int>(kind)
+          << " chunk=" << chunk << " threads=" << threads << " n=" << n;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomizedDispatchStress,
+                         ::testing::Values(RandomLoopCase{11u},
+                                           RandomLoopCase{23u},
+                                           RandomLoopCase{42u}));
+
+TEST(SchedStressTest, DynamicGuidedFullCoverageUnderNowaitPressure) {
+  // Back-to-back nowait dynamic/guided loops (ring reuse) while tasks are in
+  // flight: the dispatch ring and the task deques share members but no state.
+  constexpr rt::i64 n = 400;
+  constexpr int kLoops = 12;
+  std::vector<std::atomic<int>> hits(n * kLoops);
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  std::atomic<int> tasks_done{0};
+  parallel(
+      [&] {
+        for (int l = 0; l < kLoops; ++l) {
+          task([&] { tasks_done.fetch_add(1, std::memory_order_relaxed); });
+          const rt::ScheduleKind kind = (l % 2 == 0)
+                                            ? rt::ScheduleKind::kDynamic
+                                            : rt::ScheduleKind::kGuided;
+          for_each(
+              0, n,
+              [&](rt::i64 i) {
+                hits[static_cast<std::size_t>(l * n + i)].fetch_add(
+                    1, std::memory_order_relaxed);
+              },
+              ForOptions{{kind, 1}, /*nowait=*/true});
+        }
+        barrier();
+      },
+      ParallelOptions{4, true});
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "slot " << i;
+  }
+  EXPECT_EQ(tasks_done.load(), 4 * kLoops);
+}
+
+}  // namespace
+}  // namespace zomp

@@ -184,7 +184,8 @@ TEST(TaskPoolTest, StealingFindsWorkAcrossQueues) {
   rt::TaskContext parent;
   t->body = [&] { ++executed; };
   t->parent = &parent;
-  pool.push(/*tid=*/0, std::move(t));
+  EXPECT_EQ(pool.push(/*tid=*/0, std::move(t)), nullptr)
+      << "push below capacity must not reject";
   EXPECT_EQ(pool.outstanding(), 1);
   // A different member steals it.
   auto stolen = pool.take(/*tid=*/3);

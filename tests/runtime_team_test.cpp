@@ -2,8 +2,10 @@
 // master, critical, ordered, reductions) through the high-level API.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>

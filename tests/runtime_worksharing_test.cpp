@@ -3,6 +3,7 @@
 // the core invariant of the OpenMP `for` construct.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <tuple>
