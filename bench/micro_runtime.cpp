@@ -102,6 +102,147 @@ void BM_Reduction(benchmark::State& state) {
 }
 BENCHMARK(BM_Reduction)->Unit(benchmark::kMicrosecond)->Iterations(100);
 
+// ---------------------------------------------------------------------------
+// Reduction-combine before/after. The seed protocol — one member initialises
+// a shared cell (single + barrier), every member combines into it under one
+// process-global named critical, and a final barrier publishes — is kept
+// here, bench-local, so the tree rendezvous of runtime/reduce.h stays
+// comparable on any machine in a single run.
+// ---------------------------------------------------------------------------
+
+/// The retired global-critical reduction protocol, reproduced bench-local.
+/// `parity` alternates per construct instance, reproducing the seed's
+/// double-buffered team cell (a fast member's next-round init must not
+/// clobber a value a slow member is still reading; the seed derived the
+/// parity from the member's single_seq).
+template <typename T, typename Combine, typename Body>
+T seed_critical_reduce(std::int64_t lo, std::int64_t hi, T identity,
+                       Combine&& combine, Body&& body, int parity) {
+  static T cells[2];  // stands in for the seed's fixed team storage
+  T& cell = cells[parity & 1];
+  zomp::single([&] { cell = identity; });  // includes the publish barrier
+  T local = identity;
+  zomp::for_each(
+      lo, hi, [&](std::int64_t i) { local = combine(local, body(i)); },
+      zomp::ForOptions{{zomp::rt::ScheduleKind::kStatic, 0}, /*nowait=*/true});
+  zomp::rt::critical_enter("__bench_seed_reduction");
+  cell = combine(cell, local);
+  zomp::rt::critical_exit("__bench_seed_reduction");
+  zomp::barrier();
+  return cell;
+}
+
+/// Back-to-back in-region reductions, combine-overhead dominated (the loop
+/// is tiny on purpose). range(0): 0 = seed critical protocol (3 barriers +
+/// global lock), 1 = tree rendezvous (one rendezvous, no lock).
+/// range(1): team size.
+void BM_ReductionCombine(benchmark::State& state) {
+  const bool tree = state.range(0) == 1;
+  const int threads = static_cast<int>(state.range(1));
+  constexpr std::int64_t n = 1 << 10;
+  constexpr int kRounds = 32;
+  const double want = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  for (auto _ : state) {
+    double sink = 0.0;
+    zomp::parallel(
+        [&] {
+          for (int r = 0; r < kRounds; ++r) {
+            double s;
+            if (tree) {
+              s = zomp::reduce_each(
+                  std::int64_t{0}, n, 0.0, std::plus<>{},
+                  [](std::int64_t i) { return static_cast<double>(i); });
+            } else {
+              s = seed_critical_reduce(
+                  0, n, 0.0, std::plus<>{},
+                  [](std::int64_t i) { return static_cast<double>(i); }, r);
+            }
+            if (zomp::thread_num() == 0) sink += s;
+          }
+        },
+        zomp::ParallelOptions{threads, true});
+    if (sink != want * kRounds) state.SkipWithError("bad reduction result");
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds);
+  state.SetLabel(tree ? "tree-rendezvous" : "critical-seed");
+}
+BENCHMARK(BM_ReductionCombine)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(50);
+
+// ---------------------------------------------------------------------------
+// collapse(2) mandel-style loop: dynamic distribution of whole rows (what a
+// non-collapsed `parallel for schedule(dynamic)` gives) vs the linearized
+// pixel space the collapse(2) canonicalization lowers to — same
+// de-linearization arithmetic (y = flat / w, x = flat % w) the backends
+// emit. The flat space load-balances the ragged per-row cost of the
+// escape-time iteration far better near the set.
+// ---------------------------------------------------------------------------
+
+std::int64_t mandel_pixel_cost(double cr, double ci, std::int64_t max_iter) {
+  double zr = 0.0, zi = 0.0;
+  std::int64_t it = 0;
+  while (it < max_iter && zr * zr + zi * zi <= 4.0) {
+    const double t = zr * zr - zi * zi + cr;
+    zi = 2.0 * zr * zi + ci;
+    zr = t;
+    ++it;
+  }
+  return it;
+}
+
+/// range(0): 0 = rows (collapse(1) shape), 1 = linearized pixels
+/// (collapse(2) shape). range(1): chunk of the dynamic schedule.
+void BM_CollapseMandelStyle(benchmark::State& state) {
+  const bool collapsed = state.range(0) == 1;
+  const auto chunk = static_cast<std::int64_t>(state.range(1));
+  constexpr std::int64_t w = 64, h = 64, max_iter = 256;
+  const zomp::ForOptions opts{{zomp::rt::ScheduleKind::kDynamic, chunk},
+                              false};
+  for (auto _ : state) {
+    std::int64_t checksum = 0;
+    if (collapsed) {
+      checksum = zomp::parallel_reduce(
+          std::int64_t{0}, w * h, std::int64_t{0}, std::plus<>{},
+          [&](std::int64_t flat) {
+            const std::int64_t y = flat / w;  // the emitted de-linearization
+            const std::int64_t x = flat % w;
+            const double ci = -1.25 + 2.5 * static_cast<double>(y) / h;
+            const double cr = -2.0 + 2.5 * static_cast<double>(x) / w;
+            return mandel_pixel_cost(cr, ci, max_iter);
+          },
+          opts);
+    } else {
+      checksum = zomp::parallel_reduce(
+          std::int64_t{0}, h, std::int64_t{0}, std::plus<>{},
+          [&](std::int64_t y) {
+            const double ci = -1.25 + 2.5 * static_cast<double>(y) / h;
+            std::int64_t row = 0;
+            for (std::int64_t x = 0; x < w; ++x) {
+              const double cr = -2.0 + 2.5 * static_cast<double>(x) / w;
+              row += mandel_pixel_cost(cr, ci, max_iter);
+            }
+            return row;
+          },
+          opts);
+    }
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * w * h);
+  state.SetLabel(collapsed ? "collapse2-flat" : "rows-only");
+}
+BENCHMARK(BM_CollapseMandelStyle)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20);
+
 void BM_CriticalThroughput(benchmark::State& state) {
   std::int64_t counter = 0;
   const int per_thread = 256;

@@ -70,16 +70,21 @@ class FreeVarWalker {
       case Stmt::Kind::kOmpFork:
       case Stmt::Kind::kOmpTask:
         // A nested fork's captures are references from this region's body.
-        for (const auto& cap : stmt.captures) reference(cap.name);
+        for (const auto& cap : stmt.captures) reference(cap.name, stmt.loc);
         if (stmt.num_threads) walk_expr(*stmt.num_threads);
         if (stmt.if_clause) walk_expr(*stmt.if_clause);
         break;
       case Stmt::Kind::kOmpWsLoop:
         if (stmt.schedule.chunk) walk_expr(*stmt.schedule.chunk);
+        // Collapsed dimensions bind their source loop variables over the
+        // canonicalized body (backends re-declare them per iteration).
+        push();
+        for (const auto& dim : stmt.collapse) bind(dim.iv);
         walk_stmt(*stmt.body);
+        pop();
         for (const auto& lp : stmt.lastprivate) {
-          reference(lp.first);
-          reference(lp.second);
+          reference(lp.first, stmt.loc);
+          reference(lp.second, stmt.loc);
         }
         break;
       case Stmt::Kind::kOmpCritical:
@@ -90,26 +95,26 @@ class FreeVarWalker {
         walk_stmt(*stmt.body);
         break;
       case Stmt::Kind::kOmpReductionInit:
-        reference(stmt.target);
+        reference(stmt.target, stmt.loc);
         bind(stmt.name);
         break;
       case Stmt::Kind::kOmpReductionCombine:
       case Stmt::Kind::kOmpLastprivateWrite:
-        reference(stmt.name);
-        reference(stmt.target);
+        reference(stmt.name, stmt.loc);
+        reference(stmt.target, stmt.loc);
         break;
     }
   }
 
   void walk_expr(const Expr& expr) {
     if (expr.kind == Expr::Kind::kVarRef) {
-      reference(expr.name);
+      reference(expr.name, expr.loc);
       return;
     }
     for (const auto& a : expr.args) walk_expr(*a);
   }
 
-  std::vector<std::string> take() { return std::move(ordered_); }
+  std::vector<FreeVar> take() { return std::move(ordered_); }
 
  private:
   void push() { scopes_.emplace_back(); }
@@ -124,22 +129,31 @@ class FreeVarWalker {
     }
     return false;
   }
-  void reference(const std::string& name) {
+  void reference(const std::string& name, lang::SourceLoc loc) {
     if (is_bound(name)) return;
     if (names_.globals.contains(name) || names_.functions.contains(name)) return;
-    if (seen_.insert(name).second) ordered_.push_back(name);
+    if (seen_.insert(name).second) ordered_.push_back(FreeVar{name, loc});
   }
 
   const ModuleNames& names_;
   std::vector<std::unordered_set<std::string>> scopes_;
   std::unordered_set<std::string> seen_;
-  std::vector<std::string> ordered_;
+  std::vector<FreeVar> ordered_;
 };
 
 }  // namespace
 
 std::vector<std::string> free_variables(const lang::Stmt& region,
                                         const ModuleNames& names) {
+  std::vector<std::string> out;
+  for (auto& fv : free_variables_detailed(region, names)) {
+    out.push_back(std::move(fv.name));
+  }
+  return out;
+}
+
+std::vector<FreeVar> free_variables_detailed(const lang::Stmt& region,
+                                             const ModuleNames& names) {
   FreeVarWalker walker(names);
   // The region body is walked without an implicit outer scope push, so
   // declarations at region top level count as bound — matching the OpenMP

@@ -24,10 +24,21 @@ struct ModuleNames {
   static ModuleNames collect(const lang::Module& module);
 };
 
+/// One free variable of a region, with the location of the reference that
+/// made it free (used by the default(none) diagnostic to point at the use).
+struct FreeVar {
+  std::string name;
+  lang::SourceLoc first_use;
+};
+
 /// Returns the free variables of `region` in order of first appearance
 /// (stable order keeps outlined-function signatures deterministic, which the
 /// golden tests rely on).
 std::vector<std::string> free_variables(const lang::Stmt& region,
                                         const ModuleNames& names);
+
+/// As free_variables, but carrying each variable's first-use location.
+std::vector<FreeVar> free_variables_detailed(const lang::Stmt& region,
+                                             const ModuleNames& names);
 
 }  // namespace zomp::core

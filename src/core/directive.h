@@ -58,6 +58,8 @@ struct Directive {
 
   // worksharing clauses
   lang::ScheduleSpec schedule;
+  /// collapse(n) depth; 1 when absent (or explicit collapse(1)).
+  int collapse = 1;
   bool nowait = false;
   bool ordered = false;
   std::vector<std::string> lastprivate_vars;

@@ -1,5 +1,6 @@
 #include "core/directive_parser.h"
 
+#include <unordered_set>
 #include <utility>
 
 #include "lang/lexer.h"
@@ -280,9 +281,25 @@ class ClauseParser {
     return true;
   }
 
+  /// Rejects a second occurrence of a single-valued clause. The list-valued
+  /// clauses (shared, private, reduction, ...) legitimately repeat and
+  /// accumulate; for the single-valued ones a silent last-wins would hide
+  /// the contradiction from the user.
+  bool once(const std::string& name) {
+    if (!seen_clauses_.insert(name).second) {
+      error("duplicate '" + name + "' clause");
+      return false;
+    }
+    return true;
+  }
+
   bool parse_clause(Directive& d) {
     const std::string name = expect_word("clause name");
     if (name.empty()) return false;
+    if (name == "num_threads" || name == "if" || name == "default" ||
+        name == "schedule" || name == "collapse") {
+      if (!once(name)) return false;
+    }
     if (name == "num_threads") {
       d.num_threads = parse_expr_arg();
       return d.num_threads != nullptr;
@@ -318,12 +335,19 @@ class ClauseParser {
     }
     if (name == "collapse") {
       const std::vector<Token> arg = collect_paren_arg();
-      if (arg.size() == 1 && arg[0].is(TokenKind::kIntLiteral) &&
-          arg[0].int_value == 1) {
-        return true;  // collapse(1) is the default meaning
+      if (arg.size() != 1 || !arg[0].is(TokenKind::kIntLiteral) ||
+          arg[0].int_value < 1) {
+        error("collapse(...) takes a positive integer literal");
+        return false;
       }
-      error("collapse depths greater than 1 are not supported");
-      return false;
+      if (arg[0].int_value > kMaxCollapseDepth) {
+        error("collapse depth " + std::to_string(arg[0].int_value) +
+              " exceeds the supported maximum of " +
+              std::to_string(kMaxCollapseDepth));
+        return false;
+      }
+      d.collapse = static_cast<int>(arg[0].int_value);
+      return true;
     }
     // Partial support, paper-style: recognised-but-unimplemented clauses are
     // skipped with a warning rather than failing the build.
@@ -365,6 +389,7 @@ class ClauseParser {
     if (!is_for) {
       reject(d.schedule.kind != lang::ScheduleSpec::Kind::kUnspecified,
              "schedule");
+      reject(d.collapse != 1, "collapse");
       reject(d.ordered, "ordered");
       reject(!d.lastprivate_vars.empty(), "lastprivate");
       reject(d.nowait && d.kind != DirectiveKind::kSingle, "nowait");
@@ -380,11 +405,17 @@ class ClauseParser {
     }
   }
 
+  /// Backends recompute collapse dimensions with 64-bit stride products;
+  /// depth 7 already covers every realistic nest, and the bound keeps the
+  /// synthesized prolog (4 locals per dimension) honest.
+  static constexpr std::int64_t kMaxCollapseDepth = 7;
+
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
   lang::SourceLoc loc_;
   lang::Diagnostics& diags_;
   bool diags_ok_ = true;
+  std::unordered_set<std::string> seen_clauses_;
 };
 
 }  // namespace

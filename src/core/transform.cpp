@@ -1,5 +1,6 @@
 #include "core/transform.h"
 
+#include <algorithm>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -80,10 +81,18 @@ class Renamer {
         if (stmt.num_threads) rename(*stmt.num_threads);
         if (stmt.if_clause) rename(*stmt.if_clause);
         break;
-      case Stmt::Kind::kOmpWsLoop:
+      case Stmt::Kind::kOmpWsLoop: {
         if (stmt.schedule.chunk) rename(*stmt.schedule.chunk);
-        rename(*stmt.body);
+        // Collapsed dimensions bind their source loop variables over the
+        // canonicalized body (the backends re-declare them per iteration),
+        // so a matching name is shadowed exactly like a kForRange capture.
+        bool shadowed = false;
+        for (const auto& dim : stmt.collapse) {
+          if (dim.iv == from_) shadowed = true;
+        }
+        if (!shadowed) rename(*stmt.body);
         break;
+      }
       case Stmt::Kind::kOmpCritical:
       case Stmt::Kind::kOmpSingle:
       case Stmt::Kind::kOmpMaster:
@@ -123,6 +132,52 @@ lang::ScheduleSpec clone_schedule(const lang::ScheduleSpec& spec) {
   out.kind = spec.kind;
   if (spec.chunk) out.chunk = lang::clone_expr(*spec.chunk);
   return out;
+}
+
+// -- Small AST builders for the collapse canonicalization ---------------------
+
+ExprPtr make_var(const std::string& name, lang::SourceLoc loc) {
+  auto e = Expr::make(Expr::Kind::kVarRef, loc);
+  e->name = name;
+  return e;
+}
+
+ExprPtr make_int(std::int64_t value, lang::SourceLoc loc) {
+  auto e = Expr::make(Expr::Kind::kIntLit, loc);
+  e->int_value = value;
+  return e;
+}
+
+ExprPtr make_bin(lang::BinOp op, ExprPtr lhs, ExprPtr rhs,
+                 lang::SourceLoc loc) {
+  auto e = Expr::make(Expr::Kind::kBinary, loc);
+  e->bin_op = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr make_max(ExprPtr a, ExprPtr b, lang::SourceLoc loc) {
+  auto e = Expr::make(Expr::Kind::kBuiltinCall, loc);
+  e->builtin = lang::Builtin::kMax;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+
+StmtPtr make_const_decl(const std::string& name, ExprPtr init,
+                        lang::SourceLoc loc) {
+  auto decl = Stmt::make(Stmt::Kind::kVarDecl, loc);
+  decl->name = name;
+  decl->is_const = true;
+  decl->init = std::move(init);
+  return decl;
+}
+
+/// Collects every variable name referenced by `expr` into `out`.
+void collect_var_refs(const Expr& expr, std::vector<std::string>& out) {
+  if (expr.kind == Expr::Kind::kVarRef) out.push_back(expr.name);
+  for (const auto& a : expr.args) collect_var_refs(*a, out);
 }
 
 class Transformer {
@@ -296,7 +351,11 @@ class Transformer {
     ++stats_.regions_outlined;
     // Capture set: free variables of the region, in first-use order, plus
     // clause-listed names the body never mentions.
-    std::vector<std::string> captured = free_variables(*region, names_);
+    const std::vector<FreeVar> free_detailed =
+        free_variables_detailed(*region, names_);
+    std::vector<std::string> captured;
+    captured.reserve(free_detailed.size());
+    for (const auto& fv : free_detailed) captured.push_back(fv.name);
     std::unordered_set<std::string> seen(captured.begin(), captured.end());
     auto add_clause_names = [&](const std::vector<std::string>& list) {
       for (const auto& n : list) {
@@ -331,8 +390,7 @@ class Transformer {
     for (const auto& n : captured) {
       if (mode.contains(n)) continue;
       if (d.default_mode == DefaultKind::kNone) {
-        error(d.loc, "default(none): variable '" + n +
-                         "' needs an explicit data-sharing clause");
+        report_default_none_violation(d, n, free_detailed, *region);
       }
       mode[n] = CaptureMode::kSharedPtr;  // default(shared)
     }
@@ -391,7 +449,200 @@ class Transformer {
     return fork;
   }
 
+  /// How a region uses a variable, for the default(none) suggestion.
+  enum class UseKind { kRead, kWrite, kCompound };
+
+  /// Finds the strongest use of `name` in `stmt`: a compound assignment
+  /// (candidate reduction) beats a plain write beats a read. Shadowing is
+  /// deliberately ignored — this only shapes a diagnostic suggestion.
+  static void scan_use(const Stmt& stmt, const std::string& name,
+                       UseKind& kind, Stmt::AssignOp& op) {
+    if (stmt.kind == Stmt::Kind::kAssign && stmt.lhs != nullptr &&
+        stmt.lhs->kind == Expr::Kind::kVarRef && stmt.lhs->name == name) {
+      if (stmt.assign_op != Stmt::AssignOp::kPlain) {
+        kind = UseKind::kCompound;
+        op = stmt.assign_op;
+      } else if (kind == UseKind::kRead) {
+        kind = UseKind::kWrite;
+      }
+    }
+    for (const auto& s : stmt.stmts) scan_use(*s, name, kind, op);
+    for (const Stmt* child :
+         {stmt.then_block.get(), stmt.else_block.get(), stmt.step.get(),
+          stmt.body.get()}) {
+      if (child != nullptr) scan_use(*child, name, kind, op);
+    }
+  }
+
+  /// The default(none) diagnostic: point at the variable's first use inside
+  /// the region and suggest the clauses that would make it legal.
+  void report_default_none_violation(const Directive& d, const std::string& n,
+                                     const std::vector<FreeVar>& free_detailed,
+                                     const Stmt& region) {
+    lang::SourceLoc use_loc = d.loc;
+    for (const auto& fv : free_detailed) {
+      if (fv.name == n) {
+        use_loc = fv.first_use;
+        break;
+      }
+    }
+    UseKind kind = UseKind::kRead;
+    Stmt::AssignOp op = Stmt::AssignOp::kPlain;
+    scan_use(region, n, kind, op);
+    std::string suggestion;
+    switch (kind) {
+      case UseKind::kRead:
+        suggestion = "it is only read — add 'shared(" + n +
+                     ")' or 'firstprivate(" + n + ")'";
+        break;
+      case UseKind::kWrite:
+        suggestion = "it is assigned — add 'private(" + n + ")' or 'shared(" +
+                     n + ")' (with synchronisation)";
+        break;
+      case UseKind::kCompound: {
+        const char* red_op = nullptr;
+        switch (op) {
+          case Stmt::AssignOp::kAdd: red_op = "+"; break;
+          case Stmt::AssignOp::kSub: red_op = "-"; break;
+          case Stmt::AssignOp::kMul: red_op = "*"; break;
+          default: break;
+        }
+        suggestion = "it accumulates — add ";
+        if (red_op != nullptr) {
+          suggestion += "'reduction(" + std::string(red_op) + ": " + n +
+                        ")', or ";
+        }
+        suggestion += "'shared(" + n + ")' (with synchronisation) or 'private(" +
+                      n + ")'";
+        break;
+      }
+    }
+    error(use_loc, "default(none): variable '" + n +
+                       "' needs an explicit data-sharing clause on the "
+                       "enclosing '" +
+                       directive_kind_name(d.kind) + "' directive (line " +
+                       std::to_string(d.loc.line) + "); " + suggestion);
+  }
+
   // -- worksharing loop ---------------------------------------------------------
+
+  /// Rewrites a perfectly-nested rectangular `collapse(n)` nest into a single
+  /// loop over the linearized space [0, N1*...*Nn), filling `ws.collapse`
+  /// with the per-dimension metadata the backends need and `prolog` with the
+  /// synthesized bound / extent / stride / total declarations. Returns the
+  /// canonicalized loop, or the original nest (with diagnostics) when the
+  /// nest does not qualify.
+  StmtPtr canonicalize_collapse(Directive& d, StmtPtr outer, Stmt& ws,
+                                std::vector<StmtPtr>& prolog) {
+    const int depth = d.collapse;
+    std::vector<Stmt*> levels{outer.get()};
+    std::unordered_set<std::string> iv_names{outer->name};
+    for (int k = 1; k < depth; ++k) {
+      Stmt& parent = *levels.back();
+      Stmt* body = parent.body.get();
+      Stmt* inner = nullptr;
+      if (body->kind == Stmt::Kind::kForRange) {
+        inner = body;
+      } else if (body->kind == Stmt::Kind::kBlock && body->stmts.size() == 1 &&
+                 body->stmts[0]->kind == Stmt::Kind::kForRange) {
+        inner = body->stmts[0].get();
+      }
+      if (inner == nullptr) {
+        error(d.loc, "collapse(" + std::to_string(depth) +
+                         ") requires a perfectly nested loop: the body of "
+                         "loop '" +
+                         parent.name +
+                         "' must be exactly one inner for loop (depth " +
+                         std::to_string(k + 1) + " is missing)");
+        return outer;
+      }
+      if (!inner->pending_directives.empty()) {
+        error(d.loc,
+              "collapse(...): directives are not allowed between the "
+              "collapsed loops");
+        return outer;
+      }
+      if (!iv_names.insert(inner->name).second) {
+        error(d.loc, "collapse(...): loop variables must be distinct ('" +
+                         inner->name + "' repeats)");
+        return outer;
+      }
+      levels.push_back(inner);
+    }
+
+    // Rectangularity: no inner bound may reference an outer loop variable —
+    // the linearized trip count is evaluated once, before the loop.
+    for (std::size_t k = 1; k < levels.size(); ++k) {
+      std::vector<std::string> refs;
+      collect_var_refs(*levels[k]->expr, refs);
+      collect_var_refs(*levels[k]->rhs, refs);
+      for (const auto& r : refs) {
+        for (std::size_t outer_k = 0; outer_k < k; ++outer_k) {
+          if (r == levels[outer_k]->name) {
+            error(d.loc,
+                  "collapse(...) requires a rectangular iteration space: a "
+                  "bound of loop '" +
+                      levels[k]->name + "' references outer loop variable '" +
+                      r + "'");
+            return outer;
+          }
+        }
+      }
+    }
+
+    const std::string tag = "__omp_c" + std::to_string(collapse_counter_++);
+    auto dim_name = [&](int k, const char* suffix) {
+      return tag + "_d" + std::to_string(k) + suffix;
+    };
+    // Per-dimension lower bound and extent. The extent clamps at zero so one
+    // degenerate dimension empties the whole linearized space (and keeps the
+    // stride products non-negative).
+    for (int k = 0; k < depth; ++k) {
+      Stmt& level = *levels[static_cast<std::size_t>(k)];
+      prolog.push_back(
+          make_const_decl(dim_name(k, "_lo"), std::move(level.expr), d.loc));
+      prolog.push_back(make_const_decl(
+          dim_name(k, "_n"),
+          make_max(make_bin(lang::BinOp::kSub, std::move(level.rhs),
+                            make_var(dim_name(k, "_lo"), d.loc), d.loc),
+                   make_int(0, d.loc), d.loc),
+          d.loc));
+    }
+    // Strides, innermost first (1), each the product of the inner extents.
+    for (int k = depth - 1; k >= 0; --k) {
+      ExprPtr init =
+          k == depth - 1
+              ? make_int(1, d.loc)
+              : make_bin(lang::BinOp::kMul, make_var(dim_name(k + 1, "_s"), d.loc),
+                         make_var(dim_name(k + 1, "_n"), d.loc), d.loc);
+      prolog.push_back(make_const_decl(dim_name(k, "_s"), std::move(init), d.loc));
+    }
+    prolog.push_back(make_const_decl(
+        tag + "_total",
+        make_bin(lang::BinOp::kMul, make_var(dim_name(0, "_s"), d.loc),
+                 make_var(dim_name(0, "_n"), d.loc), d.loc),
+        d.loc));
+
+    for (int k = 0; k < depth; ++k) {
+      lang::CollapseDim dim;
+      dim.iv = levels[static_cast<std::size_t>(k)]->name;
+      dim.lo = dim_name(k, "_lo");
+      dim.extent = dim_name(k, "_n");
+      dim.stride = dim_name(k, "_s");
+      ws.collapse.push_back(std::move(dim));
+    }
+
+    // The canonical loop: a fresh linearized induction variable over the
+    // flat space, carrying the innermost body. The original induction
+    // variables are recomputed per logical iteration by the backends from
+    // ws.collapse (iv = lo + (flat / stride) % extent).
+    auto flat = Stmt::make(Stmt::Kind::kForRange, outer->loc);
+    flat->name = tag + "_flat";
+    flat->expr = make_int(0, d.loc);
+    flat->rhs = make_var(tag + "_total", d.loc);
+    flat->body = std::move(levels.back()->body);
+    return flat;
+  }
 
   StmtPtr lower_for(FnDecl* fn, Directive& d, StmtPtr loop) {
     (void)fn;
@@ -402,29 +653,81 @@ class Transformer {
     ws->schedule = clone_schedule(d.schedule);
     ws->ordered = d.ordered;
 
-    // lastprivate: loop runs on a private copy; the runtime's last-iteration
-    // flag guards the writeback.
+    // collapse(n>1): linearize the nest first so lastprivate / reduction
+    // rewrites below see one canonical loop and the existing static /
+    // dynamic / guided machinery distributes the flat space unchanged.
     std::vector<StmtPtr> prolog;
+    if (d.collapse > 1) {
+      loop = canonicalize_collapse(d, std::move(loop), *ws, prolog);
+    }
+
+    // Names bound by the associated loop itself. A clause naming one of
+    // them is meaningless here: MiniZig loop variables are per-iteration
+    // constants with no post-loop value (Zig `for (a..b) |i|` scoping), so
+    // privatizing them would silently produce zeros — reject instead.
+    std::vector<std::string> iv_names;
+    if (!ws->collapse.empty()) {
+      for (const auto& dim : ws->collapse) iv_names.push_back(dim.iv);
+    } else {
+      iv_names.push_back(loop->name);
+    }
+    auto is_loop_iv = [&](const std::string& n) {
+      return std::find(iv_names.begin(), iv_names.end(), n) != iv_names.end();
+    };
+    for (const auto& n : d.lastprivate_vars) {
+      if (is_loop_iv(n)) {
+        error(d.loc, "lastprivate variable '" + n +
+                         "' is a loop variable of the associated loop; "
+                         "MiniZig loop variables are per-iteration constants "
+                         "with no post-loop value");
+      }
+    }
+    for (const auto& r : d.reductions) {
+      for (const auto& n : r.vars) {
+        if (is_loop_iv(n)) {
+          error(d.loc, "reduction variable '" + n +
+                           "' is a loop variable of the associated loop");
+        }
+      }
+    }
+    // Renames body references of `from` to the private copy `to`. The
+    // loop-control expressions are excluded on purpose: bounds are evaluated
+    // at construct entry against the *original* variable (renaming them
+    // would read the value-initialized private copy). A name bound by the
+    // loop itself is shadowed throughout the body — nothing to rename (and
+    // the clause was rejected above).
+    auto rename_in_body = [&](const std::string& from, const std::string& to) {
+      if (is_loop_iv(from) || loop->name == from) return;
+      Renamer renamer(from, to);
+      renamer.rename(*loop->body);
+    };
+
+    // lastprivate: loop runs on a private copy; the runtime's last-iteration
+    // flag guards the writeback. (The last linearized iteration of a
+    // collapsed nest is the sequentially-last logical iteration, so the
+    // same flag is correct there.)
     for (const auto& n : d.lastprivate_vars) {
       const std::string priv = n + "__lp";
       auto decl = Stmt::make(Stmt::Kind::kVarDecl, d.loc);
       decl->name = priv;
-      // Initialise from the current value: gives the declaration a type
-      // without sema support and is a legal choice for lastprivate's
-      // unspecified pre-last value.
+      // The init names the source variable so sema can type the private
+      // copy, but it is a type hint only: backends value-initialize.
+      // Actually reading the shared variable here would race the
+      // lastprivate writeback of a member that finished a nowait loop
+      // (lastprivate's pre-last value is unspecified, so a zero is legal).
       auto init = Expr::make(Expr::Kind::kVarRef, d.loc);
       init->name = n;
       decl->init = std::move(init);
+      decl->init_is_type_hint = true;
       prolog.push_back(std::move(decl));
-      Renamer renamer(n, priv);
-      renamer.rename(*loop);
+      rename_in_body(n, priv);
       ws->lastprivate.emplace_back(priv, n);
     }
 
     if (standalone && !d.reductions.empty()) {
       // `omp for reduction(...)` inside an existing region: private
-      // accumulator + critical combine into the visible variable, then a
-      // barrier (unless nowait).
+      // accumulator, then the team's tree combine into the visible
+      // variable, then a barrier (unless nowait).
       auto block = Stmt::make(Stmt::Kind::kBlock, d.loc);
       std::vector<std::pair<std::string, ReduceOp>> combines;
       for (const auto& r : d.reductions) {
@@ -435,8 +738,7 @@ class Transformer {
           init->target = n;
           init->reduce_op = r.op;
           block->stmts.push_back(std::move(init));
-          Renamer renamer(n, priv);
-          renamer.rename(*loop);
+          rename_in_body(n, priv);
           combines.emplace_back(n, r.op);
         }
       }
@@ -555,6 +857,7 @@ class Transformer {
   std::unordered_map<const FnDecl*, std::unordered_map<std::string, CaptureMode>>
       outlined_modes_;
   int counter_ = 0;
+  int collapse_counter_ = 0;
   bool failed_ = false;
 };
 

@@ -7,11 +7,24 @@
 //      *outlined*: the associated block becomes a new module-level function;
 //      the region's free variables (capture.h) become its parameters, with
 //      the data-sharing clauses choosing pointer vs value capture; the
-//      original statement is replaced by a fork of that function.
+//      original statement is replaced by a fork of that function. Under
+//      default(none), an unlisted free variable is diagnosed at its first
+//      use inside the region, with the applicable clause suggested
+//      (shared / private / firstprivate / reduction).
 //   3. Worksharing loops become OmpWsLoop nodes that the backends lower to
-//      the runtime's loop-bounds calls; reductions materialise as private
-//      accumulator + critical combine; the remaining constructs map to their
-//      structured statements.
+//      the runtime's loop-bounds calls. A `collapse(n)` nest is
+//      canonicalized first: the engine checks it is perfectly nested and
+//      rectangular, hoists per-dimension lower bound / extent / stride into
+//      synthesized const locals, and rewrites the nest into one loop over
+//      the linearized space [0, N1*...*Nn) whose nest metadata
+//      (lang::CollapseDim) tells the backends how to recompute the original
+//      induction variables per logical iteration — so every schedule kind,
+//      lastprivate and ordered apply to collapsed loops unchanged.
+//      Reductions materialise as a private accumulator plus the team's tree
+//      combine (runtime/reduce.h): the rendezvous winner alone folds the
+//      combined value into the shared target, no global lock.
+//   4. The remaining constructs (single/master/critical/atomic/ordered/task)
+//      map to their structured statements.
 //
 // Runs before semantic analysis, with names only — the same position and the
 // same type-information limitation the paper describes (§2), resolved the

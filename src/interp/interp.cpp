@@ -91,6 +91,56 @@ Value combine_values(ReduceOp op, const Value& a, const Value& b,
   panic(loc, "bad reduction operator");
 }
 
+/// Trivially-copyable payload for team reductions: the runtime tree memcpy's
+/// its slots, so Value (a variant with non-trivial alternatives) cannot ride
+/// in them directly. Sema restricts reductions to i64/f64/bool, which all
+/// fit here; every member carries the same tag and op for one construct.
+struct RedPod {
+  std::uint8_t tag = 0;  // 0 = i64, 1 = f64, 2 = bool
+  lang::ReduceOp op = lang::ReduceOp::kAdd;
+  std::int64_t i = 0;
+  double f = 0.0;
+  bool b = false;
+};
+
+RedPod to_pod(const Value& v, ReduceOp op, const lang::SourceLoc& loc) {
+  RedPod pod;
+  pod.op = op;
+  if (std::holds_alternative<std::int64_t>(v.v)) {
+    pod.tag = 0;
+    pod.i = v.as_i64();
+  } else if (std::holds_alternative<double>(v.v)) {
+    pod.tag = 1;
+    pod.f = v.as_f64();
+  } else if (std::holds_alternative<bool>(v.v)) {
+    pod.tag = 2;
+    pod.b = v.as_bool();
+  } else {
+    panic(loc, "reduction over non-scalar value");
+  }
+  return pod;
+}
+
+Value from_pod(const RedPod& pod) {
+  switch (pod.tag) {
+    case 1: return Value(pod.f);
+    case 2: return Value(pod.b);
+    default: return Value(pod.i);
+  }
+}
+
+void pod_combine(void* /*ctx*/, void* lhs, const void* rhs) {
+  auto* a = static_cast<RedPod*>(lhs);
+  const auto* b = static_cast<const RedPod*>(rhs);
+  static const lang::SourceLoc kNoLoc{};
+  const Value combined = combine_values(b->op, from_pod(*a), from_pod(*b), kNoLoc);
+  switch (a->tag) {
+    case 1: a->f = combined.as_f64(); break;
+    case 2: a->b = combined.as_bool(); break;
+    default: a->i = combined.as_i64(); break;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -155,8 +205,9 @@ class Exec {
         }
         return Flow::kNormal;
       case Stmt::Kind::kVarDecl:
-        bind(stmt.symbol, stmt.init ? eval(*stmt.init)
-                                    : default_value(stmt.symbol->type));
+        bind(stmt.symbol, stmt.init && !stmt.init_is_type_hint
+                              ? eval(*stmt.init)
+                              : default_value(stmt.symbol->type));
         return Flow::kNormal;
       case Stmt::Kind::kAssign: {
         Value rhs = eval(*stmt.rhs);
@@ -243,11 +294,18 @@ class Exec {
         bind(stmt.symbol, identity_value(stmt.reduce_op, stmt.symbol->type));
         return Flow::kNormal;
       case Stmt::Kind::kOmpReductionCombine: {
+        // Team tree rendezvous (runtime/reduce.h): the winner alone folds the
+        // combined partials into the shared target, and the construct's
+        // ensuing barrier (join or explicit) publishes the write — no lock.
         Cell target = cell_of(stmt.target_symbol, stmt.loc);
         const Cell local = cell_of(stmt.symbol, stmt.loc);
-        rt::critical_enter("__zomp_reduction");
-        *target = combine_values(stmt.reduce_op, *target, *local, stmt.loc);
-        rt::critical_exit("__zomp_reduction");
+        rt::ThreadState& ts = rt::current_thread();
+        RedPod pod = to_pod(*local, stmt.reduce_op, stmt.loc);
+        if (ts.team->reduce_combine(ts, &pod, sizeof(pod), &pod_combine,
+                                    nullptr, /*broadcast=*/false)) {
+          *target =
+              combine_values(stmt.reduce_op, *target, from_pod(pod), stmt.loc);
+        }
         return Flow::kNormal;
       }
       case Stmt::Kind::kOmpLastprivateWrite: {
@@ -289,6 +347,17 @@ class Exec {
     return Flow::kNormal;
   }
 
+  /// Pre-resolved collapse dimension: the synthesized lo/stride/extent
+  /// locals are loaded once per construct, then each logical iteration
+  /// recomputes iv_k = lo_k + (flat / stride_k) % extent_k.
+  struct CollapseCtx {
+    const Symbol* iv = nullptr;
+    std::int64_t lo = 0;
+    std::int64_t stride = 1;
+    std::int64_t extent = 0;
+    bool outermost = false;
+  };
+
   Flow exec_ws_loop(const Stmt& stmt) {
     const Stmt& loop = *stmt.body;
     rt::ThreadState& ts = rt::current_thread();
@@ -297,6 +366,28 @@ class Exec {
     const std::int64_t hi = eval(*loop.rhs).as_i64();
     const std::int64_t chunk =
         stmt.schedule.chunk ? eval(*stmt.schedule.chunk).as_i64() : 0;
+
+    std::vector<CollapseCtx> dims;
+    dims.reserve(stmt.collapse.size());
+    for (std::size_t k = 0; k < stmt.collapse.size(); ++k) {
+      const lang::CollapseDim& dim = stmt.collapse[k];
+      CollapseCtx ctx;
+      ctx.iv = dim.iv_symbol;
+      ctx.lo = cell_of(dim.lo_symbol, stmt.loc)->as_i64();
+      ctx.stride = cell_of(dim.stride_symbol, stmt.loc)->as_i64();
+      ctx.extent = cell_of(dim.extent_symbol, stmt.loc)->as_i64();
+      ctx.outermost = k == 0;
+      dims.push_back(ctx);
+    }
+    // The divisors are only touched while iterations run; a zero extent
+    // anywhere empties the linearized space, so no division by zero.
+    auto bind_dims = [&](std::int64_t flat) {
+      for (const CollapseCtx& ctx : dims) {
+        std::int64_t v = flat / ctx.stride;
+        if (!ctx.outermost) v %= ctx.extent;
+        bind(ctx.iv, Value(ctx.lo + v));
+      }
+    };
 
     // Ordered context for OmpOrdered nodes in the body.
     const Symbol* saved_iv = ordered_iv_;
@@ -318,6 +409,7 @@ class Exec {
         const std::int64_t end = std::min(block + span, hi);
         for (std::int64_t i = block; i < end; ++i) {
           bind(loop.symbol, Value(i));
+          bind_dims(i);
           exec_stmt(*loop.body);
         }
       }
@@ -330,6 +422,7 @@ class Exec {
       while (team.dispatch_next(ts, &clo, &chi, &last)) {
         for (std::int64_t i = clo; i < chi; ++i) {
           bind(loop.symbol, Value(i));
+          bind_dims(i);
           exec_stmt(*loop.body);
         }
         if (last) had_last = true;

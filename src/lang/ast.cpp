@@ -266,6 +266,14 @@ std::string dump_stmt(const Stmt& stmt, int indent) {
         case ScheduleSpec::Kind::kRuntime: out << " schedule=runtime"; break;
       }
       if (stmt.schedule.chunk) out << " chunk=" << dump_expr(*stmt.schedule.chunk);
+      if (!stmt.collapse.empty()) {
+        out << " collapse=" << stmt.collapse.size() << '[';
+        for (std::size_t i = 0; i < stmt.collapse.size(); ++i) {
+          if (i > 0) out << ' ';
+          out << stmt.collapse[i].iv;
+        }
+        out << ']';
+      }
       if (stmt.nowait) out << " nowait";
       if (stmt.ordered) out << " ordered";
       for (const auto& lp : stmt.lastprivate) {

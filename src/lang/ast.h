@@ -151,6 +151,27 @@ struct ScheduleSpec {
   ExprPtr chunk;  // may be null
 };
 
+/// One dimension of a `collapse(n)` loop nest after canonicalization
+/// (outermost first). The directive engine linearizes a perfectly-nested
+/// rectangular nest into a single worksharing loop over [0, N1*N2*...*Nn)
+/// and synthesizes, as const locals in the enclosing block, each dimension's
+/// lower bound (`lo`), extent (`extent`, clamped at 0) and linearized stride
+/// (`stride` = product of inner extents). Backends recompute the original
+/// induction variable per logical iteration as
+///   iv = lo + (flat / stride) % extent
+/// (the `% extent` is redundant for the outermost dimension). The iv is a
+/// fresh const binding per iteration, declared by sema in the loop's scope.
+struct CollapseDim {
+  std::string iv;      ///< source loop variable name
+  std::string lo;      ///< synthesized lower-bound local
+  std::string extent;  ///< synthesized extent local
+  std::string stride;  ///< synthesized stride local
+  Symbol* iv_symbol = nullptr;      // sema
+  Symbol* lo_symbol = nullptr;      // sema
+  Symbol* extent_symbol = nullptr;  // sema
+  Symbol* stride_symbol = nullptr;  // sema
+};
+
 // ---------------------------------------------------------------------------
 // Statements
 // ---------------------------------------------------------------------------
@@ -204,6 +225,13 @@ struct Stmt {
   bool has_declared_type = false;
   bool is_const = false;
   ExprPtr init;
+  /// Directive-engine decls only: `init` exists to give the declaration a
+  /// type (sema has no other source pre-outlining), but backends must NOT
+  /// evaluate it — they value-initialize instead. Used for the lastprivate
+  /// private copy, whose pre-last value is unspecified by OpenMP: actually
+  /// reading the shared variable here races the lastprivate writeback of a
+  /// nowait loop.
+  bool init_is_type_hint = false;
   Symbol* symbol = nullptr;
 
   // kAssign: lhs/rhs, with op != kAssignPlain for compound assignment.
@@ -236,8 +264,11 @@ struct Stmt {
   ExprPtr num_threads;  // parallel num_threads clause
   ExprPtr if_clause;    // parallel if clause
 
-  // kOmpWsLoop: body is the kForRange statement to distribute.
+  // kOmpWsLoop: body is the kForRange statement to distribute. For
+  // collapse(n>1) the body is the canonicalized linearized loop and
+  // `collapse` carries the nest metadata (empty for collapse(1)).
   ScheduleSpec schedule;
+  std::vector<CollapseDim> collapse;
   bool nowait = false;
   bool ordered = false;
   /// lastprivate entries as {private local, writeback target} name pairs.

@@ -26,6 +26,7 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   copy->has_declared_type = stmt.has_declared_type;
   copy->is_const = stmt.is_const;
   if (stmt.init) copy->init = clone_expr(*stmt.init);
+  copy->init_is_type_hint = stmt.init_is_type_hint;
   copy->assign_op = stmt.assign_op;
   if (stmt.lhs) copy->lhs = clone_expr(*stmt.lhs);
   if (stmt.rhs) copy->rhs = clone_expr(*stmt.rhs);
@@ -42,6 +43,10 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   if (stmt.if_clause) copy->if_clause = clone_expr(*stmt.if_clause);
   copy->schedule.kind = stmt.schedule.kind;
   if (stmt.schedule.chunk) copy->schedule.chunk = clone_expr(*stmt.schedule.chunk);
+  for (const auto& d : stmt.collapse) {
+    copy->collapse.push_back(CollapseDim{d.iv, d.lo, d.extent, d.stride,
+                                         nullptr, nullptr, nullptr, nullptr});
+  }
   copy->nowait = stmt.nowait;
   copy->ordered = stmt.ordered;
   copy->lastprivate = stmt.lastprivate;

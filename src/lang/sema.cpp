@@ -461,7 +461,11 @@ class Sema {
     // Note: user-facing ordered+nowait is rejected by the directive parser;
     // the *internal* nowait of the combined parallel-for lowering is fine
     // because the region's join barrier serialises construct instances.
-    check_stmt(*stmt.body);
+    if (!stmt.collapse.empty()) {
+      check_collapsed_body(stmt);
+    } else {
+      check_stmt(*stmt.body);
+    }
     stmt.lastprivate_syms.clear();
     for (const auto& [local, target] : stmt.lastprivate) {
       Symbol* l = lookup(local);
@@ -476,6 +480,46 @@ class Sema {
       }
       stmt.lastprivate_syms.emplace_back(l, t);
     }
+  }
+
+  /// Canonicalized collapse(n) loop: the body is the linearized kForRange,
+  /// and the original induction variables — recomputed by the backends per
+  /// logical iteration from the collapse metadata — must be declared in the
+  /// loop's scope so the body's references resolve. The synthesized
+  /// lo/extent/stride locals were emitted by the directive engine in the
+  /// enclosing block, already checked in statement order.
+  void check_collapsed_body(Stmt& stmt) {
+    Stmt& loop = *stmt.body;
+    const Type lo = check_expr(*loop.expr);
+    const Type hi = check_expr(*loop.rhs);
+    if (!lo.is_invalid() && !lo.is_i64()) {
+      diags_.error(loop.expr->loc, "range bounds must be i64");
+    }
+    if (!hi.is_invalid() && !hi.is_i64()) {
+      diags_.error(loop.rhs->loc, "range bounds must be i64");
+    }
+    for (auto& dim : stmt.collapse) {
+      dim.lo_symbol = lookup(dim.lo);
+      dim.extent_symbol = lookup(dim.extent);
+      dim.stride_symbol = lookup(dim.stride);
+      if (dim.lo_symbol == nullptr || dim.extent_symbol == nullptr ||
+          dim.stride_symbol == nullptr) {
+        diags_.error(stmt.loc,
+                     "collapse bounds for loop variable '" + dim.iv +
+                         "' are not in scope (directive-engine bug)");
+      }
+    }
+    push_scope();
+    loop.symbol = declare(loop.name, Symbol::Kind::kLoopVar, Type::i64(),
+                          /*is_const=*/true, loop.loc);
+    for (auto& dim : stmt.collapse) {
+      dim.iv_symbol = declare(dim.iv, Symbol::Kind::kLoopVar, Type::i64(),
+                              /*is_const=*/true, loop.loc);
+    }
+    ++loop_depth_;
+    check_stmt(*loop.body);
+    --loop_depth_;
+    pop_scope();
   }
 
   // -- Expressions -------------------------------------------------------------

@@ -147,12 +147,18 @@ void zomp_end_ordered(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
   ts.team->ordered_exit(ts, index);
 }
 
-void zomp_reduce_enter(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
-  zomp::rt::critical_enter("__zomp_reduction");
-}
-
-void zomp_reduce_exit(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
-  zomp::rt::critical_exit("__zomp_reduction");
+std::int32_t zomp_reduce(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                         void* data, std::int64_t size, zomp_reduce_fn_t fn) {
+  ThreadState& ts = current_thread();
+  // The C combine fn rides in the ctx slot of the runtime's internal
+  // signature (which threads caller state for the C++ API's functors).
+  auto thunk = [](void* ctx, void* lhs, const void* rhs) {
+    reinterpret_cast<zomp_reduce_fn_t>(ctx)(lhs, rhs);
+  };
+  const bool winner = ts.team->reduce_combine(
+      ts, data, static_cast<std::size_t>(size), thunk,
+      reinterpret_cast<void*>(fn), /*broadcast=*/false);
+  return winner ? 1 : 0;
 }
 
 // -- Atomics --------------------------------------------------------------

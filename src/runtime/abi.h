@@ -95,11 +95,22 @@ void zomp_ordered(const zomp_ident_t* loc, std::int32_t gtid,
 void zomp_end_ordered(const zomp_ident_t* loc, std::int32_t gtid,
                       std::int64_t index);
 
-/// Critical-based reduction combine: generated code wraps the combine of its
-/// private copy into the shared variable between enter/exit, then hits the
-/// construct barrier.
-void zomp_reduce_enter(const zomp_ident_t* loc, std::int32_t gtid);
-void zomp_reduce_exit(const zomp_ident_t* loc, std::int32_t gtid);
+/// Combines `*rhs` into `*lhs` (both point at the reduction's value type).
+typedef void (*zomp_reduce_fn_t)(void* lhs, const void* rhs);
+
+/// Team-tree reduction rendezvous (the __kmpc_reduce analogue; see
+/// runtime/reduce.h for the protocol). Every member of the innermost team
+/// passes a pointer to its private partial (`data`, `size` bytes, trivially
+/// copyable) and the combine function. Returns 1 on exactly one member,
+/// whose `data` then holds the team-combined value — that member (and only
+/// it) folds the result into the shared reduction target; the construct's
+/// ensuing barrier publishes the write. Returns 0 on every other member,
+/// whose `data` is left holding an unspecified partial (interior tree nodes
+/// fold partner subtrees into their own buffer on the way up). Replaces the
+/// retired zomp_reduce_enter/exit global-critical protocol: the combine is
+/// per-team and lock-free.
+std::int32_t zomp_reduce(const zomp_ident_t* loc, std::int32_t gtid,
+                         void* data, std::int64_t size, zomp_reduce_fn_t fn);
 
 // -- Atomic updates (`omp atomic`) ---------------------------------------------
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <type_traits>
 #include <utility>
 
 #include "runtime/api.h"
@@ -84,42 +85,52 @@ void parallel_for(rt::i64 lo, rt::i64 hi, Body&& body, ForOptions for_opts = {},
   parallel([&] { for_each(lo, hi, body, for_opts); }, par_opts);
 }
 
+namespace detail {
+
+/// Type-erases a C++ combine functor into the runtime's combine signature.
+/// Each member passes its *own* functor as ctx, so stateful combiners are
+/// fine: a combining member only ever invokes the functor it brought.
+template <typename T, typename Combine>
+rt::ReduceCombineFn reduce_thunk() {
+  return [](void* ctx, void* lhs, const void* rhs) {
+    Combine& c = *static_cast<Combine*>(ctx);
+    T* a = static_cast<T*>(lhs);
+    *a = c(*a, *static_cast<const T*>(rhs));
+  };
+}
+
+}  // namespace detail
+
+/// Tree-combines `value` across the innermost team and returns the combined
+/// result on every member (an allreduce). Must be reached by all members,
+/// like a barrier — and it *is* the construct's only synchronisation: one
+/// rendezvous, no global lock (see runtime/reduce.h).
+template <typename T, typename Combine>
+T allreduce(T value, Combine&& combine) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "allreduce copies T through raw team slots");
+  using C = std::remove_reference_t<Combine>;
+  rt::ThreadState& ts = rt::current_thread();
+  ts.team->reduce_combine(ts, &value, sizeof(T),
+                          detail::reduce_thunk<T, C>(), &combine,
+                          /*broadcast=*/true);
+  return value;
+}
+
 /// Worksharing reduction inside an existing region (`#pragma omp for
 /// reduction`): every member accumulates privately over its iterations, then
-/// combines into a team-shared cell under the reduction lock. Returns the
-/// combined value (identical on all members; ends with a barrier).
-///
-/// Protocol: one member initialises the cell (single), a barrier publishes
-/// it, members combine under the reduction critical, and a final barrier
-/// orders all combines before the shared read. The cell is double-buffered
-/// per construct so back-to-back reductions cannot race (see Team).
+/// the team tree-combines the partials. Returns the combined value
+/// (identical on all members). One barrier-equivalent total — the combine
+/// rendezvous — where the seed's critical-section protocol needed a publish
+/// barrier, a global lock and a final barrier.
 template <typename T, typename Combine, typename Body>
 T reduce_each(rt::i64 lo, rt::i64 hi, T identity, Combine&& combine,
               Body&& body, ForOptions opts = {}) {
-  static_assert(std::is_trivially_copyable_v<T>,
-                "reduce_each stores T in raw team storage");
-  static_assert(sizeof(T) <= rt::Team::kReduceStorageBytes,
-                "reduction type too large for the team cell");
-  rt::ThreadState& ts = rt::current_thread();
-  rt::Team& team = *ts.team;
-
-  const bool init_here = team.single_begin(ts);
-  // All members incremented their single counter above, so the parity is
-  // construct-wide consistent.
-  T* cell = static_cast<T*>(team.reduction_storage(ts.single_seq & 1));
-  if (init_here) *cell = identity;
-  team.barrier_wait(ts.tid);
-
   T local = identity;
   for_each(
       lo, hi, [&](rt::i64 i) { local = combine(local, body(i)); },
       ForOptions{opts.schedule, /*nowait=*/true});
-
-  rt::critical_enter("__zomp_reduction");
-  *cell = combine(*cell, local);
-  rt::critical_exit("__zomp_reduction");
-  team.barrier_wait(ts.tid);
-  return *cell;
+  return allreduce(local, combine);
 }
 
 /// Fused `#pragma omp parallel for reduction(...)` over [lo, hi).
@@ -128,6 +139,9 @@ template <typename T, typename Combine, typename Body>
 T parallel_reduce(rt::i64 lo, rt::i64 hi, T identity, Combine&& combine,
                   Body&& body, ForOptions for_opts = {},
                   ParallelOptions par_opts = {}) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "parallel_reduce copies T through raw team slots");
+  using C = std::remove_reference_t<Combine>;
   T result = identity;
   parallel(
       [&] {
@@ -135,10 +149,15 @@ T parallel_reduce(rt::i64 lo, rt::i64 hi, T identity, Combine&& combine,
         for_each(
             lo, hi, [&](rt::i64 i) { local = combine(local, body(i)); },
             ForOptions{for_opts.schedule, /*nowait=*/true});
-        rt::critical_enter("__zomp_reduction");
-        result = combine(result, local);
-        rt::critical_exit("__zomp_reduction");
-        // Implicit region-end barrier orders all combines before return.
+        // Tree-combine the partials; the winner of the rendezvous is tid 0 —
+        // the forking thread itself — so it folds into `result` with no lock
+        // and the region join publishes the write.
+        rt::ThreadState& ts = rt::current_thread();
+        if (ts.team->reduce_combine(ts, &local, sizeof(T),
+                                    detail::reduce_thunk<T, C>(), &combine,
+                                    /*broadcast=*/false)) {
+          result = combine(result, local);
+        }
       },
       par_opts);
   return result;

@@ -103,13 +103,15 @@ struct SavedBinding {
   Icv icv;
   u64 ws_seq;
   u64 single_seq;
+  u64 red_seq;
   MemberDispatch dispatch;
   TaskContext* current_task;
 };
 
 SavedBinding save(const ThreadState& ts) {
-  return SavedBinding{ts.team,   ts.tid,      ts.icv,         ts.ws_seq,
-                      ts.single_seq, ts.dispatch, ts.current_task};
+  return SavedBinding{ts.team,       ts.tid,     ts.icv,
+                      ts.ws_seq,     ts.single_seq, ts.red_seq,
+                      ts.dispatch,   ts.current_task};
 }
 
 void restore(ThreadState& ts, const SavedBinding& s) {
@@ -118,6 +120,11 @@ void restore(ThreadState& ts, const SavedBinding& s) {
   ts.icv = s.icv;
   ts.ws_seq = s.ws_seq;
   ts.single_seq = s.single_seq;
+  // The reduction sequence keys the ReductionTree rendezvous (slot tokens,
+  // reuse gate, broadcast parity); a nested fork's Team ctor zeroed it, and
+  // resuming the outer region with a rewound sequence would match stale
+  // tokens (wrong partials) or spin on tokens never published (deadlock).
+  ts.red_seq = s.red_seq;
   ts.dispatch = s.dispatch;
   ts.current_task = s.current_task;
 }

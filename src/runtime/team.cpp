@@ -44,7 +44,8 @@ Team::Team(std::vector<ThreadState*> members, Icv icv, i32 level,
       level_(level),
       active_level_(active_level),
       implicit_ctx_(members_.size()),
-      tasks_(static_cast<i32>(members_.size())) {
+      tasks_(static_cast<i32>(members_.size())),
+      reduce_tree_(static_cast<i32>(members_.size())) {
   ZOMP_CHECK(!members_.empty(), "team must have at least one member");
   for (std::size_t i = 0; i < members_.size(); ++i) {
     ThreadState& ts = *members_[i];
@@ -53,6 +54,7 @@ Team::Team(std::vector<ThreadState*> members, Icv icv, i32 level,
     ts.icv = icv_;
     ts.ws_seq = 0;
     ts.single_seq = 0;
+    ts.red_seq = 0;
     ts.dispatch = MemberDispatch{};
     ts.current_task = &implicit_ctx_[i];
   }
@@ -174,6 +176,16 @@ bool Team::dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast) {
     slot->owner_seq.store(0, std::memory_order_release);
   }
   return false;
+}
+
+bool Team::reduce_combine(ThreadState& ts, void* data, std::size_t size,
+                          ReduceCombineFn fn, void* ctx, bool broadcast) {
+  ZOMP_CHECK(ts.team == this, "reduction from non-member thread");
+  // Instances are matched across members by encounter order, the same
+  // team-wide identity argument dispatch slots rely on (members encounter
+  // reduction constructs in the same order within a region).
+  const u64 seq = ++ts.red_seq;
+  return reduce_tree_.combine(ts.tid, seq, data, size, fn, ctx, broadcast);
 }
 
 bool Team::single_begin(ThreadState& ts) {

@@ -12,6 +12,7 @@
 
 #include "runtime/common.h"
 #include "runtime/icv.h"
+#include "runtime/reduce.h"
 #include "runtime/task.h"
 #include "runtime/worksharing.h"
 
@@ -31,6 +32,7 @@ struct ThreadState {
 
   u64 ws_seq = 0;      ///< worksharing constructs encountered in this region
   u64 single_seq = 0;  ///< single constructs encountered in this region
+  u64 red_seq = 0;     ///< reduction constructs encountered in this region
   MemberDispatch dispatch;  ///< cursor for the in-flight dispatch construct
 
   /// Innermost executing task context; points into the team's implicit-task
@@ -127,15 +129,16 @@ class Team {
   /// by the join path.
   bool run_one_task(ThreadState& ts);
 
-  // -- Reduction scratch ------------------------------------------------------
+  // -- Reductions --------------------------------------------------------------
 
-  /// Fixed team-shared storage for in-region reductions (hl.h). Two buffers,
-  /// alternated per construct instance, so a member reading the result of
-  /// construct k can never race the initialisation of construct k+1.
-  static constexpr std::size_t kReduceStorageBytes = 64;
-  void* reduction_storage(std::size_t parity) {
-    return &reduce_storage_[parity & 1][0];
-  }
+  /// Team-wide reduction rendezvous (see reduce.h): tree-combines every
+  /// member's `data` with `fn`, returning true on the single member (the
+  /// winner) that must fold the combined value — now in its `data` — into
+  /// the construct's shared target. With `broadcast`, every member's `data`
+  /// holds the combined value on return. One barrier-equivalent, no global
+  /// lock. Must be reached by every member of the team, like a barrier.
+  bool reduce_combine(ThreadState& ts, void* data, std::size_t size,
+                      ReduceCombineFn fn, void* ctx, bool broadcast);
 
   // -- Join bookkeeping ------------------------------------------------------
 
@@ -178,7 +181,7 @@ class Team {
 
   TaskPool tasks_;
 
-  alignas(kCacheLine) unsigned char reduce_storage_[2][kReduceStorageBytes] = {};
+  ReductionTree reduce_tree_;
 
   alignas(kCacheLine) std::atomic<i32> checked_out_{0};
 };

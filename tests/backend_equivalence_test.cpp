@@ -6,9 +6,11 @@
 // reduction identities) fails here.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -18,6 +20,7 @@
 #include "npb/is.h"
 #include "npb/mandel.h"
 #include "npb/nprandom.h"
+#include "reduce_matrix_mz.h"
 #include "runtime/api.h"
 
 #ifndef ZOMP_SOURCE_DIR
@@ -41,6 +44,13 @@ SliceVal make_slice_i64(std::int64_t n, std::int64_t fill = 0) {
   SliceVal s;
   s.data = std::make_shared<std::vector<Value>>(static_cast<std::size_t>(n),
                                                 Value(fill));
+  return s;
+}
+
+SliceVal make_slice_f64(std::int64_t n) {
+  SliceVal s;
+  s.data = std::make_shared<std::vector<Value>>(static_cast<std::size_t>(n),
+                                                Value(0.0));
   return s;
 }
 
@@ -210,6 +220,220 @@ TEST_P(BackendScheduleSweep, MandelKernelAgreesUnderRewrittenSchedule) {
 
   EXPECT_EQ((*res.data)[0].as_i64(), native[0]) << c.clause;
   EXPECT_EQ((*res.data)[1].as_i64(), native[1]) << c.clause;
+}
+
+// -- Reduction-operator × schedule × collapse-depth matrix -------------------
+//
+// reduce_matrix.mz exercises all 10 ReduceOps, the order-insensitive f64
+// operators, collapse(2) and collapse(3) nests (with lastprivate), and
+// standalone / nowait worksharing reductions inside an explicit region.
+// Its loops all say schedule(runtime), so each sweep case runs the full
+// matrix under that schedule kind in *both* backends and checks them
+// against serial host oracles.
+
+struct MatrixOracle {
+  std::int64_t ops[10];
+  double f64s[4];
+  std::int64_t collapse2;
+  std::int64_t collapse3_acc;
+  std::int64_t collapse3_last;
+  std::int64_t standalone_a;
+  std::int64_t standalone_b;
+};
+
+MatrixOracle serial_matrix_oracle(std::int64_t n, std::int64_t h,
+                                  std::int64_t w, std::int64_t a,
+                                  std::int64_t b, std::int64_t c) {
+  MatrixOracle o{};
+  std::int64_t& add = o.ops[0] = 0;
+  std::int64_t& sub = o.ops[1] = 0;
+  std::int64_t& mul = o.ops[2] = 1;
+  std::int64_t& mn = o.ops[3] = 1000000;
+  std::int64_t& mx = o.ops[4] = -1000000;
+  std::int64_t& band = o.ops[5] = -1;
+  std::int64_t& bor = o.ops[6] = 0;
+  std::int64_t& bxor = o.ops[7] = 0;
+  std::int64_t& land = o.ops[8] = 1;
+  std::int64_t& lor = o.ops[9] = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    add += i * 3 + 1;
+    sub -= i + 2;
+    if (i % 7 == 0) mul *= 2;
+    mn = std::min(mn, ((i * 37) % 101) - 50);
+    mx = std::max(mx, ((i * 53) % 89) - 40);
+    band &= 1023 - ((i % 4) * 5);
+    bor |= std::int64_t{1} << ((i * 11) % 60);
+    bxor ^= (i * 97) % 513;
+    if (i % 5 == 3) land = 0;
+    if (i % 17 == 11) lor = 1;
+  }
+  o.f64s[0] = 0.0;
+  o.f64s[1] = 1000000.0;
+  o.f64s[2] = -1000000.0;
+  o.f64s[3] = 1.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    o.f64s[0] += static_cast<double>(i * 2 + 1);
+    o.f64s[1] = std::min(o.f64s[1], static_cast<double>(((i * 29) % 97) - 45));
+    o.f64s[2] = std::max(o.f64s[2], static_cast<double>(((i * 41) % 83) - 30));
+    if (i % 9 == 0) o.f64s[3] *= 2.0;
+  }
+  o.collapse2 = 0;
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) o.collapse2 += y * 1000 + x * 7;
+  }
+  o.collapse3_acc = 0;
+  o.collapse3_last = 0;
+  for (std::int64_t i = 2; i < a; ++i) {
+    for (std::int64_t j = 1; j < b; ++j) {
+      for (std::int64_t k = 0; k < c; ++k) {
+        o.collapse3_acc += i * 10000 + j * 100 + k;
+        o.collapse3_last = i * 1000000 + j * 1000 + k;
+      }
+    }
+  }
+  o.standalone_a = 0;
+  o.standalone_b = 0;
+  for (std::int64_t i = 0; i < n; ++i) o.standalone_a += i * 3;
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = 0; j < w; ++j) {
+      o.standalone_b = std::max(o.standalone_b, i * j);
+    }
+  }
+  return o;
+}
+
+TEST_P(BackendScheduleSweep, ReductionCollapseMatrixAgrees) {
+  const ScheduleSweepCase& cs = GetParam();
+  auto result = core::compile_source(read_kernel("reduce_matrix.mz"),
+                                     {true, "reduce_matrix_interp"});
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+
+  constexpr std::int64_t n = 41, h = 9, w = 7, a3 = 7, b3 = 5, c3 = 4;
+  const MatrixOracle oracle = serial_matrix_oracle(n, h, w, a3, b3, c3);
+
+  zomp::set_num_threads(3);
+  zomp::set_schedule({cs.kind, cs.chunk});
+
+  Interp interp(*result.module);
+
+  // red_ops_run — all 10 i64 reduction operators.
+  SliceVal ops = make_slice_i64(10);
+  interp.call_by_name("red_ops_run", {Value(n), Value(ops)});
+  std::vector<std::int64_t> nops(10, 0);
+  mzgen_reduce_matrix_mz::red_ops_run(
+      n, mz::Slice<std::int64_t>{nops.data(), 10});
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ((*ops.data)[static_cast<std::size_t>(i)].as_i64(), nops[i])
+        << cs.clause << " op " << i;
+    EXPECT_EQ(nops[i], oracle.ops[i]) << cs.clause << " op " << i;
+  }
+
+  // red_f64_run — order-insensitive f64 operators, bit-exact.
+  SliceVal f64s = make_slice_f64(4);
+  interp.call_by_name("red_f64_run", {Value(n), Value(f64s)});
+  std::vector<double> nf64(4, 0.0);
+  mzgen_reduce_matrix_mz::red_f64_run(n, mz::Slice<double>{nf64.data(), 4});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ((*f64s.data)[static_cast<std::size_t>(i)].as_f64(), nf64[i])
+        << cs.clause << " f64 op " << i;
+    EXPECT_EQ(nf64[i], oracle.f64s[i]) << cs.clause << " f64 op " << i;
+  }
+
+  // collapse2_run / collapse3_run — linearized nests, both backends.
+  SliceVal c2out = make_slice_i64(1);
+  interp.call_by_name("collapse2_run", {Value(h), Value(w), Value(c2out)});
+  std::vector<std::int64_t> nc2(1, 0);
+  mzgen_reduce_matrix_mz::collapse2_run(h, w,
+                                        mz::Slice<std::int64_t>{nc2.data(), 1});
+  EXPECT_EQ((*c2out.data)[0].as_i64(), nc2[0]) << cs.clause;
+  EXPECT_EQ(nc2[0], oracle.collapse2) << cs.clause;
+
+  SliceVal c3out = make_slice_i64(2);
+  interp.call_by_name("collapse3_run",
+                      {Value(a3), Value(b3), Value(c3), Value(c3out)});
+  std::vector<std::int64_t> nc3(2, 0);
+  mzgen_reduce_matrix_mz::collapse3_run(a3, b3, c3,
+                                        mz::Slice<std::int64_t>{nc3.data(), 2});
+  EXPECT_EQ((*c3out.data)[0].as_i64(), nc3[0]) << cs.clause;
+  EXPECT_EQ((*c3out.data)[1].as_i64(), nc3[1]) << cs.clause;
+  EXPECT_EQ(nc3[0], oracle.collapse3_acc) << cs.clause;
+  EXPECT_EQ(nc3[1], oracle.collapse3_last) << cs.clause;
+
+  // standalone_run — nowait + collapsed standalone loops in one region.
+  SliceVal sa = make_slice_i64(2);
+  interp.call_by_name("standalone_run", {Value(n), Value(w), Value(sa)});
+  std::vector<std::int64_t> nsa(2, 0);
+  mzgen_reduce_matrix_mz::standalone_run(
+      n, w, mz::Slice<std::int64_t>{nsa.data(), 2});
+  EXPECT_EQ((*sa.data)[0].as_i64(), nsa[0]) << cs.clause;
+  EXPECT_EQ((*sa.data)[1].as_i64(), nsa[1]) << cs.clause;
+  EXPECT_EQ(nsa[0], oracle.standalone_a) << cs.clause;
+  EXPECT_EQ(nsa[1], oracle.standalone_b) << cs.clause;
+
+  zomp::set_schedule({zomp::rt::ScheduleKind::kStatic, 0});
+}
+
+TEST_P(BackendScheduleSweep, CollapseDepthsAgreeWithCollapseOne) {
+  // collapse(2)/collapse(3) must produce the same results as the collapse(1)
+  // spelling of the identical nest: rewrite the clause in source and
+  // interpret both forms.
+  const ScheduleSweepCase& cs = GetParam();
+  const std::string source = read_kernel("reduce_matrix.mz");
+  auto deep = core::compile_source(source, {true, "reduce_matrix_deep"});
+  ASSERT_TRUE(deep.ok) << deep.diagnostics_text();
+
+  std::string flat_source = source;
+  for (const char* clause : {"collapse(2)", "collapse(3)"}) {
+    for (std::string::size_type at = flat_source.find(clause);
+         at != std::string::npos; at = flat_source.find(clause)) {
+      flat_source.replace(at, std::string(clause).size(), "collapse(1)");
+    }
+  }
+  ASSERT_NE(flat_source, source) << "kernel lost its collapse clauses";
+  auto flat = core::compile_source(flat_source, {true, "reduce_matrix_flat"});
+  ASSERT_TRUE(flat.ok) << flat.diagnostics_text();
+
+  constexpr std::int64_t h = 8, w = 6, a3 = 6, b3 = 4, c3 = 5;
+  zomp::set_num_threads(4);
+  zomp::set_schedule({cs.kind, cs.chunk});
+
+  Interp deep_interp(*deep.module);
+  Interp flat_interp(*flat.module);
+
+  SliceVal d2 = make_slice_i64(1), f2 = make_slice_i64(1);
+  deep_interp.call_by_name("collapse2_run", {Value(h), Value(w), Value(d2)});
+  flat_interp.call_by_name("collapse2_run", {Value(h), Value(w), Value(f2)});
+  EXPECT_EQ((*d2.data)[0].as_i64(), (*f2.data)[0].as_i64()) << cs.clause;
+
+  SliceVal d3 = make_slice_i64(2), f3 = make_slice_i64(2);
+  deep_interp.call_by_name("collapse3_run",
+                           {Value(a3), Value(b3), Value(c3), Value(d3)});
+  flat_interp.call_by_name("collapse3_run",
+                           {Value(a3), Value(b3), Value(c3), Value(f3)});
+  EXPECT_EQ((*d3.data)[0].as_i64(), (*f3.data)[0].as_i64()) << cs.clause;
+  EXPECT_EQ((*d3.data)[1].as_i64(), (*f3.data)[1].as_i64()) << cs.clause;
+
+  zomp::set_schedule({zomp::rt::ScheduleKind::kStatic, 0});
+}
+
+TEST(BackendEquivalenceTest, CollapseDegenerateDimensionsRunZeroIterations) {
+  // A zero-extent dimension anywhere must empty the whole linearized space
+  // in both backends (and must not divide by zero).
+  auto result = core::compile_source(read_kernel("reduce_matrix.mz"),
+                                     {true, "reduce_matrix_degen"});
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+  zomp::set_num_threads(3);
+  Interp interp(*result.module);
+  for (const auto& [h, w] : std::initializer_list<std::pair<std::int64_t, std::int64_t>>{
+           {0, 5}, {5, 0}, {0, 0}}) {
+    SliceVal out = make_slice_i64(1, -7);
+    interp.call_by_name("collapse2_run", {Value(h), Value(w), Value(out)});
+    EXPECT_EQ((*out.data)[0].as_i64(), 0) << h << "x" << w;
+    std::vector<std::int64_t> nout(1, -7);
+    mzgen_reduce_matrix_mz::collapse2_run(
+        h, w, mz::Slice<std::int64_t>{nout.data(), 1});
+    EXPECT_EQ(nout[0], 0) << h << "x" << w;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

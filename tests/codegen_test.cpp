@@ -94,7 +94,7 @@ fn f(x: []f64) void {
   EXPECT_NE(cpp.find("zomp_end_ordered("), std::string::npos);
 }
 
-TEST(CodegenTest, ReductionEmitsIdentityAndCriticalCombine) {
+TEST(CodegenTest, ReductionEmitsIdentityAndTreeCombine) {
   const std::string cpp = gen(R"(
 fn f(n: i64) f64 {
   var s: f64 = 0.0;
@@ -107,9 +107,50 @@ fn f(n: i64) f64 {
 )");
   EXPECT_NE(cpp.find("std::numeric_limits<double>::infinity()"),
             std::string::npos);
-  EXPECT_NE(cpp.find("zomp_reduce_enter("), std::string::npos);
+  // Tree rendezvous: a static combine fn + winner-only fold into the target.
+  EXPECT_NE(cpp.find("if (zomp_reduce("), std::string::npos);
   EXPECT_NE(cpp.find("mz::mz_min("), std::string::npos);
-  EXPECT_NE(cpp.find("zomp_reduce_exit("), std::string::npos);
+  EXPECT_EQ(cpp.find("zomp_reduce_enter("), std::string::npos)
+      << "global-critical reduction protocol must be retired";
+}
+
+TEST(CodegenTest, CollapseEmitsLinearizedLoopWithDelinearization) {
+  const std::string cpp = gen(R"(
+fn f(h: i64, w: i64, x: []f64) void {
+  //#omp parallel for collapse(2) schedule(dynamic, 1)
+  for (0..h) |i| {
+    for (0..w) |j| {
+      x[i * w + j] = 1.0;
+    }
+  }
+}
+)");
+  // One dispatch loop over the linearized total...
+  EXPECT_NE(cpp.find("__omp_c0_total"), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_dispatch_init("), std::string::npos);
+  // ...with per-iteration recomputation of both induction variables: the
+  // outer one divides by its stride, the inner one also takes the modulo.
+  EXPECT_NE(cpp.find("/ __omp_c0_d0_s"), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("% __omp_c0_d1_n"), std::string::npos) << cpp;
+}
+
+TEST(CodegenTest, LastprivateCopyDoesNotReadSharedVariable) {
+  // The private copy's init is a type hint: evaluating it would race the
+  // lastprivate writeback of a nowait loop.
+  const std::string cpp = gen(R"(
+fn f(n: i64) i64 {
+  var last: i64 = 0;
+  //#omp parallel for lastprivate(last)
+  for (0..n) |i| {
+    last = i;
+  }
+  return last;
+}
+)");
+  const auto decl = cpp.find("std::int64_t last__lp");
+  ASSERT_NE(decl, std::string::npos);
+  EXPECT_NE(cpp.find("= {};", decl), std::string::npos)
+      << "private copy must value-initialize, not read the shared variable";
 }
 
 TEST(CodegenTest, SinglesCriticalsMastersBarriers) {

@@ -179,9 +179,38 @@ TEST(DirectiveParserTest, UnsupportedClausesWarnButPass) {
   EXPECT_TRUE(warned);
 }
 
-TEST(DirectiveParserTest, CollapseOneOkDeeperRejected) {
-  EXPECT_NE(parse_ok(" for collapse(1)"), nullptr);
-  parse_fail(" for collapse(2)", "collapse");
+TEST(DirectiveParserTest, CollapseDepths) {
+  EXPECT_EQ(parse_ok(" for collapse(1)")->collapse, 1);
+  EXPECT_EQ(parse_ok(" for collapse(2)")->collapse, 2);
+  EXPECT_EQ(parse_ok(" parallel for collapse(3) schedule(dynamic)")->collapse,
+            3);
+  EXPECT_EQ(parse_ok(" for")->collapse, 1);  // absent means depth 1
+}
+
+TEST(DirectiveParserTest, CollapseErrors) {
+  parse_fail(" for collapse(0)", "positive integer");
+  parse_fail(" for collapse(n)", "positive integer");
+  parse_fail(" for collapse(2, 3)", "positive integer");
+  parse_fail(" for collapse(99)", "supported maximum");
+  parse_fail(" parallel collapse(2)", "not valid");
+  parse_fail(" single collapse(2)", "not valid");
+}
+
+TEST(DirectiveParserTest, DuplicateSingleValuedClausesRejected) {
+  parse_fail(" for schedule(static) schedule(dynamic)", "duplicate 'schedule'");
+  parse_fail(" for collapse(2) collapse(3)", "duplicate 'collapse'");
+  parse_fail(" parallel num_threads(2) num_threads(4)",
+             "duplicate 'num_threads'");
+  parse_fail(" parallel if(true) if(false)", "duplicate 'if'");
+  parse_fail(" parallel default(shared) default(none)", "duplicate 'default'");
+  // Even an identical repetition is a duplicate, not a silent no-op.
+  parse_fail(" for schedule(static) schedule(static)", "duplicate 'schedule'");
+}
+
+TEST(DirectiveParserTest, ListValuedClausesMayRepeat) {
+  auto d = parse_ok(" parallel shared(a) shared(b) private(c) private(d)");
+  EXPECT_EQ(d->shared_vars, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(d->private_vars, (std::vector<std::string>{"c", "d"}));
 }
 
 TEST(DirectiveParserTest, UnbalancedParensRejected) {

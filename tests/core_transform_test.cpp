@@ -328,6 +328,179 @@ fn f() void {
   EXPECT_EQ(outlined, 2);
 }
 
+// -- Collapse canonicalization -------------------------------------------------
+
+TEST(TransformTest, CollapseTwoLinearizesNest) {
+  auto result = compile_source(R"(
+fn f(h: i64, w: i64) i64 {
+  var acc: i64 = 0;
+  //#omp parallel for collapse(2) reduction(+: acc)
+  for (0..h) |y| {
+    for (0..w) |x| {
+      acc += y * w + x;
+    }
+  }
+  return acc;
+}
+)");
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+  EXPECT_EQ(result.stats.ws_loops, 1);
+  const std::string out = lang::dump_ast(*result.module);
+  // One linearized loop over the synthesized total, carrying nest metadata.
+  EXPECT_NE(out.find("collapse=2[y x]"), std::string::npos) << out;
+  EXPECT_NE(out.find("__omp_c0_total"), std::string::npos);
+  EXPECT_NE(out.find("__omp_c0_flat"), std::string::npos);
+  // The inner for loop is gone: only the flat loop remains inside the region.
+  EXPECT_EQ(out.find("(for y"), std::string::npos) << out;
+  EXPECT_EQ(out.find("(for x"), std::string::npos) << out;
+}
+
+TEST(TransformTest, CollapseThreeWithLastprivate) {
+  const std::string out = transformed_dump(R"(
+fn f(a: i64, b: i64, c: i64) i64 {
+  var last: i64 = 0;
+  //#omp parallel for collapse(3) lastprivate(last)
+  for (0..a) |i| {
+    for (0..b) |j| {
+      for (0..c) |k| {
+        last = i + j + k;
+      }
+    }
+  }
+  return last;
+}
+)");
+  EXPECT_NE(out.find("collapse=3[i j k]"), std::string::npos) << out;
+  EXPECT_NE(out.find("lastprivate=last__lp->last"), std::string::npos);
+}
+
+TEST(TransformTest, CollapseRejectsImperfectNest) {
+  auto result = compile_source(R"(
+fn f(h: i64, w: i64) void {
+  var acc: i64 = 0;
+  //#omp parallel for collapse(2)
+  for (0..h) |y| {
+    acc += 1;
+    for (0..w) |x| {
+      acc += x;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("perfectly nested"),
+            std::string::npos);
+}
+
+TEST(TransformTest, CollapseRejectsNonRectangularNest) {
+  auto result = compile_source(R"(
+fn f(h: i64) void {
+  var acc: i64 = 0;
+  //#omp parallel for collapse(2)
+  for (0..h) |y| {
+    for (0..y) |x| {
+      acc += x;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("rectangular"), std::string::npos);
+}
+
+TEST(TransformTest, CollapseRejectsDirectiveBetweenLoops) {
+  auto result = compile_source(R"(
+fn f(h: i64, w: i64) void {
+  var acc: i64 = 0;
+  //#omp parallel for collapse(2)
+  for (0..h) |y| {
+    //#omp critical
+    for (0..w) |x| {
+      acc += x;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("between the collapsed loops"),
+            std::string::npos);
+}
+
+TEST(TransformTest, CollapseRejectsRepeatedLoopVariable) {
+  auto result = compile_source(R"(
+fn f(h: i64, w: i64) void {
+  var acc: i64 = 0;
+  //#omp parallel for collapse(2)
+  for (0..h) |i| {
+    for (0..w) |i| {
+      acc += i;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("distinct"), std::string::npos);
+}
+
+TEST(TransformTest, LastprivateOfLoopVariableRejected) {
+  // MiniZig loop variables are per-iteration constants with no post-loop
+  // value; privatizing one would silently write zeros into the shadowed
+  // outer variable.
+  auto result = compile_source(R"(
+fn f(h: i64, w: i64) void {
+  var x: i64 = 0;
+  var acc: i64 = 0;
+  //#omp parallel for collapse(2) lastprivate(x)
+  for (0..h) |y| {
+    for (0..w) |x| {
+      acc += x;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("loop variable of the associated"),
+            std::string::npos);
+}
+
+TEST(TransformTest, LastprivateBoundReadsOriginalVariable) {
+  // The loop bound must read the *original* variable, not the
+  // value-initialized private copy — only body references move to it.
+  const std::string out = transformed_dump(R"(
+fn f() i64 {
+  var n: i64 = 10;
+  //#omp parallel for lastprivate(n)
+  for (0..n) |i| {
+    n = i;
+  }
+  return n;
+}
+)");
+  // The ws loop header still ranges over `n`; the body assigns `n__lp`.
+  EXPECT_NE(out.find("in 0 .. n\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("(assign = n__lp i)"), std::string::npos) << out;
+}
+
+TEST(TransformTest, CollapseBoundsAreCapturedNotLoopVars) {
+  // The nest bounds move into the synthesized prolog inside the region, so
+  // `h`/`w` are captured; the loop variables must NOT be (the backends
+  // rebind them per iteration from the collapse metadata).
+  const std::string out = transformed_dump(R"(
+fn f(h: i64, w: i64, x: []f64) void {
+  //#omp parallel for collapse(2)
+  for (0..h) |i| {
+    for (0..w) |j| {
+      x[i * w + j] = 1.0;
+    }
+  }
+}
+)");
+  EXPECT_NE(out.find("[h shared-ptr]"), std::string::npos) << out;
+  EXPECT_NE(out.find("[w shared-ptr]"), std::string::npos);
+  EXPECT_EQ(out.find("[i shared-ptr]"), std::string::npos) << out;
+  EXPECT_EQ(out.find("[j shared-ptr]"), std::string::npos);
+}
+
 // -- Negative cases ------------------------------------------------------------
 
 TEST(TransformTest, DefaultNoneRequiresExplicitClauses) {
@@ -342,6 +515,42 @@ fn f() void {
 )");
   EXPECT_FALSE(result.ok);
   EXPECT_NE(result.diagnostics_text().find("default(none)"), std::string::npos);
+}
+
+TEST(TransformTest, DefaultNoneDiagnosticPointsAtUseAndSuggestsClause) {
+  // `a` accumulates via += inside the region: the diagnostic must point at
+  // the use (line 6, not the directive line) and suggest reduction(+: a).
+  auto result = compile_source(R"(
+fn f() void {
+  var a: i64 = 0;
+  //#omp parallel default(none)
+  {
+    a += 1;
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  const std::string text = result.diagnostics_text();
+  EXPECT_NE(text.find("reduction(+: a)"), std::string::npos) << text;
+  EXPECT_NE(text.find("6:"), std::string::npos)
+      << "diagnostic should point at the first use on line 6: " << text;
+}
+
+TEST(TransformTest, DefaultNoneDiagnosticSuggestsForReadOnlyUse) {
+  auto result = compile_source(R"(
+fn f(n: i64) void {
+  var t: i64 = 0;
+  //#omp parallel default(none) private(t)
+  {
+    t = n;
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  const std::string text = result.diagnostics_text();
+  // `n` is only read: shared or firstprivate are the right fixes.
+  EXPECT_NE(text.find("shared(n)"), std::string::npos) << text;
+  EXPECT_NE(text.find("firstprivate(n)"), std::string::npos) << text;
 }
 
 TEST(TransformTest, DefaultNoneSatisfiedByClauses) {

@@ -255,25 +255,62 @@ TEST(AbiQueryTest, MiniZigI64VariantsAgree) {
   EXPECT_EQ(mz_omp_get_max_threads(), 2);
 }
 
-TEST(AbiReduceTest, ReduceCriticalProtectsCombine) {
-  // zomp_reduce_enter/exit must mutually exclude across a team.
+TEST(AbiReduceTest, TreeReduceCombinesAndElectsOneWinner) {
+  // zomp_reduce must combine every member's partial, hand the result to
+  // exactly one winner, and leave the losers' buffers untouched.
   struct State {
-    double sum = 0.0;
+    double total = 0.0;
+    std::atomic<int> winners{0};
   } state;
   void* args[1] = {&state};
   zomp_push_num_threads(&kLoc, 4);
   zomp_fork_call(
       &kLoc,
-      [](std::int32_t gtid, std::int32_t, void** a) {
+      [](std::int32_t gtid, std::int32_t tid, void** a) {
         auto* s = static_cast<State*>(a[0]);
-        for (int i = 0; i < 1000; ++i) {
-          zomp_reduce_enter(&kLoc, gtid);
-          s->sum += 1.0;
-          zomp_reduce_exit(&kLoc, gtid);
+        double local = static_cast<double>(tid + 1);  // 1+2+3+4 = 10
+        const auto add = [](void* lhs, const void* rhs) {
+          *static_cast<double*>(lhs) += *static_cast<const double*>(rhs);
+        };
+        if (zomp_reduce(&kLoc, gtid, &local, sizeof(local), add)) {
+          s->winners.fetch_add(1, std::memory_order_relaxed);
+          s->total = local;
         }
+        zomp_barrier(&kLoc, gtid);
       },
       1, args);
-  EXPECT_DOUBLE_EQ(state.sum, 4000.0);
+  EXPECT_EQ(state.winners.load(), 1);
+  EXPECT_DOUBLE_EQ(state.total, 10.0);
+}
+
+TEST(AbiReduceTest, BackToBackReductionsDoNotCrossTalk) {
+  // Consecutive reductions with no barrier between them exercise the slot
+  // reuse gate (done_seq) of the reduction tree.
+  struct State {
+    std::int64_t sums[8] = {};
+  } state;
+  void* args[1] = {&state};
+  zomp_push_num_threads(&kLoc, 4);
+  zomp_fork_call(
+      &kLoc,
+      [](std::int32_t gtid, std::int32_t tid, void** a) {
+        auto* s = static_cast<State*>(a[0]);
+        const auto add = [](void* lhs, const void* rhs) {
+          *static_cast<std::int64_t*>(lhs) +=
+              *static_cast<const std::int64_t*>(rhs);
+        };
+        for (int round = 0; round < 8; ++round) {
+          std::int64_t local = (tid + 1) * (round + 1);
+          if (zomp_reduce(&kLoc, gtid, &local, sizeof(local), add)) {
+            s->sums[round] = local;
+          }
+        }
+        zomp_barrier(&kLoc, gtid);
+      },
+      1, args);
+  for (int round = 0; round < 8; ++round) {
+    EXPECT_EQ(state.sums[round], 10 * (round + 1)) << "round " << round;
+  }
 }
 
 }  // namespace

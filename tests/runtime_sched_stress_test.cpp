@@ -256,5 +256,145 @@ TEST(SchedStressTest, DynamicGuidedFullCoverageUnderNowaitPressure) {
   EXPECT_EQ(tasks_done.load(), 4 * kLoops);
 }
 
+// ---------------------------------------------------------------------------
+// Reduction subsystem stress (runtime/reduce.h, the PR's tree-combine path).
+// All of these must stay TSan-clean: the tree's token protocol, the slot
+// reuse gate and the broadcast double-buffer are exactly the state a data
+// race would corrupt.
+// ---------------------------------------------------------------------------
+
+TEST(SchedStressTest, BackToBackAllreducesWithoutBarriers) {
+  // Consecutive rendezvous with no intervening team barrier: construct k+1's
+  // deposits chase construct k's combine through the done_seq gate, and the
+  // broadcast buffers alternate by parity. Any reuse race shows up as a
+  // wrong sum (or a TSan report).
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 300;
+  std::atomic<int> mismatches{0};
+  parallel(
+      [&] {
+        const long tid = thread_num();
+        for (long r = 0; r < kRounds; ++r) {
+          const long all = allreduce(tid + 1 + r, std::plus<>{});
+          const long want =
+              kThreads * (kThreads + 1) / 2 + kThreads * r;
+          if (all != want) mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(SchedStressTest, ReduceEachUnderDynamicScheduleStress) {
+  // reduce_each = nowait dynamic loop + one tree rendezvous per round; the
+  // dispatch ring and the reduction slots recycle together.
+  constexpr int kThreads = 8;
+  constexpr rt::i64 n = 5000;
+  constexpr rt::i64 want = n * (n - 1) / 2;
+  std::atomic<int> mismatches{0};
+  parallel(
+      [&] {
+        for (int round = 0; round < 25; ++round) {
+          const rt::i64 s = reduce_each(
+              0, n, rt::i64{0}, std::plus<>{},
+              [](rt::i64 i) { return i; },
+              ForOptions{{rt::ScheduleKind::kDynamic, 7}, false});
+          if (s != want) mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(SchedStressTest, OversizedReductionTakesFallbackLockPath) {
+  // A payload wider than a slot's inline capacity must route through the
+  // per-team fallback lock, including the broadcast acknowledgement
+  // handshake, and still combine exactly once per member.
+  struct Big {
+    std::int64_t v[16];  // 128 bytes > ReductionTree::kSlotBytes
+  };
+  static_assert(sizeof(Big) > rt::ReductionTree::kSlotBytes);
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  parallel(
+      [&] {
+        for (int r = 0; r < 60; ++r) {
+          Big mine{};
+          for (int k = 0; k < 16; ++k) {
+            mine.v[k] = (thread_num() + 1) * (k + 1);
+          }
+          const Big all = allreduce(mine, [](Big x, const Big& y) {
+            for (int k = 0; k < 16; ++k) x.v[k] += y.v[k];
+            return x;
+          });
+          for (int k = 0; k < 16; ++k) {
+            if (all.v[k] != 10 * (k + 1)) {  // sum of tids+1 = 10 for 4 threads
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(SchedStressTest, NestedParallelBetweenReductionsKeepsSequence) {
+  // A nested fork's Team constructor zeroes the member's red_seq; on return
+  // the outer region must resume its reduction sequence where it left off
+  // (pool.cpp SavedBinding). A rewound sequence would satisfy the tree's
+  // token waits with a previous construct's stale partials — or deadlock
+  // when only some members nested.
+  set_max_active_levels(2);
+  constexpr long kThreads = 4;
+  std::atomic<int> mismatches{0};
+  parallel(
+      [&] {
+        for (long r = 0; r < 10; ++r) {
+          const long a = allreduce(long(thread_num()) + 1, std::plus<>{});
+          if (a != kThreads * (kThreads + 1) / 2) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          parallel(
+              [&] {
+                const long inner = allreduce(long{1}, std::plus<>{});
+                if (inner != num_threads()) {
+                  mismatches.fetch_add(1, std::memory_order_relaxed);
+                }
+              },
+              ParallelOptions{2, true});
+          const long b = allreduce(long(thread_num()) + 1 + r, std::plus<>{});
+          if (b != kThreads * (kThreads + 1) / 2 + kThreads * r) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      ParallelOptions{static_cast<rt::i32>(kThreads), true});
+  set_max_active_levels(1);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(SchedStressTest, ConcurrentTeamsReduceIndependently) {
+  // Two root threads fork separate teams that reduce simultaneously. The
+  // retired protocol took one *global* named critical here, serialising the
+  // teams; the per-team trees must neither serialise nor cross-talk.
+  auto run = [](std::int64_t seed, std::atomic<int>& mismatches) {
+    for (int r = 0; r < 40; ++r) {
+      const std::int64_t s = parallel_reduce(
+          rt::i64{0}, rt::i64{2000}, std::int64_t{0}, std::plus<>{},
+          [&](rt::i64 i) { return i + seed; },
+          ForOptions{{rt::ScheduleKind::kDynamic, 3}, false},
+          ParallelOptions{4, true});
+      const std::int64_t want = 2000 * 1999 / 2 + 2000 * seed;
+      if (s != want) mismatches.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  std::atomic<int> mismatches{0};
+  std::thread t1(run, 1, std::ref(mismatches));
+  std::thread t2(run, 1000, std::ref(mismatches));
+  t1.join();
+  t2.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 }  // namespace
 }  // namespace zomp
