@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -24,16 +27,244 @@ int bench_threads() {
   return hc == 0 ? 2 : static_cast<int>(hc);
 }
 
+// ---------------------------------------------------------------------------
+// Fork/join before/after (PR 3). The seed region-entry protocol — pool mutex
+// acquire/release, per-worker mutex+condvar mailbox wake, and a fresh
+// heap-allocated team object (barrier + dispatch ring + reduction-tree
+// stand-ins) per region — is kept here, bench-local, so the hot-team +
+// doorbell fast path of runtime/pool.{h,cpp} stays comparable on any machine
+// in a single run.
+// ---------------------------------------------------------------------------
+
+/// The retired per-region team object: reproduces the seed Team's
+/// allocations (member list, 8-slot dispatch ring, one reduction slot per
+/// member) and its epoch sense barrier + check-out join protocol.
+class SeedTeam {
+ public:
+  explicit SeedTeam(int size)
+      : size_(size), dispatch_ring_(8), reduce_slots_(size) {
+    members_.reserve(static_cast<std::size_t>(size));
+  }
+
+  void barrier_wait() {
+    if (size_ == 1) return;
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) == size_ - 1) {
+      arrived_.store(0, std::memory_order_relaxed);
+      epoch_.store(epoch + 1, std::memory_order_release);
+      return;
+    }
+    zomp::rt::Backoff backoff;
+    while (epoch_.load(std::memory_order_acquire) == epoch) backoff.pause();
+  }
+
+  void check_out() { checked_out_.fetch_add(1, std::memory_order_release); }
+  void wait_all_checked_out() {
+    zomp::rt::Backoff backoff;
+    while (checked_out_.load(std::memory_order_acquire) != size_ - 1) {
+      backoff.pause();
+    }
+  }
+
+  std::vector<int> members_;
+
+ private:
+  struct alignas(zomp::rt::kCacheLine) RingSlot {
+    std::atomic<std::uint64_t> owner{0};
+  };
+  struct alignas(zomp::rt::kCacheLine) ReduceSlot {
+    std::atomic<std::uint64_t> token{0};
+  };
+  const int size_;
+  std::vector<RingSlot> dispatch_ring_;
+  std::vector<ReduceSlot> reduce_slots_;
+  alignas(zomp::rt::kCacheLine) std::atomic<int> arrived_{0};
+  alignas(zomp::rt::kCacheLine) std::atomic<std::uint64_t> epoch_{0};
+  alignas(zomp::rt::kCacheLine) std::atomic<int> checked_out_{0};
+};
+
+/// The retired worker mailbox: one mutex + condvar round-trip per wake.
+class SeedWorker {
+ public:
+  SeedWorker() : thread_([this] { loop(); }) {}
+  ~SeedWorker() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+  void assign(SeedTeam* team, const std::function<void(int)>* body, int tid) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      job_ = Job{team, body, tid};
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  struct Job {
+    SeedTeam* team;
+    const std::function<void(int)>* body;
+    int tid;
+  };
+
+  void loop() {
+    for (;;) {
+      Job job{};
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return job_.has_value() || shutdown_; });
+        if (!job_.has_value()) return;
+        job = *job_;
+        job_.reset();
+      }
+      (*job.body)(job.tid);
+      job.team->barrier_wait();
+      job.team->check_out();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::optional<Job> job_;
+  bool shutdown_ = false;
+  std::thread thread_;
+};
+
+/// The retired pool: a mutex-guarded idle vector, locked once to acquire
+/// and once to release per region.
+class SeedPool {
+ public:
+  static SeedPool& instance() {
+    static SeedPool pool;
+    return pool;
+  }
+
+  std::vector<SeedWorker*> acquire(int want) {
+    std::vector<SeedWorker*> out;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    while (want > 0) {
+      if (idle_.empty()) {
+        all_.push_back(std::make_unique<SeedWorker>());
+        idle_.push_back(all_.back().get());
+      }
+      out.push_back(idle_.back());
+      idle_.pop_back();
+      --want;
+    }
+    return out;
+  }
+
+  void release(const std::vector<SeedWorker*>& workers) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (SeedWorker* w : workers) idle_.push_back(w);
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<SeedWorker>> all_;
+  std::vector<SeedWorker*> idle_;
+};
+
+/// One region through the full seed protocol.
+void seed_fork(int threads, const std::function<void(int)>& body) {
+  std::vector<SeedWorker*> workers =
+      threads > 1 ? SeedPool::instance().acquire(threads - 1)
+                  : std::vector<SeedWorker*>{};
+  auto team = std::make_unique<SeedTeam>(threads);  // fresh object per region
+  for (int t = 0; t < threads; ++t) team->members_.push_back(t);
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    workers[i]->assign(team.get(), &body, static_cast<int>(i) + 1);
+  }
+  body(0);
+  team->barrier_wait();
+  team->wait_all_checked_out();
+  SeedPool::instance().release(workers);
+}
+
+/// Pure region-entry cost, EPCC syncbench style: an (almost) empty body
+/// entered back-to-back. range(0): 0 = bench-local seed protocol (mutex/
+/// condvar mailbox + fresh team per region), 1 = hot-team + doorbell fast
+/// path. range(1): team size.
 void BM_ForkJoin(benchmark::State& state) {
-  const int threads = static_cast<int>(state.range(0));
+  const bool hot = state.range(0) == 1;
+  const int threads = static_cast<int>(state.range(1));
   std::atomic<int> sink{0};
+  const std::function<void(int)> seed_body = [&](int /*tid*/) {
+    sink.fetch_add(1, std::memory_order_relaxed);
+  };
   for (auto _ : state) {
-    zomp::parallel([&] { sink.fetch_add(1, std::memory_order_relaxed); },
-                   zomp::ParallelOptions{threads, true});
+    if (hot) {
+      zomp::parallel([&] { sink.fetch_add(1, std::memory_order_relaxed); },
+                     zomp::ParallelOptions{threads, true});
+    } else {
+      seed_fork(threads, seed_body);
+    }
   }
   benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(hot ? "hot-team" : "mutex-condvar-seed");
 }
-BENCHMARK(BM_ForkJoin)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMicrosecond)->Iterations(200);
+BENCHMARK(BM_ForkJoin)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 4})
+    ->Args({1, 4})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(200);
+
+/// Tiny `parallel for reduction` regions, the NPB short-region shape the
+/// paper's overhead numbers hinge on: region entry + worksharing + one
+/// packed reduction rendezvous dominate, not the 256-iteration body.
+/// range(0): 0 = seed protocol (mutex/condvar fork, static slice by hand,
+/// mutex-combined reduction); 1 = the runtime path (hot team, tree
+/// rendezvous). range(1): team size.
+void BM_ParallelForTiny(benchmark::State& state) {
+  const bool hot = state.range(0) == 1;
+  const int threads = static_cast<int>(state.range(1));
+  constexpr std::int64_t n = 256;
+  const double want = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  std::mutex seed_combine_mutex;
+  for (auto _ : state) {
+    double total = 0.0;
+    if (hot) {
+      total = zomp::parallel_reduce<double>(
+          0, n, 0.0, std::plus<>{},
+          [](std::int64_t i) { return static_cast<double>(i); },
+          zomp::ForOptions{}, zomp::ParallelOptions{threads, true});
+    } else {
+      const std::function<void(int)> body = [&](int tid) {
+        const std::int64_t chunk = (n + threads - 1) / threads;
+        const std::int64_t lo = tid * chunk;
+        const std::int64_t hi = std::min<std::int64_t>(n, lo + chunk);
+        double local = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          local += static_cast<double>(i);
+        }
+        const std::lock_guard<std::mutex> lock(seed_combine_mutex);
+        total += local;
+      };
+      seed_fork(threads, body);
+    }
+    if (total != want) state.SkipWithError("bad reduction result");
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(hot ? "hot-team" : "mutex-condvar-seed");
+}
+BENCHMARK(BM_ParallelForTiny)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(200);
 
 void BM_BarrierCentral(benchmark::State& state) {
   const int threads = bench_threads();

@@ -127,6 +127,16 @@ class Renamer {
   bool shadowed_ = false;
 };
 
+/// red_pack value for combine #i of a run of n (see Stmt::red_pack): the
+/// head carries the run length, the rest 0. Runs longer than the
+/// interpreter's fixed pack payload (16 entries) degrade to per-variable
+/// rendezvous — correct, just not packed.
+int pack_len(std::size_t i, std::size_t n) {
+  constexpr std::size_t kMaxPack = 16;
+  if (n > kMaxPack) return 1;
+  return i == 0 ? static_cast<int>(n) : 0;
+}
+
 lang::ScheduleSpec clone_schedule(const lang::ScheduleSpec& spec) {
   lang::ScheduleSpec out;
   out.kind = spec.kind;
@@ -412,11 +422,18 @@ class Transformer {
       body->stmts.push_back(std::move(init));
     }
     body->stmts.push_back(std::move(region));
-    for (const auto& n : reduction_names) {
+    // All of the construct's combines are emitted adjacently and the first
+    // carries the run length: backends pack the run into ONE zomp_reduce
+    // rendezvous (struct payload, one barrier-equivalent for k variables —
+    // see runtime/reduce.h). Runs past the pack cap fall back to per-var
+    // rendezvous, which only bounds the interpreter's fixed payload.
+    for (std::size_t i = 0; i < reduction_names.size(); ++i) {
+      const auto& n = reduction_names[i];
       auto combine = Stmt::make(Stmt::Kind::kOmpReductionCombine, d.loc);
       combine->name = n;
       combine->target = n + "__red";
       combine->reduce_op = red_op[n];
+      combine->red_pack = pack_len(i, reduction_names.size());
       body->stmts.push_back(std::move(combine));
       // Region-end join barrier publishes the combined value.
     }
@@ -746,11 +763,15 @@ class Transformer {
       ws->nowait = true;  // combine first, then barrier below
       ws->body = std::move(loop);
       block->stmts.push_back(std::move(ws));
-      for (const auto& [n, op] : combines) {
+      // Adjacent combines, head carries the run length: one packed
+      // rendezvous for the whole construct (see lower_parallel).
+      for (std::size_t i = 0; i < combines.size(); ++i) {
+        const auto& [n, op] = combines[i];
         auto combine = Stmt::make(Stmt::Kind::kOmpReductionCombine, d.loc);
         combine->name = n + "__prv";
         combine->target = n;
         combine->reduce_op = op;
+        combine->red_pack = pack_len(i, combines.size());
         block->stmts.push_back(std::move(combine));
       }
       if (!d.nowait) {

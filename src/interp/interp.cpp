@@ -1,6 +1,7 @@
 #include "interp/interp.h"
 
 #include <cmath>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -141,6 +142,79 @@ void pod_combine(void* /*ctx*/, void* lhs, const void* rhs) {
   }
 }
 
+/// Multi-variable packed payload (one rendezvous for a whole construct's
+/// reduction run, Stmt::red_pack; see runtime/reduce.h). Entries are 16
+/// bytes so up to 3 variables still ride the inline tree slots; larger
+/// packs transparently take the tree's per-team fallback lock — either way
+/// the construct costs ONE rendezvous, not k. The deposited size is
+/// truncated to the live entries so the tree sees the smallest payload.
+struct PackEntry {
+  std::uint8_t tag = 0;  // 0 = i64, 1 = f64, 2 = bool
+  std::uint8_t op = 0;   // lang::ReduceOp
+  union {
+    std::int64_t i;
+    double f;
+    bool b;
+  } u{};
+};
+
+constexpr int kMaxPack = 16;  // mirrored by transform.cpp pack_len
+
+struct PackPod {
+  std::int32_t n = 0;
+  PackEntry e[kMaxPack];
+};
+
+constexpr std::size_t pack_size(int n) {
+  return offsetof(PackPod, e) +
+         static_cast<std::size_t>(n) * sizeof(PackEntry);
+}
+
+PackEntry to_pack_entry(const Value& v, ReduceOp op,
+                        const lang::SourceLoc& loc) {
+  PackEntry e;
+  e.op = static_cast<std::uint8_t>(op);
+  if (std::holds_alternative<std::int64_t>(v.v)) {
+    e.tag = 0;
+    e.u.i = v.as_i64();
+  } else if (std::holds_alternative<double>(v.v)) {
+    e.tag = 1;
+    e.u.f = v.as_f64();
+  } else if (std::holds_alternative<bool>(v.v)) {
+    e.tag = 2;
+    e.u.b = v.as_bool();
+  } else {
+    panic(loc, "reduction over non-scalar value");
+  }
+  return e;
+}
+
+Value from_pack_entry(const PackEntry& e) {
+  switch (e.tag) {
+    case 1: return Value(e.u.f);
+    case 2: return Value(e.u.b);
+    default: return Value(e.u.i);
+  }
+}
+
+void pack_combine(void* /*ctx*/, void* lhs, const void* rhs) {
+  auto* a = static_cast<PackPod*>(lhs);
+  const auto* b = static_cast<const PackPod*>(rhs);
+  static const lang::SourceLoc kNoLoc{};
+  for (std::int32_t i = 0; i < a->n; ++i) {
+    PackEntry& x = a->e[i];
+    const PackEntry& y = b->e[i];
+    const Value combined =
+        combine_values(static_cast<ReduceOp>(y.op), from_pack_entry(x),
+                       from_pack_entry(y), kNoLoc);
+    switch (x.tag) {
+      case 1: x.u.f = combined.as_f64(); break;
+      case 2: x.u.b = combined.as_bool(); break;
+      default: x.u.i = combined.as_i64(); break;
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -199,8 +273,18 @@ class Exec {
   Flow exec_stmt(const Stmt& stmt) {
     switch (stmt.kind) {
       case Stmt::Kind::kBlock:
-        for (const auto& s : stmt.stmts) {
-          const Flow f = exec_stmt(*s);
+        for (std::size_t i = 0; i < stmt.stmts.size(); ++i) {
+          const Stmt& s = *stmt.stmts[i];
+          // A run of adjacent reduction combines (head carries the run
+          // length) becomes ONE packed rendezvous instead of one per
+          // variable; see exec_reduce_pack.
+          if (s.kind == Stmt::Kind::kOmpReductionCombine && s.red_pack > 1 &&
+              i + static_cast<std::size_t>(s.red_pack) <= stmt.stmts.size()) {
+            exec_reduce_pack(stmt.stmts, i, s.red_pack);
+            i += static_cast<std::size_t>(s.red_pack) - 1;
+            continue;
+          }
+          const Flow f = exec_stmt(s);
           if (f != Flow::kNormal) return f;
         }
         return Flow::kNormal;
@@ -323,6 +407,30 @@ class Exec {
     return Flow::kNormal;
   }
 
+  /// One rendezvous for a construct's whole run of `k` reduction combines:
+  /// every member deposits a PackPod of its partials, the tree combines
+  /// field-by-field (each with its own operator), and the winner alone folds
+  /// every field into its shared target.
+  void exec_reduce_pack(const std::vector<lang::StmtPtr>& stmts,
+                        std::size_t begin, int k) {
+    rt::ThreadState& ts = rt::current_thread();
+    PackPod pod;
+    pod.n = k;
+    for (int i = 0; i < k; ++i) {
+      const Stmt& s = *stmts[begin + static_cast<std::size_t>(i)];
+      pod.e[i] = to_pack_entry(*cell_of(s.symbol, s.loc), s.reduce_op, s.loc);
+    }
+    if (ts.team->reduce_combine(ts, &pod, pack_size(k), &pack_combine,
+                                nullptr, /*broadcast=*/false)) {
+      for (int i = 0; i < k; ++i) {
+        const Stmt& s = *stmts[begin + static_cast<std::size_t>(i)];
+        Cell target = cell_of(s.target_symbol, s.loc);
+        *target = combine_values(s.reduce_op, *target, from_pack_entry(pod.e[i]),
+                                 s.loc);
+      }
+    }
+  }
+
   Flow exec_fork(const Stmt& stmt) {
     const FnDecl& callee = *stmt.callee_decl;
     std::vector<Cell> args;
@@ -337,7 +445,10 @@ class Exec {
       opts.num_threads = static_cast<rt::i32>(eval(*stmt.num_threads).as_i64());
     }
     if (stmt.if_clause) opts.if_clause = eval(*stmt.if_clause).as_bool();
-    rt::fork_closure(
+    // fork_body: the closure rides in the microtask argument array directly,
+    // so interpreted region entry pays no std::function allocation and takes
+    // the same hot-team fast path as generated code.
+    rt::fork_body(
         [&] {
           Exec member(interp_, callee);
           member.bind_params(args);
@@ -379,14 +490,32 @@ class Exec {
       ctx.outermost = k == 0;
       dims.push_back(ctx);
     }
-    // The divisors are only touched while iterations run; a zero extent
-    // anywhere empties the linearized space, so no division by zero.
-    auto bind_dims = [&](std::int64_t flat) {
-      for (const CollapseCtx& ctx : dims) {
-        std::int64_t v = flat / ctx.stride;
-        if (!ctx.outermost) v %= ctx.extent;
-        bind(ctx.iv, Value(ctx.lo + v));
+    // Odometer de-linearization: the div/mod chain runs once per chunk
+    // (seed), then each logical iteration advances the ivs by incrementing
+    // the innermost and carrying on overflow — mirroring the generated-code
+    // lowering (codegen.cpp odometer_text). The divisors are only touched
+    // while iterations run; a zero extent anywhere empties the linearized
+    // space, so no division by zero.
+    std::vector<std::int64_t> iv_vals(dims.size());
+    auto seed_dims = [&](std::int64_t flat) {
+      for (std::size_t k = 0; k < dims.size(); ++k) {
+        std::int64_t v = flat / dims[k].stride;
+        if (!dims[k].outermost) v %= dims[k].extent;
+        iv_vals[k] = dims[k].lo + v;
       }
+    };
+    auto bind_dims = [&] {
+      for (std::size_t k = 0; k < dims.size(); ++k) {
+        bind(dims[k].iv, Value(iv_vals[k]));
+      }
+    };
+    auto advance_dims = [&] {
+      if (dims.empty()) return;
+      for (std::size_t k = dims.size(); k-- > 1;) {
+        if (++iv_vals[k] != dims[k].lo + dims[k].extent) return;
+        iv_vals[k] = dims[k].lo;  // wrap, carry outward
+      }
+      ++iv_vals[0];  // the outermost dimension never wraps
     };
 
     // Ordered context for OmpOrdered nodes in the body.
@@ -407,10 +536,12 @@ class Exec {
       const std::int64_t span = r.hi - r.lo;
       for (std::int64_t block = r.lo; block < hi; block += r.stride) {
         const std::int64_t end = std::min(block + span, hi);
+        if (!dims.empty()) seed_dims(block);
         for (std::int64_t i = block; i < end; ++i) {
           bind(loop.symbol, Value(i));
-          bind_dims(i);
+          bind_dims();
           exec_stmt(*loop.body);
+          advance_dims();
         }
       }
       had_last = r.last;
@@ -420,10 +551,12 @@ class Exec {
       std::int64_t clo = 0, chi = 0;
       bool last = false;
       while (team.dispatch_next(ts, &clo, &chi, &last)) {
+        if (!dims.empty()) seed_dims(clo);
         for (std::int64_t i = clo; i < chi; ++i) {
           bind(loop.symbol, Value(i));
-          bind_dims(i);
+          bind_dims();
           exec_stmt(*loop.body);
+          advance_dims();
         }
         if (last) had_last = true;
       }

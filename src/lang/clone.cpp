@@ -52,6 +52,7 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   copy->lastprivate = stmt.lastprivate;
   copy->target = stmt.target;
   copy->reduce_op = stmt.reduce_op;
+  copy->red_pack = stmt.red_pack;
   return copy;
 }
 

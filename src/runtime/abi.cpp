@@ -47,6 +47,9 @@ extern "C" {
 
 void zomp_fork_call(const zomp_ident_t* loc, zomp_microtask_t fn,
                     std::int32_t argc, void** args) {
+  // Thin shim over the fork fast path (pool.cpp): hot-team recycling and the
+  // doorbell handoff live behind rt::fork_call, so generated code and the
+  // C++ API share one region-entry cost.
   (void)argc;
   zomp::rt::ForkOptions opts;
   opts.ident = to_ident(loc);

@@ -31,6 +31,17 @@ typedef void (*zomp_microtask_t)(std::int32_t gtid, std::int32_t tid,
 
 /// Forks a team and runs `fn` on every member; returns after the implicit
 /// (task-draining) join barrier.
+///
+/// Fork contract (DESIGN.md S1.6): `args` must stay valid until the call
+/// returns — the join barrier guarantees no member reads it afterwards, so
+/// generated code builds the pointer array on the caller's stack. Region
+/// entry is the runtime's fast path: an outermost fork repeating the
+/// previous team size recycles the master's cached hot team (re-armed in
+/// place, workers woken through per-worker atomic doorbells — no lock, no
+/// allocation); only a changed num_threads/nthreads-var rebuilds the team
+/// through the pool. A short pool acquire may deliver fewer members than
+/// requested; `zomp_get_num_threads` inside the region reports the actual
+/// size, and every team structure is sized from it.
 void zomp_fork_call(const zomp_ident_t* loc, zomp_microtask_t fn,
                     std::int32_t argc, void** args);
 

@@ -39,9 +39,31 @@ inline constexpr std::size_t kCacheLine = 64;
 /// before yielding the core; passive waiters yield immediately.
 enum class WaitPolicy : i32 { kActive = 0, kPassive = 1 };
 
-/// Spin budget implied by the process wait policy (defined in icv.cpp next to
-/// the ICV storage): kPassive -> 0, kActive -> a bounded spin count.
+/// Spin budget implied by the process wait policy (defined in icv.cpp next
+/// to the ICV storage): kPassive -> 0, kActive -> a bounded spin count —
+/// UNLESS the process is oversubscribed (see note_thread_census), where
+/// active waits also go straight to yielding: pause-spinning a core that a
+/// runnable peer needs only delays the convoy it is waiting on.
 i32 backoff_spin_limit() noexcept;
+
+/// Backoff rounds a park-capable wait (the worker doorbell, pool.h) burns
+/// before falling back to a condvar park. Active policy: the exponential
+/// spin budget plus a yield grace period, so a hot team's workers catch
+/// back-to-back forks without ever touching the futex path. Passive policy
+/// or an oversubscribed process: 1 (park almost immediately — the master
+/// needs the core, and a parked worker leaves the run queue so scheduler
+/// passes over the remaining runnable threads stay short). Defined in
+/// icv.cpp.
+i32 doorbell_grace_rounds() noexcept;
+
+/// Oversubscription census: fork/join reports workers entering (+n) and
+/// leaving (-n) regions here, so the count reflects *currently running*
+/// runtime threads — not the lifetime spawn peak, which would latch the
+/// slow-wait mode forever after one oversized region. The wait primitives
+/// above compare it against the hardware core count on every budget
+/// decision. Relaxed-atomic; a momentarily stale reading only mis-tunes a
+/// spin, never correctness.
+void note_active_workers(i32 delta) noexcept;
 
 /// Bounded exponential backoff for spin loops, honouring OMP_WAIT_POLICY.
 ///

@@ -38,14 +38,17 @@ struct ForOptions {
   bool nowait = false;
 };
 
-/// Runs `body` once on every member of a freshly forked team
-/// (`#pragma omp parallel`).
-inline void parallel(const std::function<void()>& body,
-                     ParallelOptions opts = {}) {
+/// Runs `body` once on every member of a forked team (`#pragma omp
+/// parallel`). Region entry is the runtime's fast path: a repeat of the
+/// previous team size recycles the master's hot team (pool.h), and the body
+/// rides through rt::fork_body without a std::function wrapper, so a
+/// capture-heavy closure costs no per-region allocation.
+template <typename Body>
+void parallel(Body&& body, ParallelOptions opts = {}) {
   rt::ForkOptions fork_opts;
   fork_opts.num_threads = opts.num_threads;
   fork_opts.if_clause = opts.if_clause;
-  rt::fork_closure(body, fork_opts);
+  rt::fork_body(std::forward<Body>(body), fork_opts);
 }
 
 /// Worksharing loop over [lo, hi) (`#pragma omp for`). Must be reached by

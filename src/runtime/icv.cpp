@@ -46,15 +46,57 @@ GlobalIcv::GlobalIcv() {
   if (const auto policy = env_wait_policy()) set_wait_policy(*policy);
 }
 
+namespace {
+
+/// Workers currently running a region (fork adds, join subtracts). The
+/// master executing the region is the +1 in oversubscribed() — masters are
+/// runnable whether or not they are inside a region.
+std::atomic<i32> g_active_workers{0};
+
+bool oversubscribed() noexcept {
+  // hardware_concurrency() is a sysconf-backed call — cache it, this runs
+  // in every Backoff construction.
+  static const i32 hardware = hardware_threads();
+  return g_active_workers.load(std::memory_order_relaxed) + 1 > hardware;
+}
+
+}  // namespace
+
+void note_active_workers(i32 delta) noexcept {
+  g_active_workers.fetch_add(delta, std::memory_order_relaxed);
+}
+
+i32 doorbell_grace_rounds() noexcept {
+  // Under the active policy a doorbell waiter spins its exponential budget,
+  // then yields for a grace period before condvar-parking: long enough that
+  // the fork cadence of a tight region loop (the NPB pattern) never pays a
+  // futex wake, short enough that a master gone serial releases the cores
+  // within a few scheduler quanta. Passive waiters — and every waiter in an
+  // oversubscribed process, where a grace-yielding worker starves the very
+  // master that will ring it while staying on the run queue and lengthening
+  // every scheduler pass — park after one round.
+  constexpr i32 kActiveGraceRounds = 256;
+  if (GlobalIcv::instance().wait_policy() == WaitPolicy::kPassive ||
+      oversubscribed()) {
+    return 1;
+  }
+  return backoff_spin_limit() + kActiveGraceRounds;
+}
+
 i32 backoff_spin_limit() noexcept {
   // Active: 10 exponential rounds (~100 pause instructions total) before
-  // yielding; passive: hand the core back immediately. The lookup is one
-  // relaxed load after the first call; GlobalIcv construction is guarded by
-  // the usual magic-static once-flag.
+  // yielding; passive: hand the core back immediately. Oversubscribed
+  // processes yield immediately even under the active policy — the thread
+  // being waited on needs this core, so every pause round just stretches
+  // the convoy (measured 3.5x on fork/join wall time, 1-core container).
+  // The lookup is one relaxed load after the first call; GlobalIcv
+  // construction is guarded by the usual magic-static once-flag.
   constexpr i32 kActiveSpinRounds = 10;
-  return GlobalIcv::instance().wait_policy() == WaitPolicy::kPassive
-             ? 0
-             : kActiveSpinRounds;
+  if (GlobalIcv::instance().wait_policy() == WaitPolicy::kPassive ||
+      oversubscribed()) {
+    return 0;
+  }
+  return kActiveSpinRounds;
 }
 
 Icv GlobalIcv::initial() const {

@@ -5,85 +5,191 @@
 namespace zomp::rt {
 
 // ---------------------------------------------------------------------------
-// Worker
+// Worker — doorbell handoff (DESIGN.md S1.6)
 // ---------------------------------------------------------------------------
 
-Worker::Worker(i32 gtid) {
+Worker::Worker(i32 gtid, i32 pool_index) : pool_index_(pool_index) {
   state_.gtid = gtid;
+  state_.worker = this;
   thread_ = std::thread([this] { loop(); });
 }
 
 Worker::~Worker() {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    shutdown_ = true;
-  }
-  cv_.notify_one();
+  shutdown_.store(true, std::memory_order_release);
+  ring();
   if (thread_.joinable()) thread_.join();
 }
 
-void Worker::assign(Team* team, i32 tid, Microtask fn, void** args) {
-  {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ZOMP_CHECK(!job_.has_value(), "worker assigned while busy");
-    job_ = Job{team, tid, fn, args};
+void Worker::ring() {
+  // Single-writer doorbell: the worker is held exclusively by one master (or
+  // the destructor), so the relaxed read-modify-write cannot race another
+  // ring. The seq_cst store doubles as the release that publishes job_ and
+  // as the first half of the store-load fence against parked_.
+  const u64 next = doorbell_.load(std::memory_order_relaxed) + 1;
+  doorbell_.store(next, std::memory_order_seq_cst);
+  if (parked_.load(std::memory_order_seq_cst)) {
+    // The empty critical section orders this wake after the worker is
+    // actually inside cv_.wait (it holds the mutex until it sleeps), so the
+    // notify cannot slip between the worker's predicate check and its sleep.
+    { const std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_one();
   }
-  cv_.notify_one();
+}
+
+void Worker::assign(Team* team, i32 tid, Microtask fn, void** args) {
+  // Exclusivity invariant (the seed's mailbox busy-check, kept observable):
+  // the worker must have consumed every previously rung job, which the
+  // caller guarantees by observing the prior region's check_out. A
+  // violation here would otherwise overwrite an in-flight job and surface
+  // as a barrier hang far from the cause.
+  ZOMP_CHECK(jobs_consumed_.load(std::memory_order_relaxed) ==
+                 doorbell_.load(std::memory_order_relaxed),
+             "worker assigned while busy");
+  job_ = Job{team, tid, fn, args};
+  ring();
+}
+
+u64 Worker::wait_doorbell(u64 last_seen) {
+  // Spin-then-yield per the wait policy and the oversubscription census
+  // (common.h), then condvar-park. Both are re-sampled every call, so a
+  // test flipping OMP_WAIT_POLICY — or a spawn that tips the process over
+  // the core count — takes effect at the next region boundary.
+  const i32 grace = doorbell_grace_rounds();
+  Backoff backoff;
+  i32 rounds = 0;
+  for (;;) {
+    const u64 v = doorbell_.load(std::memory_order_acquire);
+    if (v != last_seen) return v;
+    if (rounds < grace) {
+      ++rounds;
+      backoff.pause();
+      continue;
+    }
+    // Park. parked_ must be visible before the doorbell re-check inside the
+    // wait predicate (store-load fence, paired with ring()'s seq_cst store):
+    // whichever of {our park intent, the master's ring} lands second in the
+    // total order is observed by the other side.
+    parked_.store(true, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] {
+        return doorbell_.load(std::memory_order_acquire) != last_seen;
+      });
+    }
+    parked_.store(false, std::memory_order_relaxed);
+  }
 }
 
 void Worker::loop() {
   bind_thread_state(&state_);
+  u64 seen = 0;
   for (;;) {
-    Job job;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return job_.has_value() || shutdown_; });
-      if (!job_.has_value()) return;  // shutdown with no pending work
-      job = *job_;
-      job_.reset();
-    }
+    seen = wait_doorbell(seen);
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    // job_ is plain memory: the doorbell acquire above ordered the master's
+    // writes before this copy, and our previous check_out (observed by the
+    // master before it re-assigned) ordered this copy's predecessor reads
+    // before the master's writes.
+    const Job job = job_;
+    jobs_consumed_.store(seen, std::memory_order_relaxed);
+    // ICV inheritance at region entry (worker-side so a hot-team re-arm
+    // never writes remote member state): this region's implicit task copies
+    // its data environment from the team, which the master stamped with its
+    // own ICVs in the Team ctor / rearm. tid, current_task and the
+    // construct sequence counters persist across reuses of the same team —
+    // every identity protocol they feed is monotonic (see Team::rearm).
+    state_.icv = job.team->icv();
     job.fn(state_.gtid, job.tid, job.args);
     job.team->barrier_wait(job.tid);
     // check_out() is this thread's final access to the team; the master
-    // destroys the team only after every member has checked out.
+    // re-arms or destroys the team only after every member has checked out.
     job.team->check_out();
   }
 }
 
 // ---------------------------------------------------------------------------
-// Pool
+// Pool — lock-free idle stack, mutex-guarded spawn
 // ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr u64 kIdleIndexMask = 0xffffffffu;
+
+constexpr u64 pack_idle(u64 tag, i32 index_plus1) {
+  return (tag << 32) | static_cast<u32>(index_plus1);
+}
+constexpr u64 idle_tag(u64 head) { return head >> 32; }
+constexpr i32 idle_index_plus1(u64 head) {
+  return static_cast<i32>(head & kIdleIndexMask);
+}
+
+}  // namespace
 
 Pool& Pool::instance() {
   static Pool pool;
   return pool;
 }
 
+Worker* Pool::pop_idle() {
+  u64 head = idle_head_.load(std::memory_order_acquire);
+  for (;;) {
+    const i32 idx1 = idle_index_plus1(head);
+    if (idx1 == 0) return nullptr;
+    Worker* w = registry_[idx1 - 1].load(std::memory_order_acquire);
+    // Reading next_idle of a node another thread may pop concurrently is
+    // safe: workers are never freed before process exit, the field is
+    // atomic, and a stale value dies with the tag-checked CAS below.
+    const i32 next1 = w->next_idle.load(std::memory_order_relaxed) + 1;
+    const u64 desired = pack_idle(idle_tag(head) + 1, next1);
+    if (idle_head_.compare_exchange_weak(head, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      return w;
+    }
+  }
+}
+
+void Pool::push_idle(Worker* w) {
+  u64 head = idle_head_.load(std::memory_order_relaxed);
+  for (;;) {
+    w->next_idle.store(idle_index_plus1(head) - 1, std::memory_order_relaxed);
+    const u64 desired = pack_idle(idle_tag(head) + 1, w->pool_index() + 1);
+    if (idle_head_.compare_exchange_weak(head, desired,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
 std::vector<Worker*> Pool::acquire(i32 want) {
   std::vector<Worker*> out;
   if (want <= 0) return out;
-  const std::lock_guard<std::mutex> lock(mutex_);
   out.reserve(static_cast<std::size_t>(want));
-  while (want > 0 && !idle_.empty()) {
-    out.push_back(idle_.back());
-    idle_.pop_back();
-    --want;
+  while (static_cast<i32>(out.size()) < want) {
+    Worker* w = pop_idle();
+    if (w == nullptr) break;
+    out.push_back(w);
   }
-  // Master threads count against the limit too, hence the -1.
-  const auto limit =
-      static_cast<std::size_t>(std::max(0, GlobalIcv::instance().thread_limit() - 1));
-  while (want > 0 && all_.size() < limit) {
-    all_.push_back(std::make_unique<Worker>(allocate_gtid()));
-    out.push_back(all_.back().get());
-    --want;
+  if (static_cast<i32>(out.size()) < want) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Master threads count against the limit too, hence the -1.
+    const i32 limit = std::min(
+        kMaxWorkers,
+        std::max(0, GlobalIcv::instance().thread_limit() - 1));
+    while (static_cast<i32>(out.size()) < want &&
+           static_cast<i32>(all_.size()) < limit) {
+      const i32 index = static_cast<i32>(all_.size());
+      all_.push_back(std::make_unique<Worker>(allocate_gtid(), index));
+      registry_[index].store(all_.back().get(), std::memory_order_release);
+      out.push_back(all_.back().get());
+    }
   }
   return out;
 }
 
 void Pool::release(const std::vector<Worker*>& workers) {
-  if (workers.empty()) return;
-  const std::lock_guard<std::mutex> lock(mutex_);
-  for (Worker* w : workers) idle_.push_back(w);
+  for (Worker* w : workers) push_idle(w);
 }
 
 i32 Pool::spawned() const {
@@ -134,7 +240,34 @@ void closure_trampoline(i32 /*gtid*/, i32 /*tid*/, void** args) {
   (*body)();
 }
 
+/// Runs one region on an already-armed team: ring every bound worker, run
+/// the master's share, join, and wait for the last member's check-out.
+/// Brackets the region with the oversubscription census (common.h) so every
+/// wait primitive sees the *currently running* worker count.
+void run_region(Team& team, const std::vector<Worker*>& workers, Microtask fn,
+                void** args, ThreadState& master) {
+  const i32 n = static_cast<i32>(workers.size());
+  if (n > 0) note_active_workers(n);
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    workers[i]->assign(&team, static_cast<i32>(i) + 1, fn, args);
+  }
+  fn(master.gtid, 0, args);
+  team.barrier_wait(0);
+  team.wait_all_checked_out();
+  if (n > 0) note_active_workers(-n);
+}
+
+void dismiss_hot_team(ThreadState& ts) {
+  if (!ts.hot_team) return;
+  Pool::instance().release(ts.hot_workers);
+  ts.hot_workers.clear();
+  ts.hot_team.reset();
+  ts.hot_requested = 0;
+}
+
 }  // namespace
+
+ThreadState::~ThreadState() { dismiss_hot_team(*this); }
 
 void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
   ThreadState& ts = current_thread();
@@ -147,10 +280,48 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
   if (!opts.if_clause) want = 1;
   if (ts.team->active_level() >= ts.icv.max_active_levels) want = 1;
 
+  // Only outermost regions cache a hot team: a nested master's team would
+  // pin workers across unrelated outer regions. (A worker never encounters
+  // an outermost fork — it is always inside a microtask here — so hot teams
+  // live only on user/bootstrap threads and die with them, see ~ThreadState.)
+  const bool cacheable = ts.team->level() == 0;
+
+  // A hot team the pool shrank below its request (transient contention at
+  // build time) is still reused — but not forever: every Nth undersized
+  // reuse rebuilds through the pool so the team grows back once the
+  // contention has cleared. Full-size hot teams never pay this.
+  constexpr i32 kUndersizedRetryPeriod = 64;
+  const bool hot_hit =
+      cacheable && ts.hot_team != nullptr && ts.hot_requested == want;
+  const bool retry_growth =
+      hot_hit && ts.hot_team->size() < want &&
+      ++ts.hot_undersized_reuses >= kUndersizedRetryPeriod;
+
+  if (hot_hit && !retry_growth) {
+    // Fast path: same request back-to-back — recycle the team in place.
+    // Cost: the rearm stores + one doorbell ring per worker; no lock, no
+    // pool traffic, no allocation.
+    const SavedBinding saved = save(ts);
+    Team& team = *ts.hot_team;
+    team.rearm(saved.icv, saved.team->level() + 1,
+               saved.team->active_level() + (team.size() > 1 ? 1 : 0));
+    run_region(team, ts.hot_workers, fn, args, ts);
+    team.checkpoint_master();  // before restore clobbers the master's counters
+    restore(ts, saved);
+    return;
+  }
+  // Request changed (num_threads clause or nthreads-var): the hot team's
+  // size no longer matches, so hand its workers back before re-acquiring.
+  if (cacheable) dismiss_hot_team(ts);
+
   std::vector<Worker*> workers;
   if (want > 1) workers = Pool::instance().acquire(want - 1);
 
   const SavedBinding saved = save(ts);
+  // A short acquire (thread limit / contention) shrinks the team: every
+  // sizing downstream — barrier, dispatch ring nthreads, reduction tree,
+  // implicit task contexts — derives from this member list, never from
+  // `want`, so there is no dangling member slot.
   const i32 size = static_cast<i32>(workers.size()) + 1;
   const i32 level = saved.team->level() + 1;
   const i32 active = saved.team->active_level() + (size > 1 ? 1 : 0);
@@ -160,14 +331,23 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
   members.push_back(&ts);
   for (Worker* w : workers) members.push_back(&w->state());
 
+  if (cacheable) {
+    // Build the team on the heap and keep it (workers stay bound): the next
+    // same-size fork takes the fast path above.
+    ts.hot_team =
+        std::make_unique<Team>(std::move(members), saved.icv, level, active);
+    ts.hot_workers = std::move(workers);
+    ts.hot_requested = want;
+    ts.hot_undersized_reuses = 0;
+    run_region(*ts.hot_team, ts.hot_workers, fn, args, ts);
+    ts.hot_team->checkpoint_master();
+    restore(ts, saved);
+    return;
+  }
+
   {
     Team team(std::move(members), saved.icv, level, active);
-    for (std::size_t i = 0; i < workers.size(); ++i) {
-      workers[i]->assign(&team, static_cast<i32>(i) + 1, fn, args);
-    }
-    fn(ts.gtid, 0, args);
-    team.barrier_wait(0);
-    team.wait_all_checked_out();
+    run_region(team, workers, fn, args, ts);
   }
   Pool::instance().release(workers);
   restore(ts, saved);

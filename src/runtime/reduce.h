@@ -27,6 +27,22 @@
 // (same team-wide identity argument as DispatchSlot matching); a `done_seq`
 // epoch gates slot reuse so back-to-back `nowait` reductions cannot overwrite
 // a slot the previous combine is still reading.
+//
+// Multi-variable constructs pack into ONE rendezvous: a directive with k
+// reduction clauses (`reduction(+: a) reduction(max: b) ...`) costs one
+// combine, not k. The directive engine marks the construct's combine run
+// (Stmt::red_pack) and both backends deposit a single struct payload whose
+// fields are the k partials; the combine function applies each variable's
+// operator to its own field. Payloads beyond kSlotBytes transparently take
+// the fallback-lock path — still one rendezvous, never k. The payload is
+// opaque to the tree: `size` and `fn` are simply those of the struct.
+//
+// The tree belongs to exactly one Team and survives hot-team recycling
+// (pool.h) without any reset: instance sequence numbers are monotonic
+// *across regions* — Team::rearm carries every member's red_seq forward —
+// so tokens, done_seq and the broadcast parity simply keep counting. A
+// token from a previous region can never satisfy a later instance's wait
+// because later instances always carry strictly larger sequence numbers.
 #pragma once
 
 #include <cstddef>

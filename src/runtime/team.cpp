@@ -60,6 +60,40 @@ Team::Team(std::vector<ThreadState*> members, Icv icv, i32 level,
   }
 }
 
+void Team::rearm(const Icv& icv, i32 level, i32 active_level) {
+  // Quiescence precondition: every non-master member has checked out of the
+  // previous region and the master has observed it (wait_all_checked_out's
+  // acquire), so plain/relaxed stores here cannot race a member — the next
+  // thing a member reads is its doorbell, whose release/acquire pair orders
+  // this whole re-arm before the member's first access. Worker-side state
+  // (tid, current_task, sequence counters) persists on purpose: every
+  // construct-identity protocol is monotonic, and all members finished the
+  // same number of constructs at the join, so carrying the counters forward
+  // keeps the team in step without touching seven remote cache lines per
+  // region. Only the master's ThreadState — clobbered by the outer
+  // save/restore — is rebuilt, from the checkpoint taken at the last join.
+  ThreadState& master = *members_[0];
+  master.team = this;
+  master.tid = 0;
+  master.icv = icv;
+  master.ws_seq = master_ws_seq_;
+  master.single_seq = master_single_seq_;
+  master.red_seq = master_red_seq_;
+  master.dispatch = MemberDispatch{};
+  master.current_task = &implicit_ctx_[0];
+  icv_ = icv;  // workers copy this when they take the doorbell job
+  level_ = level;
+  active_level_ = active_level;
+  checked_out_.store(0, std::memory_order_relaxed);
+}
+
+void Team::checkpoint_master() {
+  const ThreadState& master = *members_[0];
+  master_ws_seq_ = master.ws_seq;
+  master_single_seq_ = master.single_seq;
+  master_red_seq_ = master.red_seq;
+}
+
 void Team::barrier_wait(i32 tid) {
   ThreadState& ts = member(tid);
   if (size() == 1) {
@@ -86,7 +120,11 @@ void Team::barrier_wait(i32 tid) {
   }
   Backoff backoff;
   while (bar_epoch_.load(std::memory_order_acquire) == epoch) {
-    if (run_one_task(ts)) {
+    // Help with explicit tasks, but only when some exist: the common
+    // task-free region (every NPB kernel) must not pay a full deque scan
+    // per wait iteration — one shared-counter load keeps the barrier's
+    // spin body at two loads.
+    if (tasks_.outstanding() > 0 && run_one_task(ts)) {
       backoff.reset();
     } else {
       backoff.pause();

@@ -45,6 +45,27 @@ struct ThreadState {
   /// constructs outside any parallel region (orphaned constructs bind to an
   /// implicit team of one, per the spec).
   std::unique_ptr<Team> serial_team;
+
+  // -- Hot-team cache (pool.cpp fork fast path; DESIGN.md S1.6) -------------
+  // The most recent outermost team this thread mastered, kept armed with its
+  // workers still bound (parked on their doorbells, NOT on the pool's idle
+  // list). A fork repeating `hot_requested` re-arms the team in place; any
+  // other request dismisses it (workers go back to the pool) and rebuilds.
+  std::unique_ptr<Team> hot_team;
+  std::vector<Worker*> hot_workers;
+  /// The num_threads request that built the hot team. Kept separately from
+  /// hot_team->size() because a short Pool::acquire may have shrunk the
+  /// team: repeats of the same *request* still reuse the shrunk team.
+  i32 hot_requested = 0;
+  /// Consecutive reuses of a hot team smaller than its request. Every
+  /// kUndersizedRetryPeriod-th such fork dismisses and rebuilds, so a team
+  /// shrunk by *transient* pool contention grows back once the contention
+  /// clears instead of being cached undersized forever.
+  i32 hot_undersized_reuses = 0;
+
+  /// Defined in pool.cpp: dismisses the hot team (if any) so its workers
+  /// return to the pool when this thread exits.
+  ~ThreadState();
 };
 
 /// Returns (creating on first use) the calling thread's runtime state, bound
@@ -71,6 +92,28 @@ class Team {
 
   Team(const Team&) = delete;
   Team& operator=(const Team&) = delete;
+
+  /// Re-arms this team for another region with the *same members* (the hot
+  /// team fast path). Caller must be the master with every other member
+  /// checked out and parked. Deliberately master-only — a handful of local
+  /// stores, no allocation, and NOT ONE write to another member's state:
+  ///
+  ///  * Every construct-identity protocol in the team is monotonic (member
+  ///    ws/single/red sequence counters against the dispatch ring's
+  ///    owner_seq, the single counter, the reduction tree's tokens and
+  ///    done_seq, the sense barrier's epoch), so worker-side counters simply
+  ///    carry across regions — nothing to reset, no stale-token aliasing.
+  ///  * The master's counters were clobbered by the outer save/restore at
+  ///    the last join, so the team checkpoints them (checkpoint_master) and
+  ///    this call writes them back, keeping all members in step.
+  ///  * ICV inheritance is worker-side: each worker refreshes its data
+  ///    environment from icv() when it takes the doorbell job, so the
+  ///    master only stores the team copy here.
+  void rearm(const Icv& icv, i32 level, i32 active_level);
+
+  /// Persists the master's per-region sequence counters into the team at a
+  /// hot join (before the outer binding is restored); rearm restores them.
+  void checkpoint_master();
 
   i32 size() const { return static_cast<i32>(members_.size()); }
   i32 level() const { return level_; }
@@ -182,6 +225,11 @@ class Team {
   TaskPool tasks_;
 
   ReductionTree reduce_tree_;
+
+  /// Master sequence counters persisted across hot-team reuses (see rearm).
+  u64 master_ws_seq_ = 0;
+  u64 master_single_seq_ = 0;
+  u64 master_red_seq_ = 0;
 
   alignas(kCacheLine) std::atomic<i32> checked_out_{0};
 };

@@ -45,6 +45,12 @@ constexpr i64 trip_count(i64 lo, i64 hi, i64 step) {
 /// order per the OpenMP construct-nesting rules, so the sequence number is a
 /// team-wide identity). Slot reuse applies natural backpressure when `nowait`
 /// loops let fast threads run ahead.
+///
+/// The sequence protocol is monotonic *across regions* when a team is
+/// recycled by the hot-team fast path (pool.h, Team::rearm): member ws_seq
+/// counters carry forward, the join barrier has already drained every slot
+/// (owner_seq back to 0), and the out-of-order check below compares against
+/// strictly larger sequence numbers — so recycling needs no ring reset.
 struct DispatchSlot {
   /// Sequence number of the construct currently occupying the slot; 0 = free.
   std::atomic<u64> owner_seq{0};

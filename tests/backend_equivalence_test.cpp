@@ -370,6 +370,60 @@ TEST_P(BackendScheduleSweep, ReductionCollapseMatrixAgrees) {
   EXPECT_EQ(nsa[0], oracle.standalone_a) << cs.clause;
   EXPECT_EQ(nsa[1], oracle.standalone_b) << cs.clause;
 
+  // multi_red_run — four reduction clauses on ONE construct: both backends
+  // pack the partials into a single rendezvous (Stmt::red_pack). Verified
+  // against a serial oracle computed here.
+  {
+    SliceVal mi = make_slice_i64(3);
+    SliceVal mf = make_slice_f64(1);
+    interp.call_by_name("multi_red_run", {Value(n), Value(mi), Value(mf)});
+    std::vector<std::int64_t> nmi(3, 0);
+    std::vector<double> nmf(1, 0.0);
+    mzgen_reduce_matrix_mz::multi_red_run(
+        n, mz::Slice<std::int64_t>{nmi.data(), 3},
+        mz::Slice<double>{nmf.data(), 1});
+    std::int64_t os = 0, omx = -1000000, omn = 1000000;
+    double ofs = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      os += i * 5 + 2;
+      omx = std::max(omx, ((i * 67) % 127) - 60);
+      omn = std::min(omn, ((i * 31) % 113) - 55);
+      ofs += static_cast<double>(i * 4 + 3);
+    }
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ((*mi.data)[static_cast<std::size_t>(i)].as_i64(), nmi[i])
+          << cs.clause << " packed var " << i;
+    }
+    EXPECT_EQ((*mf.data)[0].as_f64(), nmf[0]) << cs.clause;
+    EXPECT_EQ(nmi[0], os) << cs.clause;
+    EXPECT_EQ(nmi[1], omx) << cs.clause;
+    EXPECT_EQ(nmi[2], omn) << cs.clause;
+    EXPECT_EQ(nmf[0], ofs) << cs.clause;
+  }
+
+  // multi_red_standalone_run — the pack through a standalone `omp for`
+  // chained after a nowait loop.
+  {
+    SliceVal ms = make_slice_i64(3);
+    interp.call_by_name("multi_red_standalone_run", {Value(n), Value(ms)});
+    std::vector<std::int64_t> nms(3, 0);
+    mzgen_reduce_matrix_mz::multi_red_standalone_run(
+        n, mz::Slice<std::int64_t>{nms.data(), 3});
+    std::int64_t owarm = 0, oa = 0, ob = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      owarm += i;
+      oa += i * 2 + 1;
+      ob = std::max(ob, (i * 19) % 73);
+    }
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ((*ms.data)[static_cast<std::size_t>(i)].as_i64(), nms[i])
+          << cs.clause << " standalone packed var " << i;
+    }
+    EXPECT_EQ(nms[0], owarm) << cs.clause;
+    EXPECT_EQ(nms[1], oa) << cs.clause;
+    EXPECT_EQ(nms[2], ob) << cs.clause;
+  }
+
   zomp::set_schedule({zomp::rt::ScheduleKind::kStatic, 0});
 }
 

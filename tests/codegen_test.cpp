@@ -114,6 +114,52 @@ fn f(n: i64) f64 {
       << "global-critical reduction protocol must be retired";
 }
 
+TEST(CodegenTest, MultiVarReductionPacksIntoOneRendezvous) {
+  // Two reduction clauses on one construct: the partials pack into a single
+  // struct payload and ONE zomp_reduce call, not one per variable.
+  const std::string cpp = gen(R"(
+fn f(n: i64) f64 {
+  var s: f64 = 0.0;
+  var m: i64 = -100000;
+  //#omp parallel for reduction(+: s) reduction(max: m)
+  for (0..n) |i| {
+    s += @floatFromInt(i);
+    m = @max(m, @mod(i * 13, 97));
+  }
+  return s + @floatFromInt(m);
+}
+)");
+  std::size_t count = 0;
+  for (std::size_t at = cpp.find("zomp_reduce("); at != std::string::npos;
+       at = cpp.find("zomp_reduce(", at + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u) << "expected exactly one packed rendezvous:\n" << cpp;
+  EXPECT_NE(cpp.find("__redpack_"), std::string::npos) << cpp;
+}
+
+TEST(CodegenTest, CollapseEmitsOdometerAdvance) {
+  // The div/mod de-linearization seeds the ivs once per chunk; inside the
+  // chunk the ivs advance by increment-and-carry in the loop's iteration
+  // clause (so `continue` cannot skip it).
+  const std::string cpp = gen(R"(
+fn f(h: i64, w: i64, x: []f64) void {
+  //#omp parallel for collapse(2) schedule(dynamic, 1)
+  for (0..h) |i| {
+    for (0..w) |j| {
+      x[i * w + j] = 1.0;
+    }
+  }
+}
+)");
+  // Seed keeps the div/mod form (chunk entry)...
+  EXPECT_NE(cpp.find("/ __omp_c0_d0_s"), std::string::npos) << cpp;
+  // ...and the iteration clause carries the inner iv with a wrap test
+  // against lo + extent.
+  EXPECT_NE(cpp.find("!= __omp_c0_d1_lo"), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("+ __omp_c0_d1_n"), std::string::npos) << cpp;
+}
+
 TEST(CodegenTest, CollapseEmitsLinearizedLoopWithDelinearization) {
   const std::string cpp = gen(R"(
 fn f(h: i64, w: i64, x: []f64) void {

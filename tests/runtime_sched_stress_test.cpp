@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <random>
 #include <thread>
 #include <vector>
@@ -177,6 +178,84 @@ TEST(SchedStressTest, PassiveWaitPolicyStillDrainsStorms) {
       ParallelOptions{4, true});
   set_wait_policy(saved);
   EXPECT_EQ(done.load(), 256);
+}
+
+// -- Hot-team doorbell stress (PR 3 tentpole; pool.h S1.6) -------------------
+
+TEST(SchedStressTest, DoorbellParkUnparkStress) {
+  // Exercise every doorbell wake state under TSan: rung while spinning
+  // (back-to-back forks), rung while condvar-parked (sleeps between forks
+  // outlast any grace), and rung across wait-policy flips. The alternating
+  // sizes force hot-team dismiss/rebuild churn through the lock-free idle
+  // stack at the same time.
+  const rt::WaitPolicy saved = get_wait_policy();
+  for (int round = 0; round < 60; ++round) {
+    if (round % 20 == 10) set_wait_policy(rt::WaitPolicy::kPassive);
+    if (round % 20 == 0) set_wait_policy(rt::WaitPolicy::kActive);
+    const int want = 2 + (round % 3);  // 2, 3, 4, 2, ...
+    std::atomic<int> n{0};
+    parallel([&] { n.fetch_add(1, std::memory_order_relaxed); },
+             ParallelOptions{want, true});
+    ASSERT_EQ(n.load(), want) << "round " << round;
+    if (round % 10 == 9) {
+      // Outlast the doorbell grace so workers are condvar-parked when the
+      // next region rings them.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  set_wait_policy(saved);
+}
+
+TEST(SchedStressTest, HotTeamRapidFireWithWorkshareAndReduce) {
+  // Tight region cadence on a recycled team: every region runs a nowait
+  // dynamic loop and one allreduce, so the dispatch ring, the reduction
+  // tree's monotonic sequence gates and the doorbell handoff all churn
+  // together across 200 reuses.
+  constexpr std::int64_t n = 129;
+  constexpr std::int64_t want_sum = n * (n - 1) / 2;
+  std::atomic<int> bad{0};
+  for (int round = 0; round < 200; ++round) {
+    parallel(
+        [&] {
+          std::int64_t local = 0;
+          for_each(
+              0, n, [&](std::int64_t i) { local += i; },
+              ForOptions{{rt::ScheduleKind::kDynamic, 2}, /*nowait=*/true});
+          if (allreduce(local, std::plus<>{}) != want_sum) {
+            bad.fetch_add(1, std::memory_order_relaxed);
+          }
+        },
+        ParallelOptions{4, true});
+    ASSERT_EQ(bad.load(), 0) << "round " << round;
+  }
+}
+
+TEST(SchedStressTest, ConcurrentMastersEachKeepAHotTeam) {
+  // Several user threads fork back-to-back regions concurrently: each
+  // caches its own hot team, so the idle stack sees concurrent pop/push
+  // from dismissals while doorbells ring on disjoint worker sets.
+  constexpr int kMasters = 3;
+  constexpr int kRounds = 40;
+  std::atomic<int> bad{0};
+  std::vector<std::thread> masters;
+  masters.reserve(kMasters);
+  for (int m = 0; m < kMasters; ++m) {
+    masters.emplace_back([&, m] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int want = 2 + ((m + r) % 2);
+        std::atomic<int> n{0};
+        parallel([&] { n.fetch_add(1, std::memory_order_relaxed); },
+                 ParallelOptions{want, true});
+        // Pool contention may shrink a team; it must never over-deliver
+        // or lose the master.
+        if (n.load() < 1 || n.load() > want) {
+          bad.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : masters) t.join();
+  EXPECT_EQ(bad.load(), 0);
 }
 
 struct RandomLoopCase {

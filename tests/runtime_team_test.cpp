@@ -111,6 +111,152 @@ TEST(ForkJoinTest, UserThreadsCanForkIndependently) {
   EXPECT_EQ(total.load(), 4);
 }
 
+// -- Hot-team fast path (pool.h, DESIGN.md S1.6) -----------------------------
+
+TEST(HotTeamTest, SameSizeForksReuseTheTeamObject) {
+  // Back-to-back same-size outermost regions must recycle the cached team
+  // (same Team object, no new workers) instead of rebuilding it.
+  rt::Team* first = nullptr;
+  rt::Team* second = nullptr;
+  parallel([&] { master([&] { first = rt::current_thread().team; }); },
+           ParallelOptions{4, true});
+  const int spawned_after_first = rt::Pool::instance().spawned();
+  for (int i = 0; i < 50; ++i) {
+    std::atomic<int> n{0};
+    parallel(
+        [&] {
+          n.fetch_add(1);
+          master([&] { second = rt::current_thread().team; });
+        },
+        ParallelOptions{4, true});
+    ASSERT_EQ(n.load(), 4) << "region " << i;
+    ASSERT_EQ(second, first) << "hot team must be reused, region " << i;
+  }
+  EXPECT_EQ(rt::Pool::instance().spawned(), spawned_after_first)
+      << "same-size reuse must not spawn workers";
+}
+
+TEST(HotTeamTest, ReuseAcrossChangedNumThreadsRebuilds) {
+  // A changed request dismisses the hot team; every region must still get
+  // exactly the size it asked for, with working barrier and reduction.
+  for (const int want : {4, 2, 4, 1, 3, 4, 8, 4}) {
+    std::atomic<int> members{0};
+    int reduced = 0;
+    parallel(
+        [&] {
+          members.fetch_add(1);
+          const int r = allreduce(1, std::plus<>{});
+          master([&] { reduced = r; });
+        },
+        ParallelOptions{want, true});
+    ASSERT_EQ(members.load(), want);
+    ASSERT_EQ(reduced, want) << "reduction tree must match the rebuilt size";
+  }
+}
+
+TEST(HotTeamTest, IcvChangeBetweenReusesPropagatesToWorkers) {
+  // omp_set_schedule style ICV changes between same-size regions must reach
+  // every member of the recycled team (workers refresh from the team copy).
+  const rt::Schedule saved = get_schedule();
+  set_schedule(rt::Schedule{rt::ScheduleKind::kDynamic, 7});
+  std::atomic<int> saw_dynamic{0};
+  parallel(
+      [&] {
+        if (get_schedule().kind == rt::ScheduleKind::kDynamic &&
+            get_schedule().chunk == 7) {
+          saw_dynamic.fetch_add(1);
+        }
+      },
+      ParallelOptions{3, true});
+  EXPECT_EQ(saw_dynamic.load(), 3);
+  set_schedule(rt::Schedule{rt::ScheduleKind::kGuided, 3});
+  std::atomic<int> saw_guided{0};
+  parallel(
+      [&] {
+        if (get_schedule().kind == rt::ScheduleKind::kGuided &&
+            get_schedule().chunk == 3) {
+          saw_guided.fetch_add(1);
+        }
+      },
+      ParallelOptions{3, true});
+  EXPECT_EQ(saw_guided.load(), 3) << "recycled team must see the new ICV";
+  set_schedule(saved);
+}
+
+TEST(HotTeamTest, NestedForksFromAHotTeam) {
+  set_max_active_levels(2);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> inner_total{0};
+    std::atomic<int> outer_total{0};
+    parallel(
+        [&] {
+          outer_total.fetch_add(1);
+          parallel([&] { inner_total.fetch_add(1); }, ParallelOptions{2, true});
+        },
+        ParallelOptions{2, true});
+    ASSERT_EQ(outer_total.load(), 2) << "round " << round;
+    // Inner teams go through the pool (never cached); resources permitting
+    // each outer member gets >= 1 (itself) and <= 2 members.
+    ASSERT_GE(inner_total.load(), 2) << "round " << round;
+    ASSERT_LE(inner_total.load(), 4) << "round " << round;
+  }
+  set_max_active_levels(1);
+}
+
+TEST(HotTeamTest, NowaitConstructsStraddleATeamRebuild) {
+  // Several nowait loops + reductions in a hot region, then the same in a
+  // smaller rebuilt team: sequence counters, dispatch slots and reduction
+  // tokens must all stay consistent across the rebuild boundary.
+  for (const int want : {4, 2, 4}) {
+    const std::int64_t n = 257;
+    std::atomic<std::int64_t> sum{0};
+    parallel(
+        [&] {
+          for (int r = 0; r < 3; ++r) {
+            std::int64_t local = 0;
+            for_each(
+                0, n, [&](std::int64_t i) { local += i; },
+                ForOptions{{rt::ScheduleKind::kDynamic, 3}, /*nowait=*/true});
+            sum.fetch_add(allreduce(local, std::plus<>{}) == n * (n - 1) / 2
+                              ? 0
+                              : 1);
+          }
+        },
+        ParallelOptions{want, true});
+    ASSERT_EQ(sum.load(), 0) << "every member must see the exact total";
+  }
+}
+
+TEST(HotTeamTest, ShortAcquireShrinksTeamConsistently) {
+  // Requesting far beyond OMP_THREAD_LIMIT must deliver a smaller team whose
+  // barrier, reduction tree and dispatch sizing all agree on the actual
+  // size — no dangling member slot (the num_threads query, a counted
+  // barrier-synchronised region, and an allreduce must all match).
+  std::atomic<int> members{0};
+  int query = 0;
+  int reduced = 0;
+  parallel(
+      [&] {
+        members.fetch_add(1);
+        barrier();
+        const int r = allreduce(1, std::plus<>{});
+        master([&] {
+          query = num_threads();
+          reduced = r;
+        });
+      },
+      ParallelOptions{100000, true});
+  EXPECT_GT(members.load(), 0);
+  EXPECT_EQ(query, members.load())
+      << "num_threads must report the shrunk size";
+  EXPECT_EQ(reduced, members.load())
+      << "reduction tree must be sized to the shrunk team";
+  // And the next normal-size region is unaffected by the oversized one.
+  std::atomic<int> after{0};
+  parallel([&] { after.fetch_add(1); }, ParallelOptions{2, true});
+  EXPECT_EQ(after.load(), 2);
+}
+
 TEST(IcvTest, SetNumThreadsAffectsNextRegion) {
   set_num_threads(3);
   int seen = 0;
