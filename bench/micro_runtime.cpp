@@ -838,6 +838,90 @@ void BM_TaskStormSingleProducer(benchmark::State& state) {
 }
 BENCHMARK(BM_TaskStormSingleProducer)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
 
+/// Dependence-layer overhead (DESIGN.md S1.7): an inout chain of N tasks is
+/// the worst case for the depnode machinery — every task allocates a node,
+/// draws one edge, parks, and is released by its predecessor, with zero
+/// available parallelism to hide it. Compare against BM_TaskSpawnDrain (the
+/// zero-dependence fast path) to read the per-edge cost.
+void BM_TaskDependChain(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  zomp::set_num_threads(4);
+  long acc = 0;
+  for (auto _ : state) {
+    zomp::parallel(
+        [&] {
+          zomp::single([&] {
+            for (int i = 0; i < chain; ++i) {
+              zomp::task_depend({zomp::dep_inout(&acc)}, [&acc] { ++acc; });
+            }
+            zomp::taskwait();
+          });
+        },
+        zomp::ParallelOptions{4, true});
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() * chain);
+}
+BENCHMARK(BM_TaskDependChain)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(20);
+
+/// taskloop against the equivalent worksharing loop: same body, same range,
+/// same team. The delta is the tasking substrate (chunk task creation +
+/// implicit taskgroup) versus the static-schedule bounds math — the price a
+/// user pays for choosing the tasking form of a balanced loop. range(0):
+/// 0 = parallel for, 1 = taskloop (default chunking), 2 = taskloop
+/// grainsize(64).
+void BM_TaskloopVsParallelFor(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  constexpr std::int64_t n = 1 << 14;
+  constexpr int threads = 4;
+  std::vector<std::int64_t> data(static_cast<std::size_t>(n), 1);
+  std::atomic<long> sink{0};
+  for (auto _ : state) {
+    long total = 0;
+    if (mode == 0) {
+      total = zomp::parallel_reduce<long>(
+          0, n, 0L, std::plus<>{},
+          [&](std::int64_t i) {
+            return static_cast<long>(data[static_cast<std::size_t>(i)] * i);
+          },
+          zomp::ForOptions{}, zomp::ParallelOptions{threads, true});
+    } else {
+      std::atomic<long> acc{0};
+      zomp::parallel(
+          [&] {
+            zomp::single([&] {
+              zomp::taskloop(
+                  0, n,
+                  [&](std::int64_t i) {
+                    acc.fetch_add(
+                        static_cast<long>(data[static_cast<std::size_t>(i)] * i),
+                        std::memory_order_relaxed);
+                  },
+                  zomp::TaskloopOptions{mode == 2 ? 64 : 0, 0});
+            });
+          },
+          zomp::ParallelOptions{threads, true});
+      total = acc.load();
+    }
+    sink.store(total, std::memory_order_relaxed);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(mode == 0   ? "parallel-for"
+                 : mode == 1 ? "taskloop-default"
+                             : "taskloop-grainsize64");
+}
+BENCHMARK(BM_TaskloopVsParallelFor)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(50);
+
 void BM_AtomicF64Add(benchmark::State& state) {
   double cell = 0.0;
   const int per_thread = 1024;

@@ -69,10 +69,22 @@ class FreeVarWalker {
         break;
       case Stmt::Kind::kOmpFork:
       case Stmt::Kind::kOmpTask:
-        // A nested fork's captures are references from this region's body.
+      case Stmt::Kind::kOmpTaskloop:
+        // A nested fork's captures are references from this region's body,
+        // as are the tasking-clause expressions (evaluated at the creation
+        // point in the enclosing scope).
         for (const auto& cap : stmt.captures) reference(cap.name, stmt.loc);
         if (stmt.num_threads) walk_expr(*stmt.num_threads);
         if (stmt.if_clause) walk_expr(*stmt.if_clause);
+        for (const auto& dep : stmt.depends) walk_expr(*dep.item);
+        if (stmt.final_clause) walk_expr(*stmt.final_clause);
+        if (stmt.priority) walk_expr(*stmt.priority);
+        if (stmt.grainsize) walk_expr(*stmt.grainsize);
+        if (stmt.num_tasks) walk_expr(*stmt.num_tasks);
+        if (stmt.kind == Stmt::Kind::kOmpTaskloop) {
+          walk_expr(*stmt.expr);  // full-range bounds
+          walk_expr(*stmt.rhs);
+        }
         break;
       case Stmt::Kind::kOmpWsLoop:
         if (stmt.schedule.chunk) walk_expr(*stmt.schedule.chunk);
@@ -92,6 +104,7 @@ class FreeVarWalker {
       case Stmt::Kind::kOmpMaster:
       case Stmt::Kind::kOmpAtomic:
       case Stmt::Kind::kOmpOrdered:
+      case Stmt::Kind::kOmpTaskgroup:
         walk_stmt(*stmt.body);
         break;
       case Stmt::Kind::kOmpReductionInit:

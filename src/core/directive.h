@@ -27,6 +27,8 @@ enum class DirectiveKind {
   kOrdered,
   kTask,
   kTaskwait,
+  kTaskgroup,
+  kTaskloop,
 };
 
 const char* directive_kind_name(DirectiveKind kind);
@@ -39,6 +41,16 @@ constexpr bool directive_is_standalone(DirectiveKind kind) {
 struct ReductionClause {
   lang::ReduceOp op = lang::ReduceOp::kAdd;
   std::vector<std::string> vars;
+};
+
+/// One depend(kind: list) clause on a task. The list items are lvalue
+/// expressions (variable names or slice elements like a[i]); the backends
+/// evaluate them to storage addresses at task-creation time.
+enum class DependKind { kIn, kOut, kInout };
+
+struct DependClause {
+  DependKind kind = DependKind::kInout;
+  std::vector<lang::ExprPtr> items;
 };
 
 enum class DefaultKind { kUnspecified, kShared, kNone };
@@ -63,6 +75,18 @@ struct Directive {
   bool nowait = false;
   bool ordered = false;
   std::vector<std::string> lastprivate_vars;
+
+  // task clauses
+  std::vector<DependClause> depends;
+  lang::ExprPtr final_clause;  ///< final(expr): true -> undeferred + included
+  lang::ExprPtr priority;      ///< priority(n) scheduling hint
+  /// untied is accepted and recorded as a documented no-op (zomp tasks run
+  /// to completion on one thread, so every task trivially behaves as tied).
+  bool untied = false;
+
+  // taskloop clauses (mutually exclusive; validated)
+  lang::ExprPtr grainsize;
+  lang::ExprPtr num_tasks;
 
   // critical
   std::string critical_name;

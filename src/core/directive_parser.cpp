@@ -24,6 +24,8 @@ const char* directive_kind_name(DirectiveKind kind) {
     case DirectiveKind::kOrdered: return "ordered";
     case DirectiveKind::kTask: return "task";
     case DirectiveKind::kTaskwait: return "taskwait";
+    case DirectiveKind::kTaskgroup: return "taskgroup";
+    case DirectiveKind::kTaskloop: return "taskloop";
   }
   return "<invalid>";
 }
@@ -76,6 +78,10 @@ class ClauseParser {
       directive->kind = DirectiveKind::kTask;
     } else if (head == "taskwait") {
       directive->kind = DirectiveKind::kTaskwait;
+    } else if (head == "taskgroup") {
+      directive->kind = DirectiveKind::kTaskgroup;
+    } else if (head == "taskloop") {
+      directive->kind = DirectiveKind::kTaskloop;
     } else {
       diags_.error(loc_, "unknown OpenMP directive '" + head + "'");
       return nullptr;
@@ -281,10 +287,63 @@ class ClauseParser {
     return true;
   }
 
+  /// depend(in|out|inout: items...) — items are lvalue expressions (variable
+  /// names or slice elements), evaluated to addresses at task creation.
+  bool parse_depend(Directive& d) {
+    std::vector<Token> arg = collect_paren_arg();
+    if (!diags_ok_) return false;
+    if (arg.empty() || !is_word(arg[0])) {
+      error("expected depend kind ('in', 'out' or 'inout')");
+      return false;
+    }
+    DependClause clause;
+    const std::string kind = arg[0].text;
+    if (kind == "in") {
+      clause.kind = DependKind::kIn;
+    } else if (kind == "out") {
+      clause.kind = DependKind::kOut;
+    } else if (kind == "inout") {
+      clause.kind = DependKind::kInout;
+    } else {
+      error("unknown depend kind '" + kind +
+            "' (expected 'in', 'out' or 'inout')");
+      return false;
+    }
+    if (arg.size() < 2 || !arg[1].is(TokenKind::kColon)) {
+      error("expected ':' after depend kind");
+      return false;
+    }
+    std::vector<Token> rest(arg.begin() + 2, arg.end());
+    for (auto& group : split_commas(std::move(rest))) {
+      if (group.empty()) {
+        error("empty depend list item");
+        return false;
+      }
+      for (auto& t : group) t.loc = loc_;
+      lang::ExprPtr item = lang::Parser::parse_expression(std::move(group), diags_);
+      if (item == nullptr) {
+        diags_ok_ = false;
+        return false;
+      }
+      if (item->kind != lang::Expr::Kind::kVarRef &&
+          item->kind != lang::Expr::Kind::kIndex) {
+        error("depend item must be a variable or a slice element (a[i])");
+        return false;
+      }
+      clause.items.push_back(std::move(item));
+    }
+    if (clause.items.empty()) {
+      error("depend clause lists no items");
+      return false;
+    }
+    d.depends.push_back(std::move(clause));
+    return true;
+  }
+
   /// Rejects a second occurrence of a single-valued clause. The list-valued
-  /// clauses (shared, private, reduction, ...) legitimately repeat and
-  /// accumulate; for the single-valued ones a silent last-wins would hide
-  /// the contradiction from the user.
+  /// clauses (shared, private, reduction, depend, ...) legitimately repeat
+  /// and accumulate; for the single-valued ones a silent last-wins would
+  /// hide the contradiction from the user.
   bool once(const std::string& name) {
     if (!seen_clauses_.insert(name).second) {
       error("duplicate '" + name + "' clause");
@@ -297,7 +356,8 @@ class ClauseParser {
     const std::string name = expect_word("clause name");
     if (name.empty()) return false;
     if (name == "num_threads" || name == "if" || name == "default" ||
-        name == "schedule" || name == "collapse") {
+        name == "schedule" || name == "collapse" || name == "final" ||
+        name == "priority" || name == "grainsize" || name == "num_tasks") {
       if (!once(name)) return false;
     }
     if (name == "num_threads") {
@@ -349,12 +409,35 @@ class ClauseParser {
       d.collapse = static_cast<int>(arg[0].int_value);
       return true;
     }
+    // Tasking clauses (DESIGN.md S1.7).
+    if (name == "depend") return parse_depend(d);
+    if (name == "final") {
+      d.final_clause = parse_expr_arg();
+      return d.final_clause != nullptr;
+    }
+    if (name == "priority") {
+      d.priority = parse_expr_arg();
+      return d.priority != nullptr;
+    }
+    if (name == "untied") {
+      // Parse-and-document: zomp tasks run to completion on one thread, so
+      // every task already satisfies tied-task scheduling constraints.
+      d.untied = true;
+      return true;
+    }
+    if (name == "grainsize") {
+      d.grainsize = parse_expr_arg();
+      return d.grainsize != nullptr;
+    }
+    if (name == "num_tasks") {
+      d.num_tasks = parse_expr_arg();
+      return d.num_tasks != nullptr;
+    }
     // Partial support, paper-style: recognised-but-unimplemented clauses are
     // skipped with a warning rather than failing the build.
     if (name == "proc_bind" || name == "copyin" || name == "copyprivate" ||
         name == "linear" || name == "safelen" || name == "simdlen" ||
-        name == "untied" || name == "mergeable" || name == "final" ||
-        name == "priority" || name == "depend" || name == "allocate") {
+        name == "mergeable" || name == "allocate" || name == "nogroup") {
       diags_.warning(loc_, "clause '" + name + "' is not supported and was ignored");
       if (check(TokenKind::kLParen)) collect_paren_arg();
       return true;
@@ -375,16 +458,36 @@ class ClauseParser {
     const bool is_for =
         d.kind == DirectiveKind::kFor || d.kind == DirectiveKind::kParallelFor;
     const bool is_task = d.kind == DirectiveKind::kTask;
+    // Data-sharing clauses are valid on both tasking constructs that create
+    // tasks; depend/final/priority/untied stay task-only (depend-on-taskloop
+    // in particular is rejected — chunk tasks of one taskloop are
+    // unordered siblings by design).
+    const bool is_tasking = is_task || d.kind == DirectiveKind::kTaskloop;
     if (!is_parallel) {
       reject(d.num_threads != nullptr, "num_threads");
       reject(d.default_mode != DefaultKind::kUnspecified, "default");
-      // `shared` is valid on task as well as parallel (OpenMP 5.2).
-      reject(!d.shared_vars.empty() && !is_task, "shared");
+      // `shared` is valid on task/taskloop as well as parallel (OpenMP 5.2).
+      reject(!d.shared_vars.empty() && !is_tasking, "shared");
     }
     if (!is_parallel && !is_task) {
       reject(d.if_clause != nullptr, "if");
+    }
+    if (!is_parallel && !is_tasking) {
       reject(!d.private_vars.empty(), "private");
       reject(!d.firstprivate_vars.empty(), "firstprivate");
+    }
+    if (!is_task) {
+      reject(!d.depends.empty(), "depend");
+      reject(d.final_clause != nullptr, "final");
+      reject(d.priority != nullptr, "priority");
+      reject(d.untied, "untied");
+    }
+    if (d.kind != DirectiveKind::kTaskloop) {
+      reject(d.grainsize != nullptr, "grainsize");
+      reject(d.num_tasks != nullptr, "num_tasks");
+    } else if (d.grainsize != nullptr && d.num_tasks != nullptr) {
+      error(
+          "'grainsize' and 'num_tasks' are mutually exclusive on 'taskloop'");
     }
     if (!is_for) {
       reject(d.schedule.kind != lang::ScheduleSpec::Kind::kUnspecified,

@@ -75,11 +75,22 @@ class Renamer {
         break;
       case Stmt::Kind::kOmpFork:
       case Stmt::Kind::kOmpTask:
+      case Stmt::Kind::kOmpTaskloop:
         for (auto& cap : stmt.captures) {
           if (cap.name == from_) cap.name = to_;
         }
         if (stmt.num_threads) rename(*stmt.num_threads);
         if (stmt.if_clause) rename(*stmt.if_clause);
+        // Tasking clause expressions are evaluated in the enclosing scope.
+        for (auto& dep : stmt.depends) rename(*dep.item);
+        if (stmt.final_clause) rename(*stmt.final_clause);
+        if (stmt.priority) rename(*stmt.priority);
+        if (stmt.grainsize) rename(*stmt.grainsize);
+        if (stmt.num_tasks) rename(*stmt.num_tasks);
+        if (stmt.kind == Stmt::Kind::kOmpTaskloop) {
+          rename(*stmt.expr);  // full-range lo/hi, evaluated at the call site
+          rename(*stmt.rhs);
+        }
         break;
       case Stmt::Kind::kOmpWsLoop: {
         if (stmt.schedule.chunk) rename(*stmt.schedule.chunk);
@@ -98,6 +109,7 @@ class Renamer {
       case Stmt::Kind::kOmpMaster:
       case Stmt::Kind::kOmpAtomic:
       case Stmt::Kind::kOmpOrdered:
+      case Stmt::Kind::kOmpTaskgroup:
         rename(*stmt.body);
         break;
       case Stmt::Kind::kOmpReductionInit:
@@ -242,6 +254,7 @@ class Transformer {
       case Stmt::Kind::kOmpMaster:
       case Stmt::Kind::kOmpAtomic:
       case Stmt::Kind::kOmpOrdered:
+      case Stmt::Kind::kOmpTaskgroup:
         scan_children(fn, *stmt.body);
         break;
       default:
@@ -347,6 +360,17 @@ class Transformer {
       }
       case DirectiveKind::kTask:
         return lower_task(fn, d, std::move(stmt));
+      case DirectiveKind::kTaskgroup: {
+        auto node = Stmt::make(Stmt::Kind::kOmpTaskgroup, d.loc);
+        node->body = std::move(stmt);
+        return node;
+      }
+      case DirectiveKind::kTaskloop:
+        if (stmt->kind != Stmt::Kind::kForRange) {
+          error(d.loc, "'taskloop' must immediately precede a for loop");
+          return stmt;
+        }
+        return lower_taskloop(fn, d, std::move(stmt));
     }
     return stmt;
   }
@@ -791,6 +815,34 @@ class Transformer {
 
   // -- task -----------------------------------------------------------------------
 
+  /// Task data-sharing (OpenMP 5.2 rules, name-approximated at preprocess
+  /// time): explicit clauses win; otherwise a variable that is *shared in
+  /// the enclosing region* (a shared-mode parameter of the enclosing
+  /// outlined function) stays shared, and everything else is firstprivate.
+  /// Shared by `task` and `taskloop` lowering.
+  CaptureMode task_mode_of(FnDecl* fn, const Directive& d,
+                           const std::string& n) {
+    for (const auto& p : d.private_vars) {
+      if (p == n) return CaptureMode::kValue;
+    }
+    for (const auto& p : d.firstprivate_vars) {
+      if (p == n) return CaptureMode::kValue;
+    }
+    for (const auto& p : d.shared_vars) {
+      if (p == n) return CaptureMode::kSharedPtr;
+    }
+    if (const auto fn_it = outlined_modes_.find(fn);
+        fn_it != outlined_modes_.end()) {
+      if (const auto it = fn_it->second.find(n); it != fn_it->second.end()) {
+        if (it->second == CaptureMode::kSharedPtr ||
+            it->second == CaptureMode::kSharedSlice) {
+          return it->second;
+        }
+      }
+    }
+    return CaptureMode::kValue;
+  }
+
   StmtPtr lower_task(FnDecl* fn, Directive& d, StmtPtr region) {
     ++stats_.tasks_outlined;
     std::vector<std::string> captured = free_variables(*region, names_);
@@ -803,33 +855,6 @@ class Transformer {
     add_names(d.firstprivate_vars);
     add_names(d.private_vars);
     add_names(d.shared_vars);
-
-    // Data sharing (OpenMP 5.2 task rules, name-approximated at preprocess
-    // time): explicit clauses win; otherwise a variable that is *shared in
-    // the enclosing region* (a shared-mode parameter of the enclosing
-    // outlined function) stays shared, and everything else is firstprivate.
-    const std::unordered_map<std::string, CaptureMode>* enclosing =
-        outlined_modes_.contains(fn) ? &outlined_modes_[fn] : nullptr;
-    auto mode_of = [&](const std::string& n) {
-      for (const auto& p : d.private_vars) {
-        if (p == n) return CaptureMode::kValue;
-      }
-      for (const auto& p : d.firstprivate_vars) {
-        if (p == n) return CaptureMode::kValue;
-      }
-      for (const auto& p : d.shared_vars) {
-        if (p == n) return CaptureMode::kSharedPtr;
-      }
-      if (enclosing != nullptr) {
-        if (const auto it = enclosing->find(n); it != enclosing->end()) {
-          if (it->second == CaptureMode::kSharedPtr ||
-              it->second == CaptureMode::kSharedSlice) {
-            return it->second;
-          }
-        }
-      }
-      return CaptureMode::kValue;
-    };
 
     FnDecl* outlined = new_outlined_fn(fn, "task");
     for (const auto& n : captured) {
@@ -848,12 +873,118 @@ class Transformer {
     for (const auto& n : captured) {
       CaptureArg cap;
       cap.name = n;
-      cap.mode = mode_of(n);
+      cap.mode = task_mode_of(fn, d, n);
       task->captures.push_back(std::move(cap));
       outlined_modes_[outlined][n] = cap.mode;  // nested tasks inherit
     }
     if (d.if_clause) task->if_clause = std::move(d.if_clause);
+    // Dependence items stay expressions on the task node: the backends
+    // evaluate them to addresses at creation time, in the enclosing scope
+    // (NOT inside the outlined function).
+    for (auto& clause : d.depends) {
+      const int kind = clause.kind == DependKind::kIn    ? 1
+                       : clause.kind == DependKind::kOut ? 2
+                                                         : 3;
+      for (auto& item : clause.items) {
+        Stmt::OmpDepend dep;
+        dep.kind = kind;
+        dep.item = std::move(item);
+        task->depends.push_back(std::move(dep));
+      }
+    }
+    if (d.final_clause) task->final_clause = std::move(d.final_clause);
+    if (d.priority) task->priority = std::move(d.priority);
+    task->untied = d.untied;
     return task;
+  }
+
+  // -- taskloop ---------------------------------------------------------------------
+
+  /// Lowers `taskloop` by outlining ONE chunked task body over synthesized
+  /// chunk bounds — the collapse-style canonicalization applied to tasking:
+  /// the associated loop becomes `for (chunk_lo .. chunk_hi) |iv|` inside
+  /// the outlined function, whose last two parameters carry the bounds, and
+  /// the runtime (Team::taskloop) splits the full range into chunk tasks
+  /// inside an implicit taskgroup.
+  StmtPtr lower_taskloop(FnDecl* fn, Directive& d, StmtPtr loop) {
+    ++stats_.tasks_outlined;
+    const std::string iv = loop->name;
+    // Clauses naming the loop variable are meaningless (MiniZig loop
+    // variables are per-iteration constants private to the loop) — reject,
+    // mirroring the worksharing-loop diagnostics.
+    for (const auto* list :
+         {&d.private_vars, &d.firstprivate_vars, &d.shared_vars}) {
+      for (const auto& n : *list) {
+        if (n == iv) {
+          error(d.loc, "variable '" + n +
+                           "' is the loop variable of the associated loop "
+                           "and cannot appear in a data-sharing clause");
+        }
+      }
+    }
+
+    const std::string tag = "__omp_tl" + std::to_string(taskloop_counter_++);
+    const std::string lo_name = tag + "_lo";
+    const std::string hi_name = tag + "_hi";
+
+    // The outlined chunk body: for (chunk_lo .. chunk_hi) |iv| { body }.
+    auto chunk_loop = Stmt::make(Stmt::Kind::kForRange, loop->loc);
+    chunk_loop->name = iv;
+    chunk_loop->expr = make_var(lo_name, d.loc);
+    chunk_loop->rhs = make_var(hi_name, d.loc);
+    chunk_loop->body = std::move(loop->body);
+
+    // Captures: free variables of the chunk body (minus the synthesized
+    // bound names, which become parameters) plus clause-only names.
+    std::vector<std::string> captured;
+    for (auto& name : free_variables(*chunk_loop, names_)) {
+      if (name != lo_name && name != hi_name) captured.push_back(std::move(name));
+    }
+    std::unordered_set<std::string> seen(captured.begin(), captured.end());
+    auto add_names = [&](const std::vector<std::string>& list) {
+      for (const auto& n : list) {
+        if (n != iv && seen.insert(n).second) captured.push_back(n);
+      }
+    };
+    add_names(d.firstprivate_vars);
+    add_names(d.private_vars);
+    add_names(d.shared_vars);
+
+    FnDecl* outlined = new_outlined_fn(fn, "taskloop");
+    for (const auto& n : captured) {
+      lang::Param param;
+      param.name = n;
+      param.type = lang::Type::inferred();
+      param.loc = d.loc;
+      outlined->params.push_back(std::move(param));
+    }
+    // Chunk bounds ride as the LAST two parameters (i64 by value; sema
+    // types them at the taskloop site).
+    for (const std::string* bound : {&lo_name, &hi_name}) {
+      lang::Param param;
+      param.name = *bound;
+      param.type = lang::Type::inferred();
+      param.loc = d.loc;
+      outlined->params.push_back(std::move(param));
+    }
+    auto body = Stmt::make(Stmt::Kind::kBlock, d.loc);
+    body->stmts.push_back(std::move(chunk_loop));
+    outlined->body = std::move(body);
+
+    auto node = Stmt::make(Stmt::Kind::kOmpTaskloop, d.loc);
+    node->callee = outlined->name;
+    node->expr = std::move(loop->expr);  // full-range lo, creation-site scope
+    node->rhs = std::move(loop->rhs);    // full-range hi
+    for (const auto& n : captured) {
+      CaptureArg cap;
+      cap.name = n;
+      cap.mode = task_mode_of(fn, d, n);
+      node->captures.push_back(std::move(cap));
+      outlined_modes_[outlined][n] = cap.mode;  // nested tasks inherit
+    }
+    if (d.grainsize) node->grainsize = std::move(d.grainsize);
+    if (d.num_tasks) node->num_tasks = std::move(d.num_tasks);
+    return node;
   }
 
   FnDecl* new_outlined_fn(FnDecl* parent, const char* kind) {
@@ -879,6 +1010,7 @@ class Transformer {
       outlined_modes_;
   int counter_ = 0;
   int collapse_counter_ = 0;
+  int taskloop_counter_ = 0;
   bool failed_ = false;
 };
 

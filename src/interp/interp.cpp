@@ -403,6 +403,17 @@ class Exec {
         ts.team->taskwait(ts);
         return Flow::kNormal;
       }
+      case Stmt::Kind::kOmpTaskgroup: {
+        rt::ThreadState& ts = rt::current_thread();
+        rt::TaskGroup group;
+        ts.team->taskgroup_begin(ts, group);
+        const Flow f = exec_stmt(*stmt.body);
+        // Close the group even on an early return: its tasks (and their
+        // descendants) are awaited and the group stack stays balanced.
+        ts.team->taskgroup_end(ts, group);
+        return f;
+      }
+      case Stmt::Kind::kOmpTaskloop: return exec_taskloop(stmt);
     }
     return Flow::kNormal;
   }
@@ -574,11 +585,30 @@ class Exec {
     return Flow::kNormal;
   }
 
-  Flow exec_task(const Stmt& stmt) {
-    const FnDecl& callee = *stmt.callee_decl;
-    // Firstprivate captures snapshot their value *now* (the task may outlive
-    // this frame); shared captures alias the enclosing cell — the region's
-    // join barrier guarantees the cell outlives the task.
+  /// Storage address of a depend item (the OpenMP list-item identity): the
+  /// heap Cell for a variable, the Value slot for a slice element. Shared
+  /// captures alias one Cell across the team, so sibling tasks naming the
+  /// same variable agree on the address — mirroring &var in generated code.
+  void* lvalue_address(const Expr& e) {
+    if (e.kind == Expr::Kind::kVarRef) {
+      return cell_of(e.symbol, e.loc).get();
+    }
+    if (e.kind == Expr::Kind::kIndex) {
+      const SliceVal slice = eval(*e.args[0]).as_slice();
+      const std::int64_t i = eval(*e.args[1]).as_i64();
+      if (!slice.data || i < 0 || i >= slice.len()) {
+        panic(e.loc, "depend item index out of bounds");
+      }
+      return &(*slice.data)[static_cast<std::size_t>(i)];
+    }
+    panic(e.loc, "depend item is not addressable");
+  }
+
+  /// Snapshot of a task-family construct's captures: firstprivate captures
+  /// copy their value *now* (the task may outlive this frame); shared
+  /// captures alias the enclosing cell — the region's join barrier
+  /// guarantees the cell outlives the task.
+  std::shared_ptr<std::vector<Cell>> snapshot_captures(const Stmt& stmt) {
     auto captured = std::make_shared<std::vector<Cell>>();
     captured->reserve(stmt.captures.size());
     for (const auto& cap : stmt.captures) {
@@ -589,18 +619,77 @@ class Exec {
         captured->push_back(std::move(cell));
       }
     }
-    const bool deferred =
-        stmt.if_clause == nullptr || eval(*stmt.if_clause).as_bool();
+    return captured;
+  }
+
+  Flow exec_task(const Stmt& stmt) {
+    const FnDecl& callee = *stmt.callee_decl;
+    auto captured = snapshot_captures(stmt);
     rt::ThreadState& ts = rt::current_thread();
     Interp& interp = interp_;
-    ts.team->task_create(
-        ts,
-        [&interp, &callee, captured] {
+    auto body_fn = [&interp, &callee, captured] {
+      Exec body(interp, callee);
+      body.bind_params(*captured);
+      body.run();
+    };
+    const bool rich = !stmt.depends.empty() || stmt.final_clause != nullptr ||
+                      stmt.priority != nullptr || stmt.untied ||
+                      stmt.if_clause != nullptr;
+    if (!rich) {
+      // Zero-clause fast path, unchanged.
+      ts.team->task_create(ts, std::move(body_fn));
+      return Flow::kNormal;
+    }
+    // Clause expressions evaluate at creation time, in the enclosing scope,
+    // in the SAME order as the generated code's emission (depend addresses,
+    // then if, final, priority) so side-effecting clause expressions cannot
+    // diverge between backends.
+    std::vector<rt::DepSpec> deps;
+    deps.reserve(stmt.depends.size());
+    for (const auto& dep : stmt.depends) {
+      rt::DepSpec spec;
+      spec.addr = lvalue_address(*dep.item);
+      spec.kind = static_cast<rt::DepKind>(dep.kind);
+      deps.push_back(spec);
+    }
+    rt::TaskOpts opts;
+    opts.deps = deps.data();
+    opts.ndeps = static_cast<rt::i32>(deps.size());
+    opts.deferred =
+        stmt.if_clause == nullptr || eval(*stmt.if_clause).as_bool();
+    opts.final = stmt.final_clause != nullptr && eval(*stmt.final_clause).as_bool();
+    opts.untied = stmt.untied;
+    opts.priority = stmt.priority
+                        ? static_cast<rt::i32>(eval(*stmt.priority).as_i64())
+                        : 0;
+    ts.team->task_create_ex(ts, std::move(body_fn), opts);
+    return Flow::kNormal;
+  }
+
+  Flow exec_taskloop(const Stmt& stmt) {
+    const FnDecl& callee = *stmt.callee_decl;
+    auto captured = snapshot_captures(stmt);
+    const std::int64_t lo = eval(*stmt.expr).as_i64();
+    const std::int64_t hi = eval(*stmt.rhs).as_i64();
+    const std::int64_t grainsize =
+        stmt.grainsize ? eval(*stmt.grainsize).as_i64() : 0;
+    const std::int64_t num_tasks =
+        stmt.num_tasks ? eval(*stmt.num_tasks).as_i64() : 0;
+    rt::ThreadState& ts = rt::current_thread();
+    Interp& interp = interp_;
+    // Blocks until every chunk task completed (implicit taskgroup inside
+    // Team::taskloop). The outlined function's last two parameters take the
+    // chunk bounds; bind_params value-copies them per activation.
+    ts.team->taskloop(
+        ts, lo, hi, grainsize, num_tasks,
+        [&interp, &callee, captured](rt::i64 chunk_lo, rt::i64 chunk_hi) {
+          std::vector<Cell> cells = *captured;
+          cells.push_back(make_cell(Value(chunk_lo)));
+          cells.push_back(make_cell(Value(chunk_hi)));
           Exec body(interp, callee);
-          body.bind_params(*captured);
+          body.bind_params(cells);
           body.run();
-        },
-        deferred);
+        });
     return Flow::kNormal;
   }
 

@@ -321,10 +321,32 @@ std::string dump_stmt(const Stmt& stmt, int indent) {
       for (const auto& c : stmt.captures) {
         out << " [" << c.name << ' ' << capture_mode_name(c.mode) << ']';
       }
+      for (const auto& dep : stmt.depends) {
+        const char* kind = dep.kind == 1 ? "in" : dep.kind == 2 ? "out" : "inout";
+        out << " depend(" << kind << ": " << dump_expr(*dep.item) << ')';
+      }
+      if (stmt.final_clause) out << " final=" << dump_expr(*stmt.final_clause);
+      if (stmt.priority) out << " priority=" << dump_expr(*stmt.priority);
+      if (stmt.untied) out << " untied";
       out << ")\n";
       break;
     }
     case Stmt::Kind::kOmpTaskwait: out << pad << "(omp-taskwait)\n"; break;
+    case Stmt::Kind::kOmpTaskgroup:
+      out << pad << "(omp-taskgroup\n"
+          << dump_stmt(*stmt.body, indent + 1) << pad << ")\n";
+      break;
+    case Stmt::Kind::kOmpTaskloop: {
+      out << pad << "(omp-taskloop " << stmt.callee << " [" << dump_expr(*stmt.expr)
+          << ' ' << dump_expr(*stmt.rhs) << ']';
+      if (stmt.grainsize) out << " grainsize=" << dump_expr(*stmt.grainsize);
+      if (stmt.num_tasks) out << " num_tasks=" << dump_expr(*stmt.num_tasks);
+      for (const auto& c : stmt.captures) {
+        out << " [" << c.name << ' ' << capture_mode_name(c.mode) << ']';
+      }
+      out << ")\n";
+      break;
+    }
   }
   return out.str();
 }

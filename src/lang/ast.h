@@ -205,6 +205,8 @@ struct Stmt {
     kOmpLastprivateWrite,  ///< write local back through pointer on last iter
     kOmpTask,              ///< deferred execution of an outlined task fn
     kOmpTaskwait,
+    kOmpTaskgroup,         ///< body; waits for group tasks + descendants
+    kOmpTaskloop,          ///< chunked task execution of an outlined loop fn
   };
 
   Kind kind;
@@ -257,12 +259,31 @@ struct Stmt {
 
   // -- OpenMP payloads -------------------------------------------------------
 
-  // kOmpFork / kOmpTask: outlined callee + captures.
+  // kOmpFork / kOmpTask / kOmpTaskloop: outlined callee + captures. For
+  // kOmpTaskloop the callee's last two parameters are the synthesized chunk
+  // bounds (i64, by value); `expr`/`rhs` reuse the kForRange slots for the
+  // full-range lo/hi, evaluated once at the taskloop point.
   std::string callee;
   const FnDecl* callee_decl = nullptr;  // sema
   std::vector<CaptureArg> captures;
   ExprPtr num_threads;  // parallel num_threads clause
-  ExprPtr if_clause;    // parallel if clause
+  ExprPtr if_clause;    // parallel/task if clause
+
+  // kOmpTask tasking clauses (see core/directive.h): depend items are
+  // lvalue expressions evaluated to addresses at creation time, in the
+  // enclosing scope.
+  struct OmpDepend {
+    int kind = 3;  ///< rt::DepKind values: 1 = in, 2 = out, 3 = inout
+    ExprPtr item;
+  };
+  std::vector<OmpDepend> depends;
+  ExprPtr final_clause;
+  ExprPtr priority;
+  bool untied = false;
+
+  // kOmpTaskloop chunking clauses (mutually exclusive, validated upstream).
+  ExprPtr grainsize;
+  ExprPtr num_tasks;
 
   // kOmpWsLoop: body is the kForRange statement to distribute. For
   // collapse(n>1) the body is the canonicalized linearized loop and

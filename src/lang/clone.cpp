@@ -41,6 +41,17 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   }
   if (stmt.num_threads) copy->num_threads = clone_expr(*stmt.num_threads);
   if (stmt.if_clause) copy->if_clause = clone_expr(*stmt.if_clause);
+  for (const auto& dep : stmt.depends) {
+    Stmt::OmpDepend d;
+    d.kind = dep.kind;
+    d.item = clone_expr(*dep.item);
+    copy->depends.push_back(std::move(d));
+  }
+  if (stmt.final_clause) copy->final_clause = clone_expr(*stmt.final_clause);
+  if (stmt.priority) copy->priority = clone_expr(*stmt.priority);
+  copy->untied = stmt.untied;
+  if (stmt.grainsize) copy->grainsize = clone_expr(*stmt.grainsize);
+  if (stmt.num_tasks) copy->num_tasks = clone_expr(*stmt.num_tasks);
   copy->schedule.kind = stmt.schedule.kind;
   if (stmt.schedule.chunk) copy->schedule.chunk = clone_expr(*stmt.schedule.chunk);
   for (const auto& d : stmt.collapse) {

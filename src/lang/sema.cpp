@@ -275,6 +275,7 @@ class Sema {
 
       case Stmt::Kind::kOmpFork: check_fork(stmt, /*is_task=*/false); break;
       case Stmt::Kind::kOmpTask: check_fork(stmt, /*is_task=*/true); break;
+      case Stmt::Kind::kOmpTaskloop: check_taskloop(stmt); break;
       case Stmt::Kind::kOmpWsLoop: check_ws_loop(stmt); break;
       case Stmt::Kind::kOmpBarrier:
       case Stmt::Kind::kOmpTaskwait:
@@ -283,6 +284,7 @@ class Sema {
       case Stmt::Kind::kOmpMaster:
       case Stmt::Kind::kOmpOrdered:
       case Stmt::Kind::kOmpSingle:
+      case Stmt::Kind::kOmpTaskgroup:
         check_stmt(*stmt.body);
         break;
       case Stmt::Kind::kOmpAtomic: {
@@ -363,6 +365,7 @@ class Sema {
         diags_.error(stmt.if_clause->loc, "if clause must be bool");
       }
     }
+    if (is_task) check_task_clauses(stmt);
     if (callee->params.size() != stmt.captures.size()) {
       diags_.error(stmt.loc, "outlined function capture count mismatch");
       return;
@@ -373,76 +376,147 @@ class Sema {
     // supplies the types.
     bool ok = true;
     for (std::size_t i = 0; i < stmt.captures.size(); ++i) {
-      CaptureArg& cap = stmt.captures[i];
-      Symbol* sym = lookup(cap.name);
-      if (sym == nullptr) {
-        diags_.error(stmt.loc, "captured variable '" + cap.name +
-                                   "' not found in enclosing scope");
-        ok = false;
-        continue;
+      if (!bind_capture(stmt, *callee, i, is_task)) ok = false;
+    }
+    if (ok) check_function(*callee);
+  }
+
+  /// The tasking clause expressions of a task node, typed in the enclosing
+  /// scope. Depend items were already shape-checked by the directive parser
+  /// (variable or slice element); here they resolve and type like any
+  /// expression — their *addresses* are what the backends hand the runtime.
+  void check_task_clauses(Stmt& stmt) {
+    for (auto& dep : stmt.depends) {
+      check_expr(*dep.item);
+    }
+    if (stmt.final_clause) {
+      const Type t = check_expr(*stmt.final_clause);
+      if (!t.is_invalid() && !t.is_bool()) {
+        diags_.error(stmt.final_clause->loc, "final clause must be bool");
       }
-      cap.symbol = sym;
-      Type param_type = Type::invalid();
-      bool indirect = false;
-      switch (cap.mode) {
-        case CaptureMode::kSharedPtr:
-        case CaptureMode::kSharedSlice:
-          if (sym->type.is_slice()) {
-            // Slice headers capture by value; the payload is shared storage.
-            cap.mode = CaptureMode::kSharedSlice;
-            param_type = sym->type;
-          } else if (sym->type.is_scalar() && !sym->type.is_void()) {
-            cap.mode = CaptureMode::kSharedPtr;
-            param_type = sym->type;
-            indirect = true;
-          } else if (sym->type.is_pointer()) {
-            // A shared pointer variable: share the pointer itself.
-            cap.mode = CaptureMode::kSharedSlice;
-            param_type = sym->type;
-          } else {
-            diags_.error(stmt.loc,
-                         "cannot share '" + cap.name + "' of type " +
-                             sym->type.to_string());
-            ok = false;
-          }
-          break;
-        case CaptureMode::kValue:
-          if (sym->type.is_void() || sym->type.is_invalid()) {
-            diags_.error(stmt.loc, "cannot capture '" + cap.name + "' by value");
-            ok = false;
-          } else {
-            param_type = sym->type;
-          }
-          break;
-        case CaptureMode::kReductionPtr:
-          if (!sym->type.is_numeric()) {
-            diags_.error(stmt.loc, "reduction variable '" + cap.name +
-                                       "' must be numeric");
-            ok = false;
-          } else {
-            param_type = sym->type;
-            indirect = true;
-          }
-          break;
+    }
+    if (stmt.priority) {
+      const Type t = check_expr(*stmt.priority);
+      if (!t.is_invalid() && !t.is_i64()) {
+        diags_.error(stmt.priority->loc, "priority must be i64");
       }
-      if (is_task && cap.mode == CaptureMode::kReductionPtr) {
-        diags_.error(stmt.loc, "task does not support reduction captures");
-        ok = false;
+    }
+  }
+
+  /// `taskloop` node: like a task fork, except the callee's last two
+  /// parameters are the synthesized chunk bounds (typed i64 here, by value)
+  /// and the node carries the full-range bounds plus grainsize/num_tasks.
+  void check_taskloop(Stmt& stmt) {
+    FnDecl* callee = module_.find_function(stmt.callee);
+    if (callee == nullptr || !callee->is_outlined) {
+      diags_.error(stmt.loc, "taskloop target '" + stmt.callee +
+                                 "' is not an outlined function");
+      return;
+    }
+    stmt.callee_decl = callee;
+    for (Expr* bound : {stmt.expr.get(), stmt.rhs.get()}) {
+      const Type t = check_expr(*bound);
+      if (!t.is_invalid() && !t.is_i64()) {
+        diags_.error(bound->loc, "taskloop range bounds must be i64");
       }
-      if (param_type.is_invalid()) {
-        ok = false;
-      } else if (callee->params[i].type.is_inferred()) {
-        callee->params[i].type = param_type;
-        callee->params[i].indirect = indirect;
-      } else if (callee->params[i].type != param_type ||
-                 callee->params[i].indirect != indirect) {
-        diags_.error(stmt.loc,
-                     "outlined function '" + callee->name +
-                         "' forked twice with incompatible capture types");
-        ok = false;
+    }
+    for (Expr* clause : {stmt.grainsize.get(), stmt.num_tasks.get()}) {
+      if (clause == nullptr) continue;
+      const Type t = check_expr(*clause);
+      if (!t.is_invalid() && !t.is_i64()) {
+        diags_.error(clause->loc, "grainsize/num_tasks must be i64");
+      }
+    }
+    if (callee->params.size() != stmt.captures.size() + 2) {
+      diags_.error(stmt.loc, "outlined taskloop capture count mismatch");
+      return;
+    }
+    bool ok = true;
+    for (std::size_t i = 0; i < stmt.captures.size(); ++i) {
+      if (!bind_capture(stmt, *callee, i, /*is_task=*/true)) ok = false;
+    }
+    for (std::size_t i = stmt.captures.size(); i < callee->params.size(); ++i) {
+      Param& p = callee->params[i];
+      if (p.type.is_inferred()) {
+        p.type = Type::i64();
+        p.indirect = false;
       }
     }
     if (ok) check_function(*callee);
+  }
+
+  /// Resolves capture #i in the enclosing scope and binds the callee's
+  /// parameter type monomorphically. Returns false (with diagnostics) when
+  /// the capture cannot be typed.
+  bool bind_capture(Stmt& stmt, FnDecl& callee, std::size_t i, bool is_task) {
+    CaptureArg& cap = stmt.captures[i];
+    Symbol* sym = lookup(cap.name);
+    if (sym == nullptr) {
+      diags_.error(stmt.loc, "captured variable '" + cap.name +
+                                 "' not found in enclosing scope");
+      return false;
+    }
+    cap.symbol = sym;
+    Type param_type = Type::invalid();
+    bool indirect = false;
+    bool ok = true;
+    switch (cap.mode) {
+      case CaptureMode::kSharedPtr:
+      case CaptureMode::kSharedSlice:
+        if (sym->type.is_slice()) {
+          // Slice headers capture by value; the payload is shared storage.
+          cap.mode = CaptureMode::kSharedSlice;
+          param_type = sym->type;
+        } else if (sym->type.is_scalar() && !sym->type.is_void()) {
+          cap.mode = CaptureMode::kSharedPtr;
+          param_type = sym->type;
+          indirect = true;
+        } else if (sym->type.is_pointer()) {
+          // A shared pointer variable: share the pointer itself.
+          cap.mode = CaptureMode::kSharedSlice;
+          param_type = sym->type;
+        } else {
+          diags_.error(stmt.loc, "cannot share '" + cap.name + "' of type " +
+                                     sym->type.to_string());
+          ok = false;
+        }
+        break;
+      case CaptureMode::kValue:
+        if (sym->type.is_void() || sym->type.is_invalid()) {
+          diags_.error(stmt.loc, "cannot capture '" + cap.name + "' by value");
+          ok = false;
+        } else {
+          param_type = sym->type;
+        }
+        break;
+      case CaptureMode::kReductionPtr:
+        if (!sym->type.is_numeric()) {
+          diags_.error(stmt.loc,
+                       "reduction variable '" + cap.name + "' must be numeric");
+          ok = false;
+        } else {
+          param_type = sym->type;
+          indirect = true;
+        }
+        break;
+    }
+    if (is_task && cap.mode == CaptureMode::kReductionPtr) {
+      diags_.error(stmt.loc, "task does not support reduction captures");
+      ok = false;
+    }
+    if (param_type.is_invalid()) {
+      ok = false;
+    } else if (callee.params[i].type.is_inferred()) {
+      callee.params[i].type = param_type;
+      callee.params[i].indirect = indirect;
+    } else if (callee.params[i].type != param_type ||
+               callee.params[i].indirect != indirect) {
+      diags_.error(stmt.loc,
+                   "outlined function '" + callee.name +
+                       "' forked twice with incompatible capture types");
+      ok = false;
+    }
+    return ok;
   }
 
   void check_ws_loop(Stmt& stmt) {

@@ -216,19 +216,90 @@ void zomp_atomic_max_f64(double* addr, double value) {
 
 // -- Tasking --------------------------------------------------------------
 
+namespace {
+
+/// Firstprivate capture: the pack bytes ride inside the task closure.
+std::function<void()> capture_task_body(void (*fn)(void* arg), const void* arg,
+                                        std::int64_t arg_size) {
+  std::vector<unsigned char> capture(static_cast<std::size_t>(arg_size));
+  if (arg_size > 0) std::memcpy(capture.data(), arg, capture.size());
+  return [fn, capture = std::move(capture)]() mutable { fn(capture.data()); };
+}
+
+}  // namespace
+
 void zomp_task(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
                void (*fn)(void* arg), const void* arg, std::int64_t arg_size) {
   ThreadState& ts = current_thread();
-  std::vector<unsigned char> capture(static_cast<std::size_t>(arg_size));
-  if (arg_size > 0) std::memcpy(capture.data(), arg, capture.size());
-  ts.team->task_create(ts, [fn, capture = std::move(capture)]() mutable {
-    fn(capture.data());
-  });
+  ts.team->task_create(ts, capture_task_body(fn, arg, arg_size));
+}
+
+void zomp_task_with_deps(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                         void (*fn)(void* arg), const void* arg,
+                         std::int64_t arg_size, const zomp_depend_t* deps,
+                         std::int32_t ndeps, std::int32_t flags,
+                         std::int32_t priority) {
+  ThreadState& ts = current_thread();
+  zomp::rt::TaskOpts opts;
+  std::vector<zomp::rt::DepSpec> dep_specs;
+  if (deps != nullptr && ndeps > 0) {
+    dep_specs.reserve(static_cast<std::size_t>(ndeps));
+    for (std::int32_t i = 0; i < ndeps; ++i) {
+      zomp::rt::DepSpec spec;
+      spec.addr = deps[i].addr;
+      spec.kind = static_cast<zomp::rt::DepKind>(deps[i].kind);
+      dep_specs.push_back(spec);
+    }
+    opts.deps = dep_specs.data();
+    opts.ndeps = ndeps;
+  }
+  opts.deferred = (flags & ZOMP_TASK_UNDEFERRED) == 0;
+  opts.final = (flags & ZOMP_TASK_FINAL) != 0;
+  opts.untied = (flags & ZOMP_TASK_UNTIED) != 0;
+  opts.priority = priority;
+  ts.team->task_create_ex(ts, capture_task_body(fn, arg, arg_size), opts);
 }
 
 void zomp_taskwait(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
   ThreadState& ts = current_thread();
   ts.team->taskwait(ts);
+}
+
+void* zomp_taskgroup_begin(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  // Heap-allocated because generated code holds the group across two ABI
+  // calls (the structured-block model of hl.h's stack TaskGroup does not
+  // survive a split entry/exit pair).
+  ThreadState& ts = current_thread();
+  auto* group = new zomp::rt::TaskGroup();
+  ts.team->taskgroup_begin(ts, *group);
+  return group;
+}
+
+void zomp_taskgroup_end(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                        void* group) {
+  ThreadState& ts = current_thread();
+  auto* tg = static_cast<zomp::rt::TaskGroup*>(group);
+  ts.team->taskgroup_end(ts, *tg);
+  delete tg;
+}
+
+void zomp_taskloop(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                   void (*fn)(std::int64_t chunk_lo, std::int64_t chunk_hi,
+                              void* arg),
+                   const void* arg, std::int64_t arg_size, std::int64_t lo,
+                   std::int64_t hi, std::int64_t grainsize,
+                   std::int64_t num_tasks) {
+  ThreadState& ts = current_thread();
+  // One shared copy of the pack: chunk thunks read fields by value into the
+  // outlined function's parameters, so sharing preserves firstprivate
+  // semantics, and the implicit taskgroup keeps the buffer alive.
+  auto capture =
+      std::make_shared<std::vector<unsigned char>>(static_cast<std::size_t>(arg_size));
+  if (arg_size > 0) std::memcpy(capture->data(), arg, capture->size());
+  ts.team->taskloop(ts, lo, hi, grainsize, num_tasks,
+                    [fn, capture](i64 chunk_lo, i64 chunk_hi) {
+                      fn(chunk_lo, chunk_hi, capture->data());
+                    });
 }
 
 // -- Queries ----------------------------------------------------------------

@@ -142,12 +142,82 @@ void zomp_atomic_min_f64(double* addr, double value);
 void zomp_atomic_max_f64(double* addr, double value);
 
 // -- Tasking ----------------------------------------------------------------------
+//
+// Contract (DESIGN.md S1.7). `zomp_task` is the zero-dependence fast path:
+// the runtime copies `arg_size` bytes from `arg` (firstprivate capture by
+// value) and defers the task onto the encountering member's work-stealing
+// deque (executing inline for serial teams, descendants of final tasks, and
+// deque overflow). `zomp_task_with_deps` is the full path: dependences are
+// resolved at creation time against the encountering task's dependence
+// table — `in` orders after the last `out`/`inout` on the same address,
+// `out`/`inout` after the last writer and every reader since — and a task
+// with unsatisfied predecessors parks on its dependence node (entering no
+// deque) until the last predecessor's completion releases it. Addresses are
+// compared by identity only (no overlap analysis), the standard OpenMP
+// list-item model. Dependences only order sibling tasks (children of the
+// same task region), per the spec.
+//
+// A `taskwait` waits for the encountering task's children, executing queued
+// tasks meanwhile. `taskgroup_begin/end` bracket a group: end waits for
+// every task created in the group AND their descendants. `zomp_taskloop`
+// splits [lo, hi) into chunk tasks inside an implicit taskgroup; with
+// num_tasks > 0 that many chunks (clamped to the trip count), else with
+// grainsize > 0 ceil(trips/grainsize) chunks, else a runtime default.
 
-/// Defers `fn(arg, arg_size bytes copied)` as an explicit task. The runtime
-/// copies `arg_size` bytes from `arg` (firstprivate capture by value).
+/// Defers `fn(arg, arg_size bytes copied)` as an explicit task (fast path,
+/// no dependences).
 void zomp_task(const zomp_ident_t* loc, std::int32_t gtid,
                void (*fn)(void* arg), const void* arg, std::int64_t arg_size);
+
+/// One entry of a depend clause. `kind`: 1 = in, 2 = out, 3 = inout
+/// (zomp::rt::DepKind values).
+struct zomp_depend_t {
+  void* addr;
+  std::int32_t kind;
+};
+
+/// Task creation flags for zomp_task_with_deps.
+enum : std::int32_t {
+  ZOMP_TASK_UNDEFERRED = 1,  ///< if(false): run at creation, after deps
+  ZOMP_TASK_FINAL = 2,       ///< final(true): this task and descendants run
+                             ///< undeferred (included-task model)
+  ZOMP_TASK_UNTIED = 4,      ///< accepted no-op: tasks never suspend/migrate
+};
+
+/// Full-featured task creation: depend edges, if(false)/final undeferred
+/// execution, priority hint (recorded; the work-stealing deques do not
+/// reorder by priority — see task.h). `deps` may be null when ndeps == 0,
+/// in which case this degrades to the zomp_task fast path plus flags.
+void zomp_task_with_deps(const zomp_ident_t* loc, std::int32_t gtid,
+                         void (*fn)(void* arg), const void* arg,
+                         std::int64_t arg_size, const zomp_depend_t* deps,
+                         std::int32_t ndeps, std::int32_t flags,
+                         std::int32_t priority);
+
 void zomp_taskwait(const zomp_ident_t* loc, std::int32_t gtid);
+
+/// Opens a taskgroup on the encountering task and returns an opaque handle.
+/// Every task created until the matching zomp_taskgroup_end — including by
+/// nested tasks while they run — joins the group.
+void* zomp_taskgroup_begin(const zomp_ident_t* loc, std::int32_t gtid);
+
+/// Waits until every task of the group (and their descendants) completed,
+/// then frees the handle. Must be called on the same task that called the
+/// matching begin, innermost-first.
+void zomp_taskgroup_end(const zomp_ident_t* loc, std::int32_t gtid,
+                        void* group);
+
+/// `taskloop`: runs fn(chunk_lo, chunk_hi, arg) as one task per chunk of
+/// [lo, hi), inside an implicit taskgroup (returns when all chunks
+/// completed). The runtime copies `arg_size` bytes from `arg` once; chunk
+/// tasks share the read-only copy. grainsize/num_tasks <= 0 mean "clause
+/// absent".
+void zomp_taskloop(const zomp_ident_t* loc, std::int32_t gtid,
+                   void (*fn)(std::int64_t chunk_lo, std::int64_t chunk_hi,
+                              void* arg),
+                   const void* arg, std::int64_t arg_size, std::int64_t lo,
+                   std::int64_t hi, std::int64_t grainsize,
+                   std::int64_t num_tasks);
 
 // -- Queries / control (the omp_* routine family) -----------------------------------
 

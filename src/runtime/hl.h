@@ -201,6 +201,63 @@ inline void task(std::function<void()> body) {
   ts.team->task_create(ts, std::move(body));
 }
 
+/// Depend-clause helpers for task_depend: `dep_in(&x)` / `dep_out(&x)` /
+/// `dep_inout(&x)` mirror `depend(in: x)` and friends. Addresses are
+/// compared by identity (the OpenMP list-item model).
+inline rt::DepSpec dep_in(const void* addr) {
+  return rt::DepSpec{const_cast<void*>(addr), rt::DepKind::kIn};
+}
+inline rt::DepSpec dep_out(const void* addr) {
+  return rt::DepSpec{const_cast<void*>(addr), rt::DepKind::kOut};
+}
+inline rt::DepSpec dep_inout(const void* addr) {
+  return rt::DepSpec{const_cast<void*>(addr), rt::DepKind::kInout};
+}
+
+/// Extra task clauses for task_depend.
+struct TaskOptions {
+  bool if_clause = true;  ///< false: undeferred (runs after deps, inline)
+  bool final_clause = false;
+  rt::i32 priority = 0;
+};
+
+/// `#pragma omp task depend(...)`: defers `body` ordered after the sibling
+/// tasks it depends on — last-writer edges for in, writer+reader edges for
+/// out/inout (see runtime/task.h). Rides the same Team entry point as the
+/// generated-code ABI (zomp_task_with_deps).
+inline void task_depend(std::initializer_list<rt::DepSpec> deps,
+                        std::function<void()> body, TaskOptions opts = {}) {
+  rt::ThreadState& ts = rt::current_thread();
+  rt::TaskOpts topts;
+  topts.deps = deps.begin();
+  topts.ndeps = static_cast<rt::i32>(deps.size());
+  topts.deferred = opts.if_clause;
+  topts.final = opts.final_clause;
+  topts.priority = opts.priority;
+  ts.team->task_create_ex(ts, std::move(body), topts);
+}
+
+/// `#pragma omp taskloop`: distributes [lo, hi) over chunk tasks inside an
+/// implicit taskgroup; `body(i)` runs once per iteration. Same entry point
+/// as the generated-code ABI (zomp_taskloop). Unlike for_each this is a
+/// tasking construct: any single member may call it (typically inside
+/// `single`), and idle members pick chunks up by stealing.
+struct TaskloopOptions {
+  rt::i64 grainsize = 0;  ///< iterations per chunk (0 = absent)
+  rt::i64 num_tasks = 0;  ///< chunk count (0 = absent); wins over grainsize
+};
+
+template <typename Body>
+void taskloop(rt::i64 lo, rt::i64 hi, Body&& body, TaskloopOptions opts = {}) {
+  rt::ThreadState& ts = rt::current_thread();
+  // Capturing `body` by reference is safe: taskloop's implicit taskgroup
+  // blocks until every chunk task completed.
+  ts.team->taskloop(ts, lo, hi, opts.grainsize, opts.num_tasks,
+                    [&body](rt::i64 chunk_lo, rt::i64 chunk_hi) {
+                      for (rt::i64 i = chunk_lo; i < chunk_hi; ++i) body(i);
+                    });
+}
+
 /// Waits for the current task's children (`#pragma omp taskwait`).
 inline void taskwait() {
   rt::ThreadState& ts = rt::current_thread();

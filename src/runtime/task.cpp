@@ -22,12 +22,17 @@ std::unique_ptr<Task> TaskPool::push(i32 tid, std::unique_ptr<Task> task) {
   ZOMP_CHECK(tid >= 0 && tid < static_cast<i32>(queues_.size()),
              "task push from non-member thread");
   // Count before publishing: a thief must never observe a task whose
-  // completion could drop `outstanding` below zero.
+  // completion could drop `outstanding` below zero. `queued` seq_cst: that
+  // increment is the state change the join barrier's WaitGate park keys on
+  // (see queued()), so it must land in the seq_cst total order before the
+  // waker's parked-flag load.
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_add(1, std::memory_order_seq_cst);
   if (queues_[static_cast<std::size_t>(tid)]->push(task.get())) {
     task.release();  // ownership parked in the deque until pop/steal
     return nullptr;
   }
+  queued_.fetch_sub(1, std::memory_order_acq_rel);
   outstanding_.fetch_sub(1, std::memory_order_acq_rel);
   return task;  // deque full: caller executes inline
 }
@@ -37,6 +42,7 @@ std::unique_ptr<Task> TaskPool::take(i32 tid) {
   ZOMP_CHECK(tid >= 0 && tid < n, "task take from non-member thread");
   // Own deque first, LIFO for locality.
   if (Task* task = queues_[static_cast<std::size_t>(tid)]->pop()) {
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
     return std::unique_ptr<Task>(task);
   }
   // Steal FIFO from siblings, starting just after ourselves so victims are
@@ -46,6 +52,7 @@ std::unique_ptr<Task> TaskPool::take(i32 tid) {
     WorkStealingDeque& q = *queues_[static_cast<std::size_t>((tid + k) % n)];
     if (q.maybe_empty()) continue;
     if (Task* task = q.steal()) {
+      queued_.fetch_sub(1, std::memory_order_acq_rel);
       return std::unique_ptr<Task>(task);
     }
   }

@@ -1,35 +1,121 @@
-// Explicit tasking (OpenMP `task`, `taskwait`, `taskgroup`).
+// Explicit tasking (OpenMP `task` with `depend`, `taskwait`, `taskgroup`,
+// `taskloop`).
 //
 // The paper lists tasking as future work for the Zig port; we implement it as
 // the documented extension so the runtime covers the OpenMP feature families
-// a downstream user expects. Scheduling model (DESIGN.md S1): one bounded
-// lock-free work-stealing deque per team member — the owner pushes and pops
-// its back end LIFO with plain release/acquire atomics, thieves take the
-// front end FIFO with a CAS — plus a team-wide outstanding-task count that
-// the task-aware barrier drains, and parent/child counting for `taskwait`
-// with group counting for `taskgroup`.
+// a downstream user expects. Scheduling model (DESIGN.md S1.3/S1.7): one
+// bounded lock-free work-stealing deque per team member — the owner pushes
+// and pops its back end LIFO with plain release/acquire atomics, thieves take
+// the front end FIFO with a CAS — plus a team-wide outstanding-task count
+// that the task-aware barrier drains, and parent/child counting for
+// `taskwait` with group counting for `taskgroup`.
+//
+// Dependence layer (DESIGN.md S1.7): tasks created with `depend(in/out/inout:
+// addr)` clauses get a refcounted DepNode with an atomic predecessor count.
+// Edges are computed at creation time against a per-parent hash table keyed
+// on the depend addresses (last-writer edge for out/inout, reader-set edges
+// for in) — creation of siblings is serialised by the parent task, so the
+// table itself needs no lock; only per-node state is concurrent. A task whose
+// count is still non-zero at creation parks on its node instead of entering
+// a deque; completing predecessors release it. Tasks with no depend clauses
+// never allocate a node and take the original deque fast path untouched.
 #pragma once
 
 #include <array>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/common.h"
 
 namespace zomp::rt {
 
+struct Task;
+
 struct TaskGroup {
   std::atomic<i64> active{0};
   TaskGroup* parent = nullptr;
 };
 
+/// One dependence of a task: a storage address plus the access mode of the
+/// depend clause. `in` orders against the last writer; `out`/`inout` order
+/// against the last writer and every reader since it.
+enum class DepKind : std::uint8_t { kIn = 1, kOut = 2, kInout = 3 };
+
+struct DepSpec {
+  void* addr = nullptr;
+  DepKind kind = DepKind::kInout;
+};
+
+/// Dependence-graph node of one task (libomp's kmp_depnode analogue).
+/// Shared-ptr managed: referenced by the parent's dependence table (as last
+/// writer / reader), by predecessor successor-lists, and by the task itself,
+/// so a completed task's node stays valid for edges that later siblings
+/// still draw against it.
+///
+/// Lifecycle: the creator starts `npredecessors` at 1 (the creation
+/// reference) so a predecessor finishing mid-registration cannot release the
+/// task early; each edge adds 1 under the predecessor's lock (skipped when
+/// the predecessor is already `done`). After registering every edge the
+/// creator drops the creation reference; whoever decrements the count to
+/// zero — creator or last-finishing predecessor — owns the parked task and
+/// enqueues it.
+struct DepNode {
+  std::atomic<i32> npredecessors{1};
+  /// The parked task awaiting release; null before parking, and consumed
+  /// (exactly once, by the zero-decrementer) on release. Undeferred tasks
+  /// never park: the encountering thread spins the count down and runs the
+  /// body inline, leaving this null throughout.
+  Task* task = nullptr;
+  /// Guards `done` + `successors` against the completion/registration race:
+  /// a predecessor may finish while the parent is still drawing edges to it.
+  std::mutex mu;
+  bool done = false;
+  std::vector<std::shared_ptr<DepNode>> successors;
+};
+
+/// Per-address dependence state in a parent's table: the node of the last
+/// out/inout task and the in-tasks that read since.
+struct DepEntry {
+  std::shared_ptr<DepNode> last_out;
+  std::vector<std::shared_ptr<DepNode>> readers;
+};
+
+/// Hash table mapping depend addresses to their dependence state. Only ever
+/// touched by the thread executing the owning (parent) task — sibling
+/// creation is serialised by the parent — so it is deliberately unlocked.
+/// Sized lazily (see TaskContext::dep_table): the zero-dependence path never
+/// allocates it, and taskwait clears it once all children (hence all
+/// registered nodes) are complete, so it tracks the live wavefront rather
+/// than the whole task history.
+using DepTable = std::unordered_map<const void*, DepEntry>;
+
 /// Execution context shared by implicit tasks (one per team member) and
-/// explicit tasks. Tracks outstanding children for taskwait and the
-/// innermost live taskgroup.
+/// explicit tasks. Tracks outstanding children for taskwait, the innermost
+/// live taskgroup, the final-task flag (descendants of a final task execute
+/// undeferred, the "included task" model), and the dependence table for the
+/// depend clauses of child tasks.
 struct TaskContext {
   std::atomic<i64> children{0};
   TaskGroup* group = nullptr;
+  bool in_final = false;
+  std::unique_ptr<DepTable> deps;
+
+  /// Initial bucket reservation for a lazily-created dependence table —
+  /// enough for the typical wavefront (a few live blocks per parent)
+  /// without rehash, small enough that a single depend-bearing task stays
+  /// cheap.
+  static constexpr std::size_t kDepTableReserve = 16;
+
+  DepTable& dep_table() {
+    if (!deps) {
+      deps = std::make_unique<DepTable>();
+      deps->reserve(kDepTableReserve);
+    }
+    return *deps;
+  }
 };
 
 struct Task {
@@ -37,6 +123,31 @@ struct Task {
   TaskContext ctx;           ///< context for code running inside this task
   TaskContext* parent = nullptr;
   TaskGroup* group = nullptr;
+  /// priority(n) hint. Recorded but not yet honoured by the work-stealing
+  /// deques (a Chase–Lev deque has no cheap priority order); documented in
+  /// DESIGN.md S1.7.
+  i32 priority = 0;
+  /// Dependence node, only for tasks created with depend clauses. Keeps the
+  /// node alive until the task completes and releases its successors.
+  std::shared_ptr<DepNode> depnode;
+};
+
+/// Creation-time options for Team::task_create_ex. Plain task_create remains
+/// the zero-dependence fast path.
+struct TaskOpts {
+  const DepSpec* deps = nullptr;
+  i32 ndeps = 0;
+  /// `if` clause: false executes undeferred at the creation point (after
+  /// dependences are satisfied).
+  bool deferred = true;
+  /// final(expr): true makes this task and every descendant undeferred
+  /// (included-task model; see task.h header comment).
+  bool final = false;
+  /// untied is accepted and recorded as a no-op: zomp tasks run to
+  /// completion on one thread without suspension, so every task trivially
+  /// satisfies tied-task scheduling constraints.
+  bool untied = false;
+  i32 priority = 0;
 };
 
 /// Bounded lock-free work-stealing deque (Chase–Lev, in the fence-free
@@ -150,8 +261,21 @@ class TaskPool {
   /// Returns nullptr if no task is available right now.
   std::unique_ptr<Task> take(i32 tid);
 
-  /// Tasks queued but not yet finished executing.
+  /// Tasks queued but not yet finished executing (includes tasks currently
+  /// running a body). Gates the barrier's drain: zero means every published
+  /// task fully completed.
   i64 outstanding() const { return outstanding_.load(std::memory_order_acquire); }
+
+  /// Tasks sitting in a deque right now — stealable work, excluding tasks
+  /// already executing. This is the join-barrier waiters' help gate and
+  /// WaitGate park predicate (team.cpp): a waiter must NOT burn a core while
+  /// one long task runs elsewhere with nothing to steal, but must wake when
+  /// new work lands. seq_cst load on purpose: the park protocol's
+  /// lost-wakeup argument (barrier.h) needs the gating state read in the
+  /// seq_cst total order (same cost as acquire on x86). May transiently
+  /// over-count (push increments before publishing) — a spurious wake, never
+  /// a missed one: a task still in a deque always keeps this >= 1.
+  i64 queued() const { return queued_.load(std::memory_order_seq_cst); }
 
   /// Called by the executor once a queued task's body has fully completed.
   void mark_finished() { outstanding_.fetch_sub(1, std::memory_order_acq_rel); }
@@ -161,6 +285,7 @@ class TaskPool {
   // a line regardless of vector layout.
   std::vector<std::unique_ptr<WorkStealingDeque>> queues_;
   alignas(kCacheLine) std::atomic<i64> outstanding_{0};
+  alignas(kCacheLine) std::atomic<i64> queued_{0};
 };
 
 }  // namespace zomp::rt

@@ -1,6 +1,7 @@
 #include "runtime/team.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace zomp::rt {
 
@@ -101,6 +102,10 @@ void Team::barrier_wait(i32 tid) {
     while (tasks_.outstanding() > 0) {
       if (!run_one_task(ts)) backoff.pause();
     }
+    if (ts.current_task->deps != nullptr &&
+        ts.current_task->children.load(std::memory_order_acquire) == 0) {
+      ts.current_task->deps.reset();
+    }
     return;
   }
   const u64 epoch = bar_epoch_.load(std::memory_order_acquire);
@@ -115,20 +120,53 @@ void Team::barrier_wait(i32 tid) {
       }
     }
     bar_arrived_.store(0, std::memory_order_relaxed);
-    bar_epoch_.store(epoch + 1, std::memory_order_release);
-    return;
-  }
-  Backoff backoff;
-  while (bar_epoch_.load(std::memory_order_acquire) == epoch) {
-    // Help with explicit tasks, but only when some exist: the common
-    // task-free region (every NPB kernel) must not pay a full deque scan
-    // per wait iteration — one shared-counter load keeps the barrier's
-    // spin body at two loads.
-    if (tasks_.outstanding() > 0 && run_one_task(ts)) {
+    // seq_cst epoch store: the WaitGate park below keys on it (the classic
+    // store-load pairing documented in barrier.h).
+    bar_epoch_.store(epoch + 1, std::memory_order_seq_cst);
+    bar_gate_.wake_all();
+  } else {
+    const i32 grace = doorbell_grace_rounds();
+    Backoff backoff;
+    i32 rounds = 0;
+    while (bar_epoch_.load(std::memory_order_seq_cst) == epoch) {
+      // Help with explicit tasks, but only when some are STEALABLE: the
+      // common task-free region (every NPB kernel) must not pay a full
+      // deque scan per wait iteration — one shared-counter load keeps the
+      // barrier's spin body at two loads — and a task merely *executing*
+      // elsewhere offers nothing to help with.
+      if (tasks_.queued() > 0 && run_one_task(ts)) {
+        backoff.reset();
+        rounds = 0;
+        continue;
+      }
+      if (rounds < grace) {
+        ++rounds;
+        backoff.pause();
+        continue;
+      }
+      // Grace expired — a long serial phase on the last arriver, a passive
+      // wait policy, or an oversubscribed process: condvar-park instead of
+      // yielding forever (ROADMAP barrier item). Woken by the epoch flip or
+      // by a task enqueue (enqueue_task), whose seq_cst publications pair
+      // with the seq_cst predicate loads here; the grace itself mirrors the
+      // worker doorbell so hot back-to-back joins never touch the futex.
+      // The predicate keys on queued() — stealable work — NOT outstanding():
+      // one long task executing elsewhere must leave the waiters asleep, not
+      // cycling grace-spin/instant-unpark for its whole duration.
+      bar_gate_.park([&] {
+        return bar_epoch_.load(std::memory_order_seq_cst) != epoch ||
+               tasks_.queued() > 0;
+      });
+      rounds = 0;
       backoff.reset();
-    } else {
-      backoff.pause();
     }
+  }
+  // The member's dependence wavefront cannot outlive a full barrier (every
+  // team task drained above), so retire the table here; guarded on the child
+  // count for robustness against non-conforming in-task barriers.
+  if (ts.current_task->deps != nullptr &&
+      ts.current_task->children.load(std::memory_order_acquire) == 0) {
+    ts.current_task->deps.reset();
   }
 }
 
@@ -250,37 +288,176 @@ void Team::ordered_exit(ThreadState& ts, i64 index) {
   ordered_next_.store(index + 1, std::memory_order_release);
 }
 
-void Team::task_create(ThreadState& ts, std::function<void()> body,
-                       bool deferred) {
-  ZOMP_CHECK(ts.team == this, "task created from non-member thread");
-  if (!deferred || size() == 1) {
-    // Undeferred (if(false)) and serial-team tasks run immediately in a
-    // fresh context so nested taskwait/taskgroup still behave.
-    TaskContext inline_ctx;
-    inline_ctx.group = ts.current_task->group;
-    TaskContext* saved = ts.current_task;
-    ts.current_task = &inline_ctx;
-    body();
-    // The inline task's own children must finish before it completes.
-    Backoff backoff;
-    while (inline_ctx.children.load(std::memory_order_acquire) > 0) {
-      if (!run_one_task(ts)) backoff.pause();
-    }
-    ts.current_task = saved;
+void Team::run_task_inline(ThreadState& ts, std::function<void()>& body,
+                           bool final_ctx) {
+  // Undeferred (if(false)), included (final-descendant) and serial-team
+  // tasks run immediately in a fresh context so nested taskwait / taskgroup
+  // / depend clauses still behave.
+  TaskContext inline_ctx;
+  inline_ctx.group = ts.current_task->group;
+  inline_ctx.in_final = final_ctx;
+  TaskContext* saved = ts.current_task;
+  ts.current_task = &inline_ctx;
+  body();
+  // The inline task's own children must finish before it completes.
+  Backoff backoff;
+  while (inline_ctx.children.load(std::memory_order_acquire) > 0) {
+    if (!run_one_task(ts)) backoff.pause();
+  }
+  ts.current_task = saved;
+}
+
+void Team::enqueue_task(ThreadState& ts, std::unique_ptr<Task> task) {
+  if (auto rejected = tasks_.push(ts.tid, std::move(task))) {
+    // Bounded deque full: run at the creation/release point (a legal task
+    // scheduling point), which throttles runaway producers and — through
+    // execute_task — still releases the rejected task's own successors.
+    execute_task(ts, std::move(rejected), /*counted=*/false);
     return;
   }
+  // Wake join-barrier waiters parked past their doorbell grace so a late
+  // task burst still gets helpers; one seq_cst load when nobody is parked.
+  bar_gate_.wake_all();
+}
+
+std::unique_ptr<Task> Team::new_task(ThreadState& ts,
+                                     std::function<void()> body,
+                                     i32 priority) {
   auto task = std::make_unique<Task>();
   task->body = std::move(body);
   task->parent = ts.current_task;
   task->group = ts.current_task->group;
+  task->priority = priority;
   task->parent->children.fetch_add(1, std::memory_order_acq_rel);
   if (task->group != nullptr) {
     task->group->active.fetch_add(1, std::memory_order_acq_rel);
   }
-  if (auto rejected = tasks_.push(ts.tid, std::move(task))) {
-    // Bounded deque full: run at the creation point (a legal task scheduling
-    // point), which also throttles runaway producers.
-    execute_task(ts, std::move(rejected), /*counted=*/false);
+  return task;
+}
+
+void Team::task_create(ThreadState& ts, std::function<void()> body,
+                       bool deferred) {
+  ZOMP_CHECK(ts.team == this, "task created from non-member thread");
+  const bool in_final = ts.current_task->in_final;
+  if (!deferred || in_final || size() == 1) {
+    run_task_inline(ts, body, in_final);
+    return;
+  }
+  enqueue_task(ts, new_task(ts, std::move(body), /*priority=*/0));
+}
+
+void Team::task_create_ex(ThreadState& ts, std::function<void()> body,
+                          const TaskOpts& opts) {
+  ZOMP_CHECK(ts.team == this, "task created from non-member thread");
+  const bool final_task = opts.final || ts.current_task->in_final;
+  if (opts.ndeps <= 0) {
+    // No dependences: the original fast path (plus priority recording).
+    if (!opts.deferred || final_task || size() == 1) {
+      run_task_inline(ts, body, final_task);
+      return;
+    }
+    enqueue_task(ts, new_task(ts, std::move(body), opts.priority));
+    return;
+  }
+
+  // -- Dependence path (DESIGN.md S1.7) -------------------------------------
+  // Sibling creation is serialised by the parent task, so the table walk is
+  // single-threaded; only the per-node lock below is contended (against
+  // predecessors completing concurrently).
+  TaskContext& parent = *ts.current_task;
+  DepTable& table = parent.dep_table();
+  auto node = std::make_shared<DepNode>();
+
+  // Merge duplicate addresses first (depend(in: x) + depend(out: x) on one
+  // task acts as inout) so a task never draws an edge to its own node.
+  struct MergedDep {
+    const void* addr;
+    bool writes;
+  };
+  std::vector<MergedDep> merged;
+  merged.reserve(static_cast<std::size_t>(opts.ndeps));
+  for (i32 i = 0; i < opts.ndeps; ++i) {
+    const DepSpec& d = opts.deps[i];
+    const bool writes = d.kind != DepKind::kIn;
+    bool found = false;
+    for (auto& m : merged) {
+      if (m.addr == d.addr) {
+        m.writes = m.writes || writes;
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(MergedDep{d.addr, writes});
+  }
+
+  auto link = [&](const std::shared_ptr<DepNode>& pred) {
+    const std::lock_guard<std::mutex> lock(pred->mu);
+    if (pred->done) return;  // completed predecessors impose nothing
+    pred->successors.push_back(node);
+    node->npredecessors.fetch_add(1, std::memory_order_relaxed);
+  };
+  for (const MergedDep& m : merged) {
+    DepEntry& entry = table[m.addr];
+    if (m.writes) {
+      // out/inout: after the last writer and every reader since it.
+      if (entry.last_out) link(entry.last_out);
+      for (const auto& r : entry.readers) link(r);
+      entry.readers.clear();
+      entry.last_out = node;
+    } else {
+      // in: after the last writer only; readers run concurrently.
+      if (entry.last_out) link(entry.last_out);
+      entry.readers.push_back(node);
+    }
+  }
+
+  const bool deferred = opts.deferred && !final_task && size() > 1;
+  if (!deferred) {
+    // An undeferred task still honours its dependences: help run queued
+    // tasks until every predecessor completed (count down to the creation
+    // reference), then run inline and release successors.
+    Backoff backoff;
+    while (node->npredecessors.load(std::memory_order_acquire) > 1) {
+      if (run_one_task(ts)) {
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+    node->npredecessors.fetch_sub(1, std::memory_order_acq_rel);
+    run_task_inline(ts, body, final_task);
+    complete_depnode(ts, *node);
+    return;
+  }
+
+  auto task = new_task(ts, std::move(body), opts.priority);
+  task->depnode = node;
+  // Park before dropping the creation reference: whoever decrements the
+  // count to zero — us, when every predecessor already finished, or the
+  // last-finishing predecessor — owns the task and enqueues it exactly once.
+  node->task = task.release();
+  if (node->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::unique_ptr<Task> ready(std::exchange(node->task, nullptr));
+    enqueue_task(ts, std::move(ready));
+  }
+}
+
+void Team::complete_depnode(ThreadState& ts, DepNode& node) {
+  std::vector<std::shared_ptr<DepNode>> successors;
+  {
+    const std::lock_guard<std::mutex> lock(node.mu);
+    node.done = true;  // later siblings skip the edge entirely
+    successors.swap(node.successors);
+  }
+  for (const auto& succ : successors) {
+    if (succ->npredecessors.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last predecessor: the acquire above pairs with the creator's release
+      // drop of the creation reference, ordering its `task` store before
+      // this read. Undeferred successors never park (task stays null) —
+      // their encountering thread spins the count down itself.
+      std::unique_ptr<Task> ready(std::exchange(succ->task, nullptr));
+      if (ready) enqueue_task(ts, std::move(ready));
+    }
   }
 }
 
@@ -303,6 +480,12 @@ void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task,
     }
   }
   ts.current_task = saved;
+  // Release dependent successors BEFORE this task's own counters drop: a
+  // released successor enters `outstanding` (enqueue_task -> push) first, so
+  // the join barrier's drain count never reads zero with a releasable task
+  // still parked. Runs on the overflow-inline path too (counted == false) —
+  // a rejected task's successors must not strand.
+  if (task->depnode) complete_depnode(ts, *task->depnode);
   if (task->group != nullptr) {
     task->group->active.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -326,6 +509,46 @@ void Team::taskwait(ThreadState& ts) {
       backoff.pause();
     }
   }
+  // All children complete: every node in the dependence table is done and
+  // can impose no further edges, so retire the table — later siblings start
+  // a fresh wavefront and long-running parents don't accumulate per-address
+  // state across synchronisation points.
+  if (ts.current_task->deps != nullptr) ts.current_task->deps.reset();
+}
+
+void Team::taskloop(ThreadState& ts, i64 lo, i64 hi, i64 grainsize,
+                    i64 num_tasks, std::function<void(i64, i64)> chunk_body) {
+  ZOMP_CHECK(ts.team == this, "taskloop from non-member thread");
+  // Implicit taskgroup: taskloop returns only when every chunk task (and
+  // their descendants) completed, which also keeps `chunk_body` alive for
+  // the chunks' whole lifetime.
+  TaskGroup group;
+  taskgroup_begin(ts, group);
+  const i64 trips = hi > lo ? hi - lo : 0;
+  if (trips > 0) {
+    i64 chunks;
+    if (num_tasks > 0) {
+      chunks = std::min(num_tasks, trips);
+    } else if (grainsize > 0) {
+      chunks = (trips + grainsize - 1) / grainsize;
+    } else {
+      chunks = std::min<i64>(trips, i64{size()} * kTaskloopChunksPerMember);
+    }
+    // One shared copy of the body: chunk tasks only read it.
+    auto body = std::make_shared<std::function<void(i64, i64)>>(
+        std::move(chunk_body));
+    const i64 base = trips / chunks;
+    const i64 rem = trips % chunks;
+    i64 start = lo;
+    for (i64 c = 0; c < chunks; ++c) {
+      const i64 len = base + (c < rem ? 1 : 0);
+      const i64 clo = start;
+      const i64 chi = start + len;
+      start = chi;
+      task_create(ts, [body, clo, chi] { (*body)(clo, chi); });
+    }
+  }
+  taskgroup_end(ts, group);
 }
 
 void Team::taskgroup_begin(ThreadState& ts, TaskGroup& group) {

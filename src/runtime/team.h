@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/barrier.h"
 #include "runtime/common.h"
 #include "runtime/icv.h"
 #include "runtime/reduce.h"
@@ -156,13 +157,34 @@ class Team {
 
   TaskPool& tasks() { return tasks_; }
 
-  /// Creates (or, for size-1 teams and `if(false)` tasks, runs inline) an
-  /// explicit task whose body is `body`.
+  /// Creates (or, for size-1 teams, `if(false)` tasks and descendants of
+  /// final tasks, runs inline) an explicit task whose body is `body`. This is
+  /// the zero-dependence fast path; depend/final/priority go through
+  /// task_create_ex.
   void task_create(ThreadState& ts, std::function<void()> body,
                    bool deferred = true);
 
+  /// Full-featured task creation: depend(in/out/inout) edges against the
+  /// current task's dependence table, if(false)/final undeferred execution
+  /// (after dependences are satisfied), priority recording. With
+  /// opts.ndeps == 0 this degrades to exactly the task_create fast path.
+  void task_create_ex(ThreadState& ts, std::function<void()> body,
+                      const TaskOpts& opts);
+
+  /// `taskloop`: splits [lo, hi) into chunk tasks and runs `chunk_body(clo,
+  /// chi)` as one task per chunk inside an implicit taskgroup (returns when
+  /// every chunk completed). num_tasks > 0 requests that many chunks
+  /// (clamped to the trip count); otherwise grainsize > 0 gives
+  /// ceil(trips/grainsize) chunks; otherwise a default of
+  /// kTaskloopChunksPerMember chunks per member keeps thieves fed without
+  /// drowning the deques.
+  void taskloop(ThreadState& ts, i64 lo, i64 hi, i64 grainsize, i64 num_tasks,
+                std::function<void(i64, i64)> chunk_body);
+
   /// Task scheduling point: waits until the current task's children finished,
-  /// executing queued tasks while waiting.
+  /// executing queued tasks while waiting. Also retires the current task's
+  /// dependence table — every registered node is complete once the children
+  /// count drains, so later siblings start against a fresh wavefront.
   void taskwait(ThreadState& ts);
 
   void taskgroup_begin(ThreadState& ts, TaskGroup& group);
@@ -194,12 +216,41 @@ class Team {
 
  private:
   static constexpr i32 kDispatchRing = 8;
+  /// Default taskloop chunking (neither grainsize nor num_tasks): this many
+  /// chunks per team member, enough slack for stealing to balance uneven
+  /// chunk costs while keeping per-task overhead amortised.
+  static constexpr i64 kTaskloopChunksPerMember = 4;
 
   /// Runs a task body with full parent/group accounting. `counted` says the
   /// task went through the pool (and must decrement `outstanding`); tasks
   /// that overflowed the bounded deque run inline with counted == false.
   void execute_task(ThreadState& ts, std::unique_ptr<Task> task,
                     bool counted = true);
+
+  /// Runs `body` undeferred at the creation point in a fresh task context
+  /// (the if(false)/final/serial-team path).
+  void run_task_inline(ThreadState& ts, std::function<void()>& body,
+                       bool final_ctx);
+
+  /// Builds a deferred task and links it into the parent/group counts — the
+  /// one place Task construction and accounting live, shared by the fast
+  /// path, the with-clauses path, and the dependence path (which parks the
+  /// result instead of enqueueing it).
+  std::unique_ptr<Task> new_task(ThreadState& ts, std::function<void()> body,
+                                 i32 priority);
+
+  /// Publishes a ready task: pushes onto `ts`'s deque (waking parked join
+  /// waiters so they can help) or, when the bounded deque is full, executes
+  /// it inline — a legal task scheduling point that also releases the
+  /// rejected task's own successors.
+  void enqueue_task(ThreadState& ts, std::unique_ptr<Task> task);
+
+  /// Marks `node` complete and releases its successors: each successor whose
+  /// predecessor count hits zero is unparked onto `ts`'s deque. Called
+  /// before the completing task's own outstanding/children decrements so the
+  /// join barrier's drain count never dips to zero with a releasable task
+  /// still parked.
+  void complete_depnode(ThreadState& ts, DepNode& node);
 
   std::vector<ThreadState*> members_;
   Icv icv_;
@@ -209,6 +260,11 @@ class Team {
   // Task-aware sense barrier (epoch-based so members need no local flag).
   alignas(kCacheLine) std::atomic<i32> bar_arrived_{0};
   alignas(kCacheLine) std::atomic<u64> bar_epoch_{0};
+  /// Condvar park for join-barrier waiters that outlasted the doorbell grace
+  /// (ROADMAP "barrier waiters never condvar-park" item; protocol in
+  /// barrier.h). Woken by the epoch flip and by task enqueues, so parked
+  /// waiters still help with late task bursts.
+  WaitGate bar_gate_;
 
   DispatchSlot dispatch_ring_[kDispatchRing];
 

@@ -22,6 +22,7 @@
 #include "npb/nprandom.h"
 #include "reduce_matrix_mz.h"
 #include "runtime/api.h"
+#include "taskgraph_mz.h"
 
 #ifndef ZOMP_SOURCE_DIR
 #define ZOMP_SOURCE_DIR "."
@@ -499,6 +500,128 @@ INSTANTIATE_TEST_SUITE_P(
                           "schedule(dynamic, 1)"},
         ScheduleSweepCase{zomp::rt::ScheduleKind::kGuided, 0,
                           "schedule(guided)"}));
+
+// -- Task graph: depend wavefront, taskloop, taskgroup (DESIGN.md S1.7) ------
+//
+// taskgraph.mz is all-integer, so ANY task interleaving that honours the
+// declared dependences is bit-identical to the serial oracle. The sweep runs
+// the same file interpreted and natively transpiled across {1, 2, 4, 8}
+// threads — the acceptance gate of the tasking PR.
+
+std::int64_t wavefront_lij(std::int64_t i, std::int64_t j) {
+  std::int64_t r = (i + 2 * j) % 3;
+  if (r < 0) r += 3;
+  return r - 1;
+}
+
+class BackendTaskGraphSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendTaskGraphSweep, TaskgraphKernelAgreesAcrossBackends) {
+  const int threads = GetParam();
+  auto result = core::compile_source(read_kernel("taskgraph.mz"),
+                                     {true, "taskgraph_interp"});
+  ASSERT_TRUE(result.ok) << result.diagnostics_text();
+  zomp::set_num_threads(threads);
+  Interp interp(*result.module);
+
+  // wavefront_run — blocked unit-lower-triangular solve via depend.
+  {
+    constexpr std::int64_t nb = 5, bs = 8, n = nb * bs;
+    std::vector<std::int64_t> bvec(n), xo(n);
+    for (std::int64_t i = 0; i < n; ++i) bvec[i] = (i * 17 % 23) - 11;
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::int64_t s = 0;
+      for (std::int64_t j = 0; j < i; ++j) s += wavefront_lij(i, j) * xo[j];
+      xo[i] = bvec[i] - s;
+    }
+    std::int64_t oracle = 0;
+    for (std::int64_t i = 0; i < n; ++i) oracle += xo[i] * (i % 13 + 1);
+
+    SliceVal ib = make_slice_i64(n);
+    SliceVal ix = make_slice_i64(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      (*ib.data)[static_cast<std::size_t>(i)] = Value(bvec[i]);
+    }
+    const Value isum = interp.call_by_name(
+        "wavefront_run", {Value(nb), Value(bs), Value(ib), Value(ix)});
+
+    std::vector<std::int64_t> nx(n, 0);
+    const std::int64_t nsum = mzgen_taskgraph_mz::wavefront_run(
+        nb, bs, mz::Slice<std::int64_t>{bvec.data(), n},
+        mz::Slice<std::int64_t>{nx.data(), n});
+
+    EXPECT_EQ(isum.as_i64(), nsum) << threads << " threads";
+    EXPECT_EQ(nsum, oracle) << threads << " threads";
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(nx[static_cast<std::size_t>(i)], xo[static_cast<std::size_t>(i)])
+          << "block element " << i << " at " << threads << " threads";
+    }
+  }
+
+  // taskloop_run — fill (every index exactly once, any chunking) + atomic
+  // sum, chained through the implicit taskgroups.
+  {
+    constexpr std::int64_t n = 53, g = 3, nt = 7;
+    std::int64_t oracle = 0;
+    for (std::int64_t i = 0; i < n; ++i) oracle += (i * i - 3 * i + 7) * 2 + 1;
+
+    SliceVal iout = make_slice_i64(n);
+    const Value itl = interp.call_by_name(
+        "taskloop_run", {Value(n), Value(g), Value(nt), Value(iout)});
+    std::vector<std::int64_t> nout(n, 0);
+    const std::int64_t ntl = mzgen_taskgraph_mz::taskloop_run(
+        n, g, nt, mz::Slice<std::int64_t>{nout.data(), n});
+
+    EXPECT_EQ(itl.as_i64(), ntl) << threads << " threads";
+    EXPECT_EQ(ntl, oracle) << threads << " threads";
+    for (std::int64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(nout[static_cast<std::size_t>(i)], i * i - 3 * i + 7)
+          << "taskloop index " << i << " at " << threads << " threads";
+      ASSERT_EQ((*iout.data)[static_cast<std::size_t>(i)].as_i64(),
+                i * i - 3 * i + 7)
+          << "interp taskloop index " << i << " at " << threads << " threads";
+    }
+  }
+
+  // taskgroup_run — a task inside a task inside a taskgroup is counted
+  // (out[0] reads the total immediately after the group closes).
+  {
+    constexpr std::int64_t n = 20, expect = n * (n + 1) / 2;
+    SliceVal iout = make_slice_i64(2);
+    const Value itg = interp.call_by_name("taskgroup_run",
+                                          {Value(n), Value(iout)});
+    std::vector<std::int64_t> nout(2, 0);
+    const std::int64_t ntg = mzgen_taskgraph_mz::taskgroup_run(
+        n, mz::Slice<std::int64_t>{nout.data(), 2});
+    EXPECT_EQ(itg.as_i64(), expect);
+    EXPECT_EQ(ntg, expect);
+    EXPECT_EQ((*iout.data)[0].as_i64(), expect) << "interp taskgroup count";
+    EXPECT_EQ(nout[0], expect) << "codegen taskgroup count";
+    EXPECT_EQ((*iout.data)[1].as_i64(), expect);
+    EXPECT_EQ(nout[1], expect);
+  }
+
+  // clauses_run — depend chain on a scalar (strict write order), final
+  // subtree inlining, if(false) undeferred, priority/untied accepted.
+  {
+    SliceVal iout = make_slice_i64(2);
+    const Value icl = interp.call_by_name("clauses_run", {Value(5), Value(iout)});
+    std::vector<std::int64_t> nout(2, 0);
+    const std::int64_t ncl = mzgen_taskgraph_mz::clauses_run(
+        5, mz::Slice<std::int64_t>{nout.data(), 2});
+    EXPECT_EQ(icl.as_i64(), 123) << "interp depend chain order";
+    EXPECT_EQ(ncl, 123) << "codegen depend chain order";
+    // 17 = immediate*10 + inner: the undeferred task AND its nested child
+    // both completed at the construct (run_task_inline drains children).
+    EXPECT_EQ((*iout.data)[0].as_i64(), 17) << "if(false) ran undeferred";
+    EXPECT_EQ(nout[0], 17) << "if(false) ran undeferred";
+    EXPECT_EQ((*iout.data)[1].as_i64(), 3);
+    EXPECT_EQ(nout[1], 3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BackendTaskGraphSweep,
+                         ::testing::Values(1, 2, 4, 8));
 
 TEST(BackendEquivalenceTest, EpRandlcInterpretedMatchesHost) {
   // The MiniZig randlc (float-split arithmetic) must match the host

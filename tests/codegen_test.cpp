@@ -350,6 +350,95 @@ fn f(n: i64) void {
   EXPECT_NE(cpp.find("zomp_fork_call_if("), std::string::npos);
 }
 
+TEST(CodegenTest, TaskWithDepsEmitsDependArrayAndFlags) {
+  const std::string cpp = gen(R"(
+fn f(x: []i64, n: i64) void {
+  //#omp parallel
+  {
+    //#omp single
+    {
+      const cn = n;
+      //#omp task depend(out: x[0]) depend(in: x[1]) final(cn > 2) priority(3) untied
+      {
+        x[0] = 1;
+      }
+    }
+  }
+}
+)");
+  // Depend addresses evaluated at the creation site; kinds 2 = out, 1 = in.
+  EXPECT_NE(cpp.find("zomp_depend_t"), std::string::npos);
+  EXPECT_NE(cpp.find("), 2}"), std::string::npos);
+  EXPECT_NE(cpp.find("), 1}"), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_task_with_deps("), std::string::npos);
+  EXPECT_NE(cpp.find("ZOMP_TASK_FINAL"), std::string::npos);
+  EXPECT_NE(cpp.find("ZOMP_TASK_UNTIED"), std::string::npos);
+  // A plain task must NOT pay the rich entry point.
+  const std::string plain = gen(R"(
+fn g(x: []i64) void {
+  //#omp parallel
+  {
+    //#omp single
+    {
+      //#omp task
+      {
+        x[0] = 1;
+      }
+    }
+  }
+}
+)");
+  EXPECT_NE(plain.find("zomp_task("), std::string::npos);
+  EXPECT_EQ(plain.find("zomp_task_with_deps("), std::string::npos);
+}
+
+TEST(CodegenTest, TaskgroupEmitsRaiiGuard) {
+  const std::string cpp = gen(R"(
+fn f(x: []i64) void {
+  //#omp parallel
+  {
+    //#omp single
+    {
+      //#omp taskgroup
+      {
+        //#omp task
+        {
+          x[0] = 1;
+        }
+      }
+    }
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_taskgroup_begin("), std::string::npos);
+  EXPECT_NE(cpp.find("zomp_taskgroup_end("), std::string::npos);
+  // End rides a destructor so early returns still close the group.
+  EXPECT_NE(cpp.find("~"), std::string::npos);
+}
+
+TEST(CodegenTest, TaskloopEmitsChunkThunkAndBounds) {
+  const std::string cpp = gen(R"(
+fn f(x: []i64, n: i64) void {
+  //#omp parallel
+  {
+    //#omp single
+    {
+      const g = n;
+      //#omp taskloop grainsize(g)
+      for (0..n) |i| {
+        x[i] = i;
+      }
+    }
+  }
+}
+)");
+  EXPECT_NE(cpp.find("zomp_taskloop("), std::string::npos);
+  // Chunk thunk takes the bounds; the outlined fn receives them last.
+  EXPECT_NE(cpp.find("static void run(std::int64_t __lo, std::int64_t __hi"),
+            std::string::npos);
+  EXPECT_NE(cpp.find(", __lo, __hi)"), std::string::npos);
+}
+
 TEST(CodegenTest, StringEscapesInPrint) {
   const std::string cpp = gen(R"(
 fn f() void { @print("a\"b\n"); }

@@ -179,6 +179,64 @@ TEST(DirectiveParserTest, UnsupportedClausesWarnButPass) {
   EXPECT_TRUE(warned);
 }
 
+TEST(DirectiveParserTest, TaskingConstructHeads) {
+  EXPECT_EQ(parse_ok(" taskgroup")->kind, DirectiveKind::kTaskgroup);
+  EXPECT_EQ(parse_ok(" taskloop")->kind, DirectiveKind::kTaskloop);
+}
+
+TEST(DirectiveParserTest, DependClauseKindsAndItems) {
+  auto d = parse_ok(" task depend(in: a, b) depend(out: c) depend(inout: x[i * 4])");
+  ASSERT_EQ(d->depends.size(), 3u);
+  EXPECT_EQ(d->depends[0].kind, DependKind::kIn);
+  ASSERT_EQ(d->depends[0].items.size(), 2u);
+  EXPECT_EQ(lang::dump_expr(*d->depends[0].items[0]), "a");
+  EXPECT_EQ(lang::dump_expr(*d->depends[0].items[1]), "b");
+  EXPECT_EQ(d->depends[1].kind, DependKind::kOut);
+  EXPECT_EQ(d->depends[2].kind, DependKind::kInout);
+  EXPECT_EQ(lang::dump_expr(*d->depends[2].items[0]), "(index x (* i 4))");
+}
+
+TEST(DirectiveParserTest, DependClauseErrors) {
+  parse_fail(" task depend(mutexinout: a)", "unknown depend kind");
+  parse_fail(" task depend(in a)", "':' after depend kind");
+  parse_fail(" task depend(in:)", "depend");
+  parse_fail(" task depend(in: a + b)", "variable or a slice element");
+  parse_fail(" for depend(in: a)", "not valid");
+  parse_fail(" taskloop depend(in: a)", "not valid");
+  parse_fail(" taskgroup depend(out: a)", "not valid");
+}
+
+TEST(DirectiveParserTest, TaskFinalPriorityUntied) {
+  auto d = parse_ok(" task final(n > 4) priority(2 * p) untied if(n > 0)");
+  ASSERT_NE(d->final_clause, nullptr);
+  EXPECT_EQ(lang::dump_expr(*d->final_clause), "(> n 4)");
+  ASSERT_NE(d->priority, nullptr);
+  EXPECT_EQ(lang::dump_expr(*d->priority), "(* 2 p)");
+  EXPECT_TRUE(d->untied);
+  parse_fail(" parallel final(true)", "not valid");
+  parse_fail(" for priority(1)", "not valid");
+  parse_fail(" single untied", "not valid");
+  parse_fail(" task final(1) final(0)", "duplicate 'final'");
+  parse_fail(" task priority(1) priority(2)", "duplicate 'priority'");
+}
+
+TEST(DirectiveParserTest, TaskloopChunkingClauses) {
+  auto g = parse_ok(" taskloop grainsize(64) firstprivate(a) shared(b)");
+  ASSERT_NE(g->grainsize, nullptr);
+  EXPECT_EQ(g->grainsize->int_value, 64);
+  EXPECT_EQ(g->firstprivate_vars, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(g->shared_vars, (std::vector<std::string>{"b"}));
+  auto n = parse_ok(" taskloop num_tasks(t * 2)");
+  ASSERT_NE(n->num_tasks, nullptr);
+  EXPECT_EQ(lang::dump_expr(*n->num_tasks), "(* t 2)");
+  parse_fail(" taskloop grainsize(4) num_tasks(2)", "mutually exclusive");
+  parse_fail(" taskloop grainsize(4) grainsize(8)", "duplicate 'grainsize'");
+  parse_fail(" taskloop num_tasks(4) num_tasks(8)", "duplicate 'num_tasks'");
+  parse_fail(" for grainsize(4)", "not valid");
+  parse_fail(" task num_tasks(4)", "not valid");
+  parse_fail(" taskloop schedule(static)", "not valid");
+}
+
 TEST(DirectiveParserTest, CollapseDepths) {
   EXPECT_EQ(parse_ok(" for collapse(1)")->collapse, 1);
   EXPECT_EQ(parse_ok(" for collapse(2)")->collapse, 2);

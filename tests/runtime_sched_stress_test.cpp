@@ -452,6 +452,273 @@ TEST(SchedStressTest, NestedParallelBetweenReductionsKeepsSequence) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// -- Task-graph stress (depend/taskgroup/taskloop, DESIGN.md S1.7) -----------
+
+TEST(TaskGraphStressTest, DiamondDependencePattern) {
+  // A -> {B, C} -> D, repeated: A must complete before B/C start, both
+  // before D. B and C race — only the declared edges order anything.
+  constexpr int kRounds = 60;
+  std::atomic<int> violations{0};
+  parallel(
+      [&] {
+        single([&] {
+          for (int r = 0; r < kRounds; ++r) {
+            int x = 0, y = 0;  // dependence tokens (addresses only)
+            std::atomic<int> a_done{0}, bc_done{0};
+            task_depend({dep_out(&x)}, [&] {
+              a_done.store(1, std::memory_order_relaxed);
+            });
+            task_depend({dep_in(&x), dep_out(&y)}, [&] {
+              if (a_done.load(std::memory_order_relaxed) != 1) violations++;
+              bc_done.fetch_add(1, std::memory_order_relaxed);
+            });
+            // Second reader of x writes a DIFFERENT token, so B and C stay
+            // concurrent; D fans in on both.
+            int z = 0;
+            task_depend({dep_in(&x), dep_out(&z)}, [&] {
+              if (a_done.load(std::memory_order_relaxed) != 1) violations++;
+              bc_done.fetch_add(1, std::memory_order_relaxed);
+            });
+            task_depend({dep_in(&y), dep_in(&z)}, [&] {
+              if (bc_done.load(std::memory_order_relaxed) != 2) violations++;
+            });
+            taskwait();
+          }
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(TaskGraphStressTest, LongInoutChainIsStrictlySerialised) {
+  // inout-chained tasks may never overlap or reorder: without locks, the
+  // value threads through the chain exactly once per link. TSan would flag
+  // any missed happens-before edge on the unsynchronised accumulator.
+  constexpr int kLinks = 400;
+  constexpr long kMod = 1000003;  // keeps the affine chain in i64 range
+  long acc = 0;  // deliberately NOT atomic: the chain is the only ordering
+  parallel(
+      [&] {
+        single([&] {
+          for (int i = 0; i < kLinks; ++i) {
+            // Distinct affine links: composition does not commute, so any
+            // reordering (not just a lost link) changes the result.
+            task_depend({dep_inout(&acc)},
+                        [&acc, i] { acc = (acc * 3 + i) % kMod; });
+          }
+          taskwait();
+        });
+      },
+      ParallelOptions{4, true});
+  long expect = 0;
+  for (int i = 0; i < kLinks; ++i) expect = (expect * 3 + i) % kMod;
+  EXPECT_EQ(acc, expect);
+}
+
+TEST(TaskGraphStressTest, FanInWaitsForAllPredecessors) {
+  // K independent writers, one reader with in-deps on every address: the
+  // reader must observe all K unsynchronised writes (edges are the only
+  // happens-before), repeated under churn.
+  constexpr int kWriters = 16;
+  constexpr int kRounds = 30;
+  std::atomic<int> violations{0};
+  parallel(
+      [&] {
+        single([&] {
+          for (int r = 0; r < kRounds; ++r) {
+            long slot[kWriters] = {};
+            std::vector<rt::DepSpec> fan;
+            for (int w = 0; w < kWriters; ++w) {
+              task_depend({dep_out(&slot[w])}, [&slot, w] { slot[w] = w + 1; });
+              fan.push_back(dep_in(&slot[w]));
+            }
+            rt::ThreadState& ts = rt::current_thread();
+            rt::TaskOpts opts;
+            opts.deps = fan.data();
+            opts.ndeps = static_cast<rt::i32>(fan.size());
+            ts.team->task_create_ex(
+                ts,
+                [&] {
+                  for (int w = 0; w < kWriters; ++w) {
+                    if (slot[w] != w + 1) violations++;
+                  }
+                },
+                opts);
+            taskwait();
+          }
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(TaskGraphStressTest, ReadersRunConcurrentlyBetweenWriters) {
+  // writer -> N readers -> writer: the second writer must wait for every
+  // reader (reader-set edges), and the readers must all see the first write.
+  constexpr int kReaders = 12;
+  constexpr int kRounds = 25;
+  std::atomic<int> violations{0};
+  parallel(
+      [&] {
+        single([&] {
+          for (int r = 0; r < kRounds; ++r) {
+            long v = 0;
+            std::atomic<int> reads{0};
+            task_depend({dep_out(&v)}, [&v] { v = 42; });
+            for (int i = 0; i < kReaders; ++i) {
+              task_depend({dep_in(&v)}, [&] {
+                if (v != 42) violations++;
+                reads.fetch_add(1, std::memory_order_relaxed);
+              });
+            }
+            task_depend({dep_inout(&v)}, [&] {
+              if (reads.load(std::memory_order_relaxed) != kReaders) violations++;
+              v = 7;
+            });
+            taskwait();
+            if (v != 7) violations++;
+          }
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(TaskGraphStressTest, DequeOverflowReleasesPendingSuccessors) {
+  // More predecessor tasks than the bounded deque holds, each with a parked
+  // successor: overflow executes predecessors inline at creation, which must
+  // STILL release their successors (the rejected-task path calls the same
+  // completion hook).
+  const int kPairs = static_cast<int>(rt::WorkStealingDeque::kCapacity) + 200;
+  std::vector<long> tokens(static_cast<std::size_t>(kPairs), 0);
+  std::atomic<int> done{0};
+  parallel(
+      [&] {
+        single([&] {
+          for (int i = 0; i < kPairs; ++i) {
+            long* t = &tokens[static_cast<std::size_t>(i)];
+            task_depend({dep_out(t)}, [t] { *t = 1; });
+            task_depend({dep_in(t)}, [t, &done] {
+              if (*t == 1) done.fetch_add(1, std::memory_order_relaxed);
+            });
+          }
+        });
+      },
+      ParallelOptions{2, true});
+  EXPECT_EQ(done.load(), kPairs);
+}
+
+TEST(TaskGraphStressTest, ConcurrentTaskgroupsOnAllMembers) {
+  // Every member opens its own taskgroup and nests tasks two levels deep;
+  // groups are per-task-context state and must not cross-talk.
+  constexpr int kThreads = 4;
+  constexpr int kPerMember = 25;
+  std::atomic<int> violations{0};
+  parallel(
+      [&] {
+        std::atomic<int> mine{0};
+        taskgroup([&] {
+          for (int i = 0; i < kPerMember; ++i) {
+            task([&mine] {
+              task([&mine] { mine.fetch_add(1, std::memory_order_relaxed); });
+            });
+          }
+        });
+        if (mine.load(std::memory_order_relaxed) != kPerMember) violations++;
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(TaskGraphStressTest, TaskloopChunksCoverExactlyOnce) {
+  // taskloop under every chunking clause: each index incremented exactly
+  // once, with concurrent taskloops from different members.
+  constexpr rt::i64 kN = 600;
+  for (const TaskloopOptions opts :
+       {TaskloopOptions{0, 0}, TaskloopOptions{7, 0}, TaskloopOptions{0, 13},
+        TaskloopOptions{1, 0}, TaskloopOptions{0, 1}}) {
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    parallel(
+        [&] {
+          single([&] {
+            taskloop(
+                rt::i64{0}, kN,
+                [&](rt::i64 i) {
+                  hits[static_cast<std::size_t>(i)].fetch_add(
+                      1, std::memory_order_relaxed);
+                },
+                opts);
+          });
+        },
+        ParallelOptions{4, true});
+    for (rt::i64 i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " grainsize=" << opts.grainsize
+          << " num_tasks=" << opts.num_tasks;
+    }
+  }
+}
+
+TEST(TaskGraphStressTest, BarrierParkWakesForLateTaskBurst) {
+  // Workers reach the join barrier and condvar-park past the doorbell grace
+  // (passive policy parks almost immediately) while the master sits in a
+  // long serial phase, then floods tasks: parked waiters must wake and the
+  // barrier must still drain everything. Exercises the WaitGate handshake
+  // under TSan.
+  const auto saved = get_wait_policy();
+  set_wait_policy(rt::WaitPolicy::kPassive);
+  constexpr int kTasks = 300;
+  std::atomic<int> done{0};
+  parallel(
+      [&] {
+        if (thread_num() == 0) {
+          // Outlast every waiter's grace so they actually park.
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+          for (int i = 0; i < kTasks; ++i) {
+            task([&] { done.fetch_add(1, std::memory_order_relaxed); });
+          }
+        }
+      },
+      ParallelOptions{4, true});
+  set_wait_policy(saved);
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(TaskGraphStressTest, FinalTasksRunIncludedSubtrees) {
+  // A final task's whole subtree executes undeferred on the encountering
+  // thread; mixed with normal deferred siblings under contention.
+  constexpr int kRounds = 40;
+  std::atomic<int> subtree{0};
+  std::atomic<int> wrong_thread{0};
+  parallel(
+      [&] {
+        single([&] {
+          const int creator = thread_num();
+          for (int r = 0; r < kRounds; ++r) {
+            task([&] { /* deferred noise */ });
+            rt::ThreadState& ts = rt::current_thread();
+            rt::TaskOpts opts;
+            opts.final = true;
+            ts.team->task_create_ex(
+                ts,
+                [&, creator] {
+                  if (thread_num() != creator) wrong_thread++;
+                  task([&, creator] {  // included: still inline, same thread
+                    if (thread_num() != creator) wrong_thread++;
+                    subtree.fetch_add(1, std::memory_order_relaxed);
+                  });
+                },
+                opts);
+          }
+          taskwait();
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_EQ(subtree.load(), kRounds);
+  EXPECT_EQ(wrong_thread.load(), 0);
+}
+
 TEST(SchedStressTest, ConcurrentTeamsReduceIndependently) {
   // Two root threads fork separate teams that reduce simultaneously. The
   // retired protocol took one *global* named critical here, serialising the

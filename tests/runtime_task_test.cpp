@@ -177,6 +177,107 @@ TEST(TaskAbiTest, CAbiTaskCopiesArgument) {
       ParallelOptions{4, true});
 }
 
+TEST(TaskAbiTest, TaskgroupAbiCountsNestedDescendants) {
+  // The generated-code route (zomp_taskgroup_begin/end) must propagate the
+  // innermost live group to nested tasks exactly as hl.h's stack taskgroup
+  // does — the reachability-asymmetry regression: a task spawned inside a
+  // nested task inside the group IS counted before end returns.
+  std::atomic<int> inside{0};
+  std::atomic<bool> saw_all{false};
+  parallel(
+      [&] {
+        single([&] {
+          void* group = zomp_taskgroup_begin(nullptr, 0);
+          for (int i = 0; i < 15; ++i) {
+            task([&] {
+              task([&] {
+                task([&] { inside.fetch_add(1, std::memory_order_relaxed); });
+              });
+            });
+          }
+          zomp_taskgroup_end(nullptr, 0, group);
+          saw_all.store(inside.load() == 15);
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_TRUE(saw_all.load());
+}
+
+TEST(TaskAbiTest, TaskWithDepsAbiOrdersSiblings) {
+  // An inout chain through the C ABI: strict serialisation, no locks.
+  long acc = 0;
+  parallel(
+      [&] {
+        single([&] {
+          for (int i = 0; i < 50; ++i) {
+            struct Payload {
+              long* acc;
+            } p{&acc};
+            zomp_depend_t dep{&acc, 3 /* inout */};
+            zomp_task_with_deps(
+                nullptr, 0,
+                [](void* arg) {
+                  long* a = static_cast<Payload*>(arg)->acc;
+                  *a = *a * 2 + 1;
+                },
+                &p, sizeof p, &dep, 1, /*flags=*/0, /*priority=*/0);
+          }
+          zomp_taskwait(nullptr, 0);
+        });
+      },
+      ParallelOptions{4, true});
+  long expect = 0;
+  for (int i = 0; i < 50; ++i) expect = expect * 2 + 1;
+  EXPECT_EQ(acc, expect);
+}
+
+TEST(TaskAbiTest, TaskloopAbiCoversRangeOnce) {
+  std::vector<std::atomic<int>> hits(97);
+  for (auto& h : hits) h.store(0);
+  struct Payload {
+    std::atomic<int>* hits;
+  } p{hits.data()};
+  parallel(
+      [&] {
+        single([&] {
+          zomp_taskloop(
+              nullptr, 0,
+              [](std::int64_t lo, std::int64_t hi, void* arg) {
+                auto* payload = static_cast<Payload*>(arg);
+                for (std::int64_t i = lo; i < hi; ++i) {
+                  payload->hits[i].fetch_add(1, std::memory_order_relaxed);
+                }
+              },
+              &p, sizeof p, 0, 97, /*grainsize=*/5, /*num_tasks=*/0);
+        });
+      },
+      ParallelOptions{4, true});
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(TaskTest, UndeferredTaskWithDepsWaitsForPredecessors) {
+  // if(false) + depend: the encountering thread must block (helping) until
+  // the predecessor completes, then run inline.
+  long token = 0;
+  bool saw = false;
+  parallel(
+      [&] {
+        single([&] {
+          task_depend({dep_out(&token)}, [&] { token = 99; });
+          rt::ThreadState& ts = rt::current_thread();
+          rt::DepSpec dep = dep_in(&token);
+          rt::TaskOpts opts;
+          opts.deps = &dep;
+          opts.ndeps = 1;
+          opts.deferred = false;  // if(false)
+          ts.team->task_create_ex(ts, [&] { saw = token == 99; }, opts);
+          EXPECT_TRUE(saw) << "undeferred task must run at creation";
+        });
+      },
+      ParallelOptions{4, true});
+  EXPECT_TRUE(saw);
+}
+
 TEST(TaskPoolTest, StealingFindsWorkAcrossQueues) {
   rt::TaskPool pool(4);
   int executed = 0;
