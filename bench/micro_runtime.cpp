@@ -935,6 +935,45 @@ void BM_AtomicF64Add(benchmark::State& state) {
 }
 BENCHMARK(BM_AtomicF64Add)->Unit(benchmark::kMicrosecond)->Iterations(50);
 
+/// Region entry with thread binding (DESIGN.md S1.8): the hot-team path
+/// with proc_bind(close) vs unbound. The first bound region computes the
+/// placement and issues one sched_setaffinity per member; every re-arm
+/// after that has an unchanged binding signature, so the mask application
+/// is skipped and bound entry must track unbound entry — this bench is the
+/// regression guard for that property (BENCH_affinity.json in CI).
+/// range(0): 0 = unbound, 1 = proc_bind(close). range(1): team size.
+///
+/// Registered LAST, with every unbound config ordered before any bound one:
+/// apply_place_mask has no inverse, so once a bound region pins the master
+/// (and its workers), later regions in the same process inherit the
+/// narrowed mask — ordering keeps both the unbound baselines and every
+/// other benchmark in this binary unpinned.
+void BM_ForkJoinBound(benchmark::State& state) {
+  const bool bound = state.range(0) == 1;
+  const int threads = static_cast<int>(state.range(1));
+  std::atomic<int> sink{0};
+  zomp::ParallelOptions opts;
+  opts.num_threads = threads;
+  opts.proc_bind =
+      bound ? zomp::rt::BindKind::kClose : zomp::rt::BindKind::kFalse;
+  for (auto _ : state) {
+    zomp::parallel([&] { sink.fetch_add(1, std::memory_order_relaxed); },
+                   opts);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(bound ? "proc_bind-close" : "unbound");
+}
+BENCHMARK(BM_ForkJoinBound)
+    ->Args({0, 2})
+    ->Args({0, 4})
+    ->Args({0, 8})
+    ->Args({1, 2})
+    ->Args({1, 4})
+    ->Args({1, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(200);
+
 }  // namespace
 
 BENCHMARK_MAIN();

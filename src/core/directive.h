@@ -55,6 +55,16 @@ struct DependClause {
 
 enum class DefaultKind { kUnspecified, kShared, kNone };
 
+/// proc_bind(...) clause argument. Values match zomp::rt::BindKind (and the
+/// omp_proc_bind_t ABI constants) so the backends pass them through
+/// numerically; kMaster is the deprecated alias and lowers as kPrimary.
+enum class ProcBindKind : int {
+  kUnspecified = -1,
+  kPrimary = 2,
+  kClose = 3,
+  kSpread = 4,
+};
+
 struct Directive {
   DirectiveKind kind = DirectiveKind::kParallel;
   lang::SourceLoc loc;  ///< location of the `//#omp` comment
@@ -62,6 +72,7 @@ struct Directive {
   // parallel clauses
   lang::ExprPtr num_threads;
   lang::ExprPtr if_clause;
+  ProcBindKind proc_bind = ProcBindKind::kUnspecified;
   DefaultKind default_mode = DefaultKind::kUnspecified;
   std::vector<std::string> shared_vars;
   std::vector<std::string> private_vars;

@@ -357,12 +357,34 @@ class ClauseParser {
     if (name.empty()) return false;
     if (name == "num_threads" || name == "if" || name == "default" ||
         name == "schedule" || name == "collapse" || name == "final" ||
-        name == "priority" || name == "grainsize" || name == "num_tasks") {
+        name == "priority" || name == "grainsize" || name == "num_tasks" ||
+        name == "proc_bind") {
       if (!once(name)) return false;
     }
     if (name == "num_threads") {
       d.num_threads = parse_expr_arg();
       return d.num_threads != nullptr;
+    }
+    if (name == "proc_bind") {
+      const std::vector<Token> arg = collect_paren_arg();
+      if (!diags_ok_) return false;
+      if (arg.size() != 1 || !is_word(arg[0])) {
+        error("proc_bind(...) takes 'primary', 'master', 'close' or 'spread'");
+        return false;
+      }
+      const std::string& kind = arg[0].text;
+      if (kind == "primary" || kind == "master") {
+        d.proc_bind = ProcBindKind::kPrimary;  // master is the 5.0 alias
+      } else if (kind == "close") {
+        d.proc_bind = ProcBindKind::kClose;
+      } else if (kind == "spread") {
+        d.proc_bind = ProcBindKind::kSpread;
+      } else {
+        error("unknown proc_bind kind '" + kind +
+              "' (expected 'primary', 'master', 'close' or 'spread')");
+        return false;
+      }
+      return true;
     }
     if (name == "if") {
       d.if_clause = parse_expr_arg();
@@ -435,7 +457,7 @@ class ClauseParser {
     }
     // Partial support, paper-style: recognised-but-unimplemented clauses are
     // skipped with a warning rather than failing the build.
-    if (name == "proc_bind" || name == "copyin" || name == "copyprivate" ||
+    if (name == "copyin" || name == "copyprivate" ||
         name == "linear" || name == "safelen" || name == "simdlen" ||
         name == "mergeable" || name == "allocate" || name == "nogroup") {
       diags_.warning(loc_, "clause '" + name + "' is not supported and was ignored");
@@ -465,6 +487,7 @@ class ClauseParser {
     const bool is_tasking = is_task || d.kind == DirectiveKind::kTaskloop;
     if (!is_parallel) {
       reject(d.num_threads != nullptr, "num_threads");
+      reject(d.proc_bind != ProcBindKind::kUnspecified, "proc_bind");
       reject(d.default_mode != DefaultKind::kUnspecified, "default");
       // `shared` is valid on task/taskloop as well as parallel (OpenMP 5.2).
       reject(!d.shared_vars.empty() && !is_tasking, "shared");

@@ -487,6 +487,9 @@ class Transformer {
     }
     if (d.num_threads) fork->num_threads = std::move(d.num_threads);
     if (d.if_clause) fork->if_clause = std::move(d.if_clause);
+    if (d.proc_bind != ProcBindKind::kUnspecified) {
+      fork->proc_bind = static_cast<int>(d.proc_bind);
+    }
     return fork;
   }
 

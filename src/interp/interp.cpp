@@ -456,6 +456,9 @@ class Exec {
       opts.num_threads = static_cast<rt::i32>(eval(*stmt.num_threads).as_i64());
     }
     if (stmt.if_clause) opts.if_clause = eval(*stmt.if_clause).as_bool();
+    if (stmt.proc_bind >= 0) {
+      opts.proc_bind = static_cast<rt::BindKind>(stmt.proc_bind);
+    }
     // fork_body: the closure rides in the microtask argument array directly,
     // so interpreted region entry pays no std::function allocation and takes
     // the same hot-team fast path as generated code.
@@ -1031,6 +1034,26 @@ Interp::Interp(const lang::Module& module, Options options)
   });
   register_host_fn("mz_omp_get_wtime",
                    [](std::vector<Value>&) { return Value(zomp::wtime()); });
+  register_host_fn("mz_omp_get_proc_bind", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::get_proc_bind()));
+  });
+  register_host_fn("mz_omp_get_num_places", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::num_places()));
+  });
+  register_host_fn("mz_omp_get_place_num", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::place_num()));
+  });
+  register_host_fn("mz_omp_get_place_num_procs", [](std::vector<Value>& args) {
+    return Value(static_cast<std::int64_t>(
+        zomp::place_num_procs(static_cast<rt::i32>(args.at(0).as_i64()))));
+  });
+  register_host_fn("mz_omp_get_partition_num_places", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::partition_num_places()));
+  });
+  register_host_fn("mz_omp_display_affinity", [](std::vector<Value>&) {
+    zomp::display_affinity();
+    return Value();
+  });
 }
 
 void Interp::register_host_fn(const std::string& name, HostFn fn) {

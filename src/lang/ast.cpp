@@ -245,6 +245,12 @@ std::string dump_stmt(const Stmt& stmt, int indent) {
       out << pad << "(omp-fork " << stmt.callee;
       if (stmt.num_threads) out << " num_threads=" << dump_expr(*stmt.num_threads);
       if (stmt.if_clause) out << " if=" << dump_expr(*stmt.if_clause);
+      if (stmt.proc_bind >= 0) {
+        static const char* const names[] = {"false", "true", "primary",
+                                            "close", "spread"};
+        out << " proc_bind="
+            << (stmt.proc_bind <= 4 ? names[stmt.proc_bind] : "?");
+      }
       for (const auto& c : stmt.captures) {
         out << " [" << c.name << ' ' << capture_mode_name(c.mode);
         if (c.mode == CaptureMode::kReductionPtr) {

@@ -268,6 +268,10 @@ struct Stmt {
   std::vector<CaptureArg> captures;
   ExprPtr num_threads;  // parallel num_threads clause
   ExprPtr if_clause;    // parallel/task if clause
+  /// kOmpFork only: proc_bind clause as the runtime's BindKind /
+  /// omp_proc_bind_t value (2 primary, 3 close, 4 spread); -1 when absent.
+  /// Kept numeric so lang/ stays free of runtime headers.
+  int proc_bind = -1;
 
   // kOmpTask tasking clauses (see core/directive.h): depend items are
   // lvalue expressions evaluated to addresses at creation time, in the

@@ -41,6 +41,7 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   }
   if (stmt.num_threads) copy->num_threads = clone_expr(*stmt.num_threads);
   if (stmt.if_clause) copy->if_clause = clone_expr(*stmt.if_clause);
+  copy->proc_bind = stmt.proc_bind;
   for (const auto& dep : stmt.depends) {
     Stmt::OmpDepend d;
     d.kind = dep.kind;

@@ -69,6 +69,12 @@ void zomp_push_num_threads(const zomp_ident_t* /*loc*/, std::int32_t n) {
   if (n > 0) current_thread().pushed_num_threads = n;
 }
 
+void zomp_push_proc_bind(const zomp_ident_t* /*loc*/, std::int32_t bind) {
+  if (bind >= 0 && bind <= static_cast<std::int32_t>(zomp::rt::BindKind::kSpread)) {
+    current_thread().pushed_proc_bind = static_cast<zomp::rt::BindKind>(bind);
+  }
+}
+
 void zomp_for_static_init(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
                           std::int64_t chunk, std::int64_t lo, std::int64_t hi,
                           std::int64_t step, std::int64_t* plo,
@@ -324,5 +330,37 @@ std::int32_t zomp_get_level(void) { return zomp::level(); }
 void zomp_set_num_threads(std::int32_t n) { zomp::set_num_threads(n); }
 double zomp_get_wtime(void) { return zomp::wtime(); }
 double zomp_get_wtick(void) { return zomp::wtick(); }
+
+std::int32_t zomp_get_proc_bind(void) {
+  return static_cast<std::int32_t>(zomp::get_proc_bind());
+}
+std::int32_t zomp_get_num_places(void) { return zomp::num_places(); }
+std::int32_t zomp_get_place_num(void) { return zomp::place_num(); }
+std::int32_t zomp_get_place_num_procs(std::int32_t place) {
+  return zomp::place_num_procs(place);
+}
+void zomp_get_place_proc_ids(std::int32_t place, std::int32_t* ids) {
+  zomp::place_proc_ids(place, ids);
+}
+std::int32_t zomp_get_partition_num_places(void) {
+  return zomp::partition_num_places();
+}
+void zomp_get_partition_place_nums(std::int32_t* nums) {
+  zomp::partition_place_nums(nums);
+}
+void zomp_display_affinity(void) { zomp::display_affinity(); }
+
+std::int64_t mz_omp_get_proc_bind(void) {
+  return static_cast<std::int64_t>(zomp::get_proc_bind());
+}
+std::int64_t mz_omp_get_num_places(void) { return zomp::num_places(); }
+std::int64_t mz_omp_get_place_num(void) { return zomp::place_num(); }
+std::int64_t mz_omp_get_place_num_procs(std::int64_t place) {
+  return zomp::place_num_procs(static_cast<i32>(place));
+}
+std::int64_t mz_omp_get_partition_num_places(void) {
+  return zomp::partition_num_places();
+}
+void mz_omp_display_affinity(void) { zomp::display_affinity(); }
 
 }  // extern "C"

@@ -32,16 +32,17 @@ typedef void (*zomp_microtask_t)(std::int32_t gtid, std::int32_t tid,
 /// Forks a team and runs `fn` on every member; returns after the implicit
 /// (task-draining) join barrier.
 ///
-/// Fork contract (DESIGN.md S1.6): `args` must stay valid until the call
-/// returns — the join barrier guarantees no member reads it afterwards, so
-/// generated code builds the pointer array on the caller's stack. Region
-/// entry is the runtime's fast path: an outermost fork repeating the
-/// previous team size recycles the master's cached hot team (re-armed in
-/// place, workers woken through per-worker atomic doorbells — no lock, no
-/// allocation); only a changed num_threads/nthreads-var rebuilds the team
-/// through the pool. A short pool acquire may deliver fewer members than
-/// requested; `zomp_get_num_threads` inside the region reports the actual
-/// size, and every team structure is sized from it.
+/// Fork contract (DESIGN.md S1.6/S1.8): `args` must stay valid until the
+/// call returns — the join barrier guarantees no member reads it afterwards,
+/// so generated code builds the pointer array on the caller's stack. Region
+/// entry is the runtime's fast path: a fork matching one of the master's
+/// cached hot teams — keyed on (nesting level, num_threads request, binding
+/// signature) — recycles it in place (workers woken through per-worker
+/// atomic doorbells — no lock, no allocation, no re-applied affinity
+/// masks); a changed request, binding, or place table rebuilds through the
+/// pool. A short pool acquire may deliver fewer members than requested;
+/// `zomp_get_num_threads` inside the region reports the actual size, and
+/// every team structure (including the place partition) is sized from it.
 void zomp_fork_call(const zomp_ident_t* loc, zomp_microtask_t fn,
                     std::int32_t argc, void** args);
 
@@ -52,6 +53,16 @@ void zomp_fork_call_if(const zomp_ident_t* loc, zomp_microtask_t fn,
 /// `num_threads` clause: one-shot request consumed by the next fork on this
 /// thread.
 void zomp_push_num_threads(const zomp_ident_t* loc, std::int32_t n);
+
+/// `proc_bind` clause: one-shot binding policy consumed by the next fork on
+/// this thread (the __kmpc_push_proc_bind analogue). `bind` takes the
+/// zomp::rt::BindKind / omp_proc_bind_t values (0 false, 1 true, 2 primary/
+/// master, 3 close, 4 spread). The fork resolves clause > OMP_PROC_BIND
+/// list entry for the nesting level > no binding; the team's placement
+/// (place partition per member, sched_setaffinity at job-take) is computed
+/// once at fork and carried by the hot-team cache, so a recycled team
+/// re-arms without recomputing or re-applying masks (DESIGN.md S1.8).
+void zomp_push_proc_bind(const zomp_ident_t* loc, std::int32_t bind);
 
 // -- Worksharing loops --------------------------------------------------------
 
@@ -231,6 +242,19 @@ void zomp_set_num_threads(std::int32_t n);
 double zomp_get_wtime(void);
 double zomp_get_wtick(void);
 
+// Affinity queries (DESIGN.md S1.8). Place numbers index the process place
+// table built from OMP_PLACES; -1 means "unbound". The queries stay
+// meaningful when the platform refused sched_setaffinity — binding then is
+// logical-only (partitions and place numbers computed, masks unchanged).
+std::int32_t zomp_get_proc_bind(void);
+std::int32_t zomp_get_num_places(void);
+std::int32_t zomp_get_place_num(void);
+std::int32_t zomp_get_place_num_procs(std::int32_t place);
+void zomp_get_place_proc_ids(std::int32_t place, std::int32_t* ids);
+std::int32_t zomp_get_partition_num_places(void);
+void zomp_get_partition_place_nums(std::int32_t* nums);
+void zomp_display_affinity(void);
+
 // MiniZig-facing variants: MiniZig's only integer type is i64, so its
 // `extern fn` declarations of the runtime API (the paper's route for calling
 // omp_* from Zig) bind to these.
@@ -242,5 +266,11 @@ std::int64_t mz_omp_in_parallel(void);
 std::int64_t mz_omp_get_level(void);
 void mz_omp_set_num_threads(std::int64_t n);
 double mz_omp_get_wtime(void);
+std::int64_t mz_omp_get_proc_bind(void);
+std::int64_t mz_omp_get_num_places(void);
+std::int64_t mz_omp_get_place_num(void);
+std::int64_t mz_omp_get_place_num_procs(std::int64_t place);
+std::int64_t mz_omp_get_partition_num_places(void);
+void mz_omp_display_affinity(void);
 
 }  // extern "C"

@@ -1,10 +1,13 @@
 #include "runtime/api.h"
 
 #include <chrono>
+#include <cstdio>
 #include <thread>
+#include <utility>
 
 #include "runtime/icv.h"
 #include "runtime/team.h"
+#include "runtime/topology.h"
 
 namespace zomp {
 
@@ -30,8 +33,11 @@ i32 level() { return current_thread().team->level(); }
 i32 active_level() { return current_thread().team->active_level(); }
 
 i32 num_procs() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<i32>(hc);
+  // The processors this process can actually be scheduled on (topology.h):
+  // sched_getaffinity-restricted, so `taskset -c 0 ./a.out` reports 1
+  // however wide the machine is. Falls back to hardware_concurrency when no
+  // affinity call exists.
+  return rt::Topology::instance().num_procs();
 }
 
 void set_num_threads(i32 n) {
@@ -59,6 +65,57 @@ void set_wait_policy(rt::WaitPolicy policy) {
 }
 
 rt::WaitPolicy get_wait_policy() { return GlobalIcv::instance().wait_policy(); }
+
+rt::BindKind get_proc_bind() {
+  return GlobalIcv::instance().bind_at(current_thread().icv.bind_index);
+}
+
+i32 num_places() { return rt::PlaceTable::instance().num_places(); }
+
+i32 place_num() { return current_thread().place_num; }
+
+i32 place_num_procs(i32 place) {
+  const rt::PlaceTable& table = rt::PlaceTable::instance();
+  if (place < 0 || place >= table.num_places()) return 0;
+  return static_cast<i32>(table.place(place).procs.size());
+}
+
+void place_proc_ids(i32 place, i32* ids) {
+  const rt::PlaceTable& table = rt::PlaceTable::instance();
+  if (ids == nullptr || place < 0 || place >= table.num_places()) return;
+  const auto& procs = table.place(place).procs;
+  for (std::size_t i = 0; i < procs.size(); ++i) ids[i] = procs[i];
+}
+
+namespace {
+
+/// Resolves the calling environment's place-partition-var against the table
+/// (part_len == 0 means "whole table", see icv.h).
+std::pair<i32, i32> resolved_partition() {
+  const rt::Icv& icv = current_thread().icv;
+  const i32 total = rt::PlaceTable::instance().num_places();
+  if (total == 0) return {0, 0};
+  i32 lo = icv.part_lo;
+  i32 len = icv.part_len;
+  if (lo < 0 || lo >= total) lo = 0;
+  if (len <= 0 || lo + len > total) len = total - lo;
+  return {lo, len};
+}
+
+}  // namespace
+
+i32 partition_num_places() { return resolved_partition().second; }
+
+void partition_place_nums(i32* nums) {
+  if (nums == nullptr) return;
+  const auto [lo, len] = resolved_partition();
+  for (i32 i = 0; i < len; ++i) nums[i] = lo + i;
+}
+
+void display_affinity() {
+  std::fprintf(stderr, "%s\n",
+               rt::affinity_report(current_thread()).c_str());
+}
 
 double wtime() {
   using clock = std::chrono::steady_clock;

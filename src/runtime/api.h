@@ -4,6 +4,7 @@
 #pragma once
 
 #include "runtime/common.h"
+#include "runtime/places.h"
 #include "runtime/schedule.h"
 
 namespace zomp {
@@ -46,6 +47,41 @@ rt::Schedule get_schedule();
 /// governs every runtime spin loop (barriers, joins, task drains).
 void set_wait_policy(rt::WaitPolicy policy);
 rt::WaitPolicy get_wait_policy();
+
+// -- Affinity queries (omp_get_proc_bind / omp_get_*_place* family) ---------
+
+/// Binding policy the next parallel region forked from this thread would use
+/// (the first element of this environment's bind-var; omp_get_proc_bind).
+rt::BindKind get_proc_bind();
+
+/// Number of places in the process place table (omp_get_num_places; 0 when
+/// no topology/places are available).
+rt::i32 num_places();
+
+/// Place the calling thread is assigned to, or -1 when unbound
+/// (omp_get_place_num). Maintained even when the platform refused the
+/// affinity syscall — binding degrades to a logical no-op.
+rt::i32 place_num();
+
+/// Processor count of `place`, 0 for out-of-range (omp_get_place_num_procs).
+rt::i32 place_num_procs(rt::i32 place);
+
+/// Copies `place`'s OS processor ids into `ids` (sized by the query above;
+/// omp_get_place_proc_ids).
+void place_proc_ids(rt::i32 place, rt::i32* ids);
+
+/// Size of the calling thread's place partition
+/// (omp_get_partition_num_places).
+rt::i32 partition_num_places();
+
+/// Copies the partition's place numbers into `nums`
+/// (omp_get_partition_place_nums).
+void partition_place_nums(rt::i32* nums);
+
+/// Prints the calling thread's one-line binding report to stderr
+/// (omp_display_affinity; same format OMP_DISPLAY_AFFINITY=true emits at
+/// binding changes).
+void display_affinity();
 
 /// Monotonic wall-clock in seconds (omp_get_wtime).
 double wtime();

@@ -77,6 +77,14 @@ std::optional<WaitPolicy> env_wait_policy() {
   return policy;
 }
 
+std::optional<std::vector<BindKind>> env_proc_bind() {
+  const auto text = env_string("PROC_BIND");
+  if (!text) return std::nullopt;
+  auto list = parse_proc_bind(*text);
+  if (!list) warn_malformed("PROC_BIND", text->c_str());
+  return list;
+}
+
 std::optional<WaitPolicy> parse_wait_policy(const std::string& text) {
   const std::string t = lower(trim(text));
   if (t == "active") return WaitPolicy::kActive;

@@ -8,8 +8,10 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "runtime/common.h"
+#include "runtime/places.h"
 #include "runtime/schedule.h"
 
 namespace zomp::rt {
@@ -35,5 +37,9 @@ std::optional<WaitPolicy> env_wait_policy();
 
 /// Parses a wait-policy spelling (exposed for tests).
 std::optional<WaitPolicy> parse_wait_policy(const std::string& text);
+
+/// OMP_PROC_BIND / ZOMP_PROC_BIND: a comma-separated per-nesting-level list
+/// of bind kinds (places.h); malformed values warn and return nullopt.
+std::optional<std::vector<BindKind>> env_proc_bind();
 
 }  // namespace zomp::rt

@@ -30,6 +30,11 @@ struct ParallelOptions {
   rt::i32 num_threads = 0;
   /// `if` clause: false serialises the region.
   bool if_clause = true;
+  /// `proc_bind` clause; kUnset defers to OMP_PROC_BIND (places.h,
+  /// DESIGN.md S1.8). With binding active each member is pinned to its
+  /// place at region entry and spread subdivides the place partition, so
+  /// nested teams land on disjoint slices.
+  rt::BindKind proc_bind = rt::BindKind::kUnset;
 };
 
 struct ForOptions {
@@ -48,6 +53,7 @@ void parallel(Body&& body, ParallelOptions opts = {}) {
   rt::ForkOptions fork_opts;
   fork_opts.num_threads = opts.num_threads;
   fork_opts.if_clause = opts.if_clause;
+  fork_opts.proc_bind = opts.proc_bind;
   rt::fork_body(std::forward<Body>(body), fork_opts);
 }
 

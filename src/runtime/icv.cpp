@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <thread>
+#include <utility>
 
 #include "runtime/env.h"
+#include "runtime/topology.h"
 
 namespace zomp::rt {
 
@@ -22,7 +24,10 @@ GlobalIcv& GlobalIcv::instance() {
 }
 
 GlobalIcv::GlobalIcv() {
-  default_team_size_ = hardware_threads();
+  // Default team size follows the processors this process can actually run
+  // on (topology.h: sched_getaffinity-intersected), not the machine width:
+  // under `taskset -c 0` a bare `parallel` forks 1 thread, like libomp.
+  default_team_size_ = Topology::instance().num_procs();
   if (const auto n = env_int("NUM_THREADS"); n && *n > 0) {
     default_team_size_ = static_cast<i32>(*n);
   }
@@ -44,6 +49,21 @@ GlobalIcv::GlobalIcv() {
   }
   if (const auto sched = env_schedule()) run_sched_default_ = *sched;
   if (const auto policy = env_wait_policy()) set_wait_policy(*policy);
+  if (const auto bind = env_proc_bind()) proc_bind_list_ = *bind;
+  if (const auto display = env_bool("DISPLAY_AFFINITY")) {
+    display_affinity_ = *display;
+  }
+}
+
+BindKind GlobalIcv::bind_at(i32 index) const {
+  if (proc_bind_list_.empty()) return BindKind::kFalse;
+  if (proc_bind_list_[0] == BindKind::kFalse) return BindKind::kFalse;
+  const auto last = static_cast<i32>(proc_bind_list_.size()) - 1;
+  return proc_bind_list_[static_cast<std::size_t>(std::clamp(index, 0, last))];
+}
+
+void GlobalIcv::set_proc_bind_list(std::vector<BindKind> list) {
+  proc_bind_list_ = std::move(list);
 }
 
 namespace {
@@ -54,10 +74,14 @@ namespace {
 std::atomic<i32> g_active_workers{0};
 
 bool oversubscribed() noexcept {
-  // hardware_concurrency() is a sysconf-backed call — cache it, this runs
-  // in every Backoff construction.
-  static const i32 hardware = hardware_threads();
-  return g_active_workers.load(std::memory_order_relaxed) + 1 > hardware;
+  // The census compares against the processors this process can actually be
+  // scheduled on (topology.h: sysfs intersected with sched_getaffinity), not
+  // hardware_concurrency: a `taskset -c 0` run with an 8-thread team is
+  // oversubscribed 8-on-1 however many cores the machine has, and must park
+  // rather than spin. Topology::instance() is a one-time discovery; the
+  // per-call cost is one relaxed load.
+  static const i32 usable = Topology::instance().num_procs();
+  return g_active_workers.load(std::memory_order_relaxed) + 1 > usable;
 }
 
 }  // namespace

@@ -5,7 +5,10 @@
 // tasks of a new team); `num_threads` clauses override via a one-shot push.
 #pragma once
 
+#include <vector>
+
 #include "runtime/common.h"
+#include "runtime/places.h"
 #include "runtime/schedule.h"
 
 namespace zomp::rt {
@@ -24,6 +27,20 @@ struct Icv {
   /// Maximum number of nested active parallel levels
   /// (`max-active-levels-var`).
   i32 max_active_levels = 1;
+
+  // -- Affinity (DESIGN.md S1.8) --------------------------------------------
+  /// `bind-var`, list form: index into the OMP_PROC_BIND per-nesting-level
+  /// list that the *next* fork from this environment consumes. Each fork
+  /// hands children index + 1; GlobalIcv::bind_at clamps past the list end
+  /// (the spec's "last element applies to deeper levels").
+  i32 bind_index = 0;
+  /// `place-partition-var`: this environment's slice of the process place
+  /// table, [part_lo, part_lo + part_len) as place indices. part_len == 0
+  /// means "the whole table" (resolved lazily so ICV construction needs no
+  /// table lookup); spread forks narrow it per member so nested teams land
+  /// on disjoint slices.
+  i32 part_lo = 0;
+  i32 part_len = 0;
 };
 
 /// Process-wide defaults, initialised once from the environment
@@ -63,6 +80,21 @@ class GlobalIcv {
     wait_policy_.store(policy, std::memory_order_relaxed);
   }
 
+  /// proc-bind-var (OMP_PROC_BIND): the per-nesting-level bind list. `index`
+  /// past the end clamps to the last element; an empty list (variable unset
+  /// or `false`) answers kFalse, which keeps binding entirely off unless a
+  /// proc_bind clause asks for it.
+  BindKind bind_at(i32 index) const;
+  bool has_proc_bind() const { return !proc_bind_list_.empty(); }
+  /// Replaces the list (tests; mirrors set_wait_policy's region-boundary
+  /// visibility — only forks after the call observe it).
+  void set_proc_bind_list(std::vector<BindKind> list);
+
+  /// OMP_DISPLAY_AFFINITY: one binding report line per thread whenever its
+  /// placement changes (api.h display_affinity prints on demand).
+  bool display_affinity() const { return display_affinity_; }
+  void set_display_affinity(bool on) { display_affinity_ = on; }
+
  private:
   GlobalIcv();
 
@@ -72,6 +104,8 @@ class GlobalIcv {
   i32 max_levels_default_ = 1;
   Schedule run_sched_default_{ScheduleKind::kStatic, 0};
   std::atomic<WaitPolicy> wait_policy_{WaitPolicy::kActive};
+  std::vector<BindKind> proc_bind_list_;
+  bool display_affinity_ = false;
 };
 
 }  // namespace zomp::rt

@@ -1,0 +1,149 @@
+// OMP_PLACES / OMP_PROC_BIND: the place model of the affinity subsystem
+// (DESIGN.md S1.8).
+//
+// A *place* is a set of OS processors a thread may be bound to (one SMT
+// thread, one core's sibling set, one socket, or an explicit list). The
+// process-wide PlaceTable is parsed once from OMP_PLACES against the
+// discovered topology (topology.h); the per-fork placement math
+// (`plan_binding`) is pure index arithmetic over that table, so teams,
+// tests, and the hot-team cache key all reason about places as small
+// integers. Only `apply_place_mask` touches the OS, and a refusal
+// (unsupported platform, mask outside the cgroup limit) degrades binding to
+// a logical no-op: place numbers and partitions stay observable, the
+// scheduler just keeps its freedom.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/common.h"
+#include "runtime/topology.h"
+
+namespace zomp::rt {
+
+/// proc-bind policy (OpenMP 5.2 §6.4 / §10.1.2). Values match the OpenMP
+/// omp_proc_bind_t ABI constants; kPrimary doubles as the deprecated
+/// `master` spelling. kUnset is the "no clause" sentinel used by fork
+/// plumbing, never stored in an ICV.
+enum class BindKind : i32 {
+  kUnset = -1,
+  kFalse = 0,
+  kTrue = 1,   ///< binding on, policy implementation-defined: we use close
+  kPrimary = 2,
+  kClose = 3,
+  kSpread = 4,
+};
+
+const char* bind_kind_name(BindKind kind);
+
+/// Parses one proc_bind spelling (primary|master|close|spread|true|false).
+std::optional<BindKind> parse_bind_kind(const std::string& text);
+
+/// Parses an OMP_PROC_BIND value: a comma-separated per-nesting-level list.
+/// nullopt on malformed input. `false` disables binding for every level.
+std::optional<std::vector<BindKind>> parse_proc_bind(const std::string& text);
+
+/// One place: OS processor ids, ascending.
+struct Place {
+  std::vector<i32> procs;
+};
+
+/// Result of parsing an OMP_PLACES value. On failure `error` names the
+/// offending construct (places grammar diagnostics ride through the usual
+/// malformed-environment warning, not a hard error).
+struct PlacesParse {
+  bool ok = false;
+  std::vector<Place> places;
+  std::string error;
+};
+
+/// Full OMP_PLACES grammar against a given topology:
+///   threads | cores | sockets          abstract names
+///   cores(4)                           first-4 restriction
+///   {0,1},{2:4},{0:8:2}                explicit places; {lb:len[:stride]}
+/// Explicit processors outside the topology's usable set are trimmed;
+/// places left empty by trimming are dropped (the `taskset` fallback —
+/// a fully-restricted process ends up with however many places survive).
+/// Negative or zero length/stride are diagnosed, as are unbalanced braces.
+PlacesParse parse_places(const std::string& text, const Topology& topo);
+
+/// Process-wide place table: OMP_PLACES parsed against Topology::instance(),
+/// defaulting to `cores`. A malformed spec warns and falls back to the
+/// default (matching the env.h convention for other OMP_* variables).
+class PlaceTable {
+ public:
+  static PlaceTable& instance();
+
+  i32 num_places() const { return static_cast<i32>(places_.size()); }
+  const Place& place(i32 index) const {
+    return places_[static_cast<std::size_t>(index)];
+  }
+  bool available() const { return !places_.empty(); }
+
+  /// Bumped whenever the table is replaced (test hook below); mixed into
+  /// binding signatures so cached plans die with the table they indexed.
+  u32 generation() const { return generation_; }
+
+  /// Replaces the table (tests). Procs outside the usable topology are kept
+  /// as-is: tests use this to exercise the setaffinity-refusal path too.
+  void set_for_test(std::vector<Place> places);
+
+ private:
+  PlaceTable();
+
+  std::vector<Place> places_;
+  u32 generation_ = 1;
+};
+
+/// Placement of one team member: its assigned place and its slice of the
+/// place partition (global place-table indices, [part_lo, part_lo+part_len)).
+struct MemberBinding {
+  i32 place = -1;
+  i32 part_lo = 0;
+  i32 part_len = 0;
+};
+
+/// A team's full placement, computed once at fork. `sig` keys the hot-team
+/// cache: two forks with equal signatures produce identical member bindings,
+/// so a re-armed team skips both the recompute and the per-worker
+/// setaffinity. Inactive plans (bind false, no places) have sig == 0.
+struct BindingPlan {
+  bool active = false;
+  u64 sig = 0;
+  std::vector<MemberBinding> members;
+};
+
+/// Signature of the placement a fork with these inputs would compute —
+/// cheap (no member vector), used for the hot-team cache probe before
+/// deciding whether a full plan is needed.
+u64 binding_sig(BindKind bind, i32 part_lo, i32 part_len, i32 master_place,
+                i32 size);
+
+/// Pure placement math (OpenMP 5.2 §10.1.3, simplified — see DESIGN.md S1.8
+/// for the deviations): partitions the places [part_lo, part_lo+part_len)
+/// among `size` members.
+///   primary: every member on the master's place, partition unchanged.
+///   close/true: member i offset from the master's place (consecutive while
+///     the team fits, grouped by floor(i*K/T) beyond), partition unchanged.
+///   spread: the partition is subdivided left-to-right into `size` disjoint
+///     subpartitions (single shared places once size > K); each member is
+///     assigned the first place of its subpartition and *inherits the
+///     subpartition* as its own place-partition-var, so nested teams spread
+///     over disjoint slices.
+/// `master_place` outside the partition snaps to part_lo. Returns an
+/// inactive plan for kFalse/kUnset or an empty place table.
+BindingPlan plan_binding(BindKind bind, i32 part_lo, i32 part_len,
+                         i32 master_place, i32 size);
+
+/// Binds the calling thread to `place`'s processors. False when the platform
+/// has no affinity call or refuses the mask — the caller treats that as
+/// "binding unavailable", never as an error.
+bool apply_place_mask(i32 place);
+
+/// Number of sched_setaffinity calls actually attempted so far (telemetry:
+/// tests assert a hot-team re-arm with unchanged placement does not grow
+/// this — the bound_place cache short-circuits before the syscall).
+i64 affinity_syscall_count();
+
+}  // namespace zomp::rt

@@ -4,6 +4,16 @@
 
 namespace zomp::rt {
 
+namespace {
+
+/// Returns a cached hot team's workers to the pool and empties the slot.
+/// Requires the slot's team to be quiescent (never called on an in_use
+/// ancestor). During pool teardown the idle-stack push is skipped — some of
+/// those Worker objects may already be destroyed.
+void dismiss_slot(HotSlot& slot);
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // Worker — doorbell handoff (DESIGN.md S1.6)
 // ---------------------------------------------------------------------------
@@ -99,6 +109,11 @@ void Worker::loop() {
     // construct sequence counters persist across reuses of the same team —
     // every identity protocol they feed is monotonic (see Team::rearm).
     state_.icv = job.team->icv();
+    // Placement at job-take, same worker-side discipline: partition ICVs,
+    // place assignment, and — only if the place changed since this OS
+    // thread last bound — the sched_setaffinity call (team.cpp). A hot
+    // re-arm reuses the plan, so the syscall is skipped on unchanged reuse.
+    job.team->bind_member(state_, job.tid);
     job.fn(state_.gtid, job.tid, job.args);
     job.team->barrier_wait(job.tid);
     // check_out() is this thread's final access to the team; the master
@@ -128,6 +143,14 @@ constexpr i32 idle_index_plus1(u64 head) {
 Pool& Pool::instance() {
   static Pool pool;
   return pool;
+}
+
+Pool::~Pool() {
+  // Publish teardown before any Worker dies: worker ThreadStates destroyed
+  // below may hold cached hot teams whose member Workers were already freed
+  // (vector destruction order), so their dismissal must not touch the idle
+  // stack once this flag is up.
+  shutting_down_.store(true, std::memory_order_release);
 }
 
 Worker* Pool::pop_idle() {
@@ -189,7 +212,19 @@ std::vector<Worker*> Pool::acquire(i32 want) {
 }
 
 void Pool::release(const std::vector<Worker*>& workers) {
-  for (Worker* w : workers) push_idle(w);
+  for (Worker* w : workers) {
+    // A worker returning to the idle stack gives up its master role: any
+    // nested teams it cached while bound are dismissed (recursively freeing
+    // THEIR workers the same way), so hot sub-teams live exactly as long as
+    // the outer binding that made them hot — pinned workers can never leak
+    // behind an idle worker nobody will fork from again. The worker is
+    // quiescent here (checked out, parked on its doorbell), which makes
+    // this cross-thread touch of its hot_slots safe: the release/acquire
+    // pair of its next doorbell ring orders these writes before the worker
+    // reads anything.
+    for (HotSlot& slot : w->state().hot_slots) dismiss_slot(slot);
+    push_idle(w);
+  }
 }
 
 i32 Pool::spawned() const {
@@ -212,12 +247,13 @@ struct SavedBinding {
   u64 red_seq;
   MemberDispatch dispatch;
   TaskContext* current_task;
+  i32 place_num;
 };
 
 SavedBinding save(const ThreadState& ts) {
   return SavedBinding{ts.team,       ts.tid,     ts.icv,
                       ts.ws_seq,     ts.single_seq, ts.red_seq,
-                      ts.dispatch,   ts.current_task};
+                      ts.dispatch,   ts.current_task, ts.place_num};
 }
 
 void restore(ThreadState& ts, const SavedBinding& s) {
@@ -233,6 +269,10 @@ void restore(ThreadState& ts, const SavedBinding& s) {
   ts.red_seq = s.red_seq;
   ts.dispatch = s.dispatch;
   ts.current_task = s.current_task;
+  // The *logical* place assignment of the enclosing region comes back; the
+  // applied-mask cache (bound_place) deliberately does not — it mirrors OS
+  // state, which a nested bound region may have legitimately changed.
+  ts.place_num = s.place_num;
 }
 
 void closure_trampoline(i32 /*gtid*/, i32 /*tid*/, void** args) {
@@ -240,10 +280,11 @@ void closure_trampoline(i32 /*gtid*/, i32 /*tid*/, void** args) {
   (*body)();
 }
 
-/// Runs one region on an already-armed team: ring every bound worker, run
-/// the master's share, join, and wait for the last member's check-out.
-/// Brackets the region with the oversubscription census (common.h) so every
-/// wait primitive sees the *currently running* worker count.
+/// Runs one region on an already-armed team: bind and ring every bound
+/// worker, run the master's share, join, and wait for the last member's
+/// check-out. Brackets the region with the oversubscription census
+/// (common.h) so every wait primitive sees the *currently running* worker
+/// count.
 void run_region(Team& team, const std::vector<Worker*>& workers, Microtask fn,
                 void** args, ThreadState& master) {
   const i32 n = static_cast<i32>(workers.size());
@@ -251,23 +292,33 @@ void run_region(Team& team, const std::vector<Worker*>& workers, Microtask fn,
   for (std::size_t i = 0; i < workers.size(); ++i) {
     workers[i]->assign(&team, static_cast<i32>(i) + 1, fn, args);
   }
+  // Workers bind themselves at job-take (Worker::loop); the master's
+  // placement is applied here, on its own thread.
+  team.bind_member(master, 0);
   fn(master.gtid, 0, args);
   team.barrier_wait(0);
   team.wait_all_checked_out();
   if (n > 0) note_active_workers(-n);
 }
 
-void dismiss_hot_team(ThreadState& ts) {
-  if (!ts.hot_team) return;
-  Pool::instance().release(ts.hot_workers);
-  ts.hot_workers.clear();
-  ts.hot_team.reset();
-  ts.hot_requested = 0;
+void dismiss_slot(HotSlot& slot) {
+  if (!slot.team) return;
+  if (!Pool::instance().shutting_down()) {
+    Pool::instance().release(slot.workers);
+  }
+  slot.workers.clear();
+  slot.team.reset();
+  slot.level = -1;
+  slot.requested = 0;
+  slot.bind_sig = 0;
+  slot.undersized_reuses = 0;
 }
 
 }  // namespace
 
-ThreadState::~ThreadState() { dismiss_hot_team(*this); }
+ThreadState::~ThreadState() {
+  for (HotSlot& slot : hot_slots) dismiss_slot(slot);
+}
 
 void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
   ThreadState& ts = current_thread();
@@ -280,50 +331,138 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
   if (!opts.if_clause) want = 1;
   if (ts.team->active_level() >= ts.icv.max_active_levels) want = 1;
 
-  // Only outermost regions cache a hot team: a nested master's team would
-  // pin workers across unrelated outer regions. (A worker never encounters
-  // an outermost fork — it is always inside a microtask here — so hot teams
-  // live only on user/bootstrap threads and die with them, see ~ThreadState.)
-  const bool cacheable = ts.team->level() == 0;
+  // Effective proc_bind: clause (inline option or the ABI's one-shot push)
+  // wins over the bind-var list entry for this nesting level.
+  BindKind bind = opts.proc_bind;
+  if (bind == BindKind::kUnset) bind = ts.pushed_proc_bind;
+  ts.pushed_proc_bind = BindKind::kUnset;
+  if (bind == BindKind::kUnset) {
+    bind = GlobalIcv::instance().bind_at(ts.icv.bind_index);
+  }
+
+  // The placement signature keys the hot cache alongside level and request;
+  // it is 0 (and placement fully off) when binding is false/unavailable, so
+  // unbound programs see the exact pre-affinity fast path.
+  const u64 bind_sig =
+      binding_sig(bind, ts.icv.part_lo, ts.icv.part_len, ts.place_num, want);
+
+  // The child data environment: ICVs inherited from the encountering thread,
+  // with bind-var advanced one nesting level (place-partition fields are
+  // overridden per member by Team::bind_member when a plan is active).
+  Icv child_icv = ts.icv;
+  child_icv.bind_index = ts.icv.bind_index + 1;
+
+  // Hot-team cache probe (DESIGN.md S1.6): per-level, keyed on (parent
+  // level, request, binding signature). Any master — including pool workers
+  // forking nested teams — caches its recent teams in a few slots, so
+  // programs alternating between region shapes stop rebuild-churning.
+  const i32 parent_level = ts.team->level();
+  const bool cacheable = parent_level < ThreadState::kHotSlots;
+  HotSlot* hit = nullptr;
+  if (cacheable) {
+    for (HotSlot& slot : ts.hot_slots) {
+      if (slot.team != nullptr && !slot.in_use &&
+          slot.level == parent_level && slot.requested == want &&
+          slot.bind_sig == bind_sig) {
+        hit = &slot;
+        break;
+      }
+    }
+  }
 
   // A hot team the pool shrank below its request (transient contention at
   // build time) is still reused — but not forever: every Nth undersized
   // reuse rebuilds through the pool so the team grows back once the
   // contention has cleared. Full-size hot teams never pay this.
   constexpr i32 kUndersizedRetryPeriod = 64;
-  const bool hot_hit =
-      cacheable && ts.hot_team != nullptr && ts.hot_requested == want;
   const bool retry_growth =
-      hot_hit && ts.hot_team->size() < want &&
-      ++ts.hot_undersized_reuses >= kUndersizedRetryPeriod;
+      hit != nullptr && hit->team->size() < want &&
+      ++hit->undersized_reuses >= kUndersizedRetryPeriod;
 
-  if (hot_hit && !retry_growth) {
-    // Fast path: same request back-to-back — recycle the team in place.
+  if (hit != nullptr && !retry_growth) {
+    // Fast path: matching shape back-to-back — recycle the team in place.
     // Cost: the rearm stores + one doorbell ring per worker; no lock, no
-    // pool traffic, no allocation.
+    // pool traffic, no allocation. The binding plan is keyed by bind_sig,
+    // so it carries over untouched and bind_member skips the setaffinity
+    // syscall on every member (place unchanged).
     const SavedBinding saved = save(ts);
-    Team& team = *ts.hot_team;
-    team.rearm(saved.icv, saved.team->level() + 1,
+    Team& team = *hit->team;
+    team.rearm(child_icv, parent_level + 1,
                saved.team->active_level() + (team.size() > 1 ? 1 : 0));
-    run_region(team, ts.hot_workers, fn, args, ts);
+    hit->last_use = ++ts.hot_tick;
+    hit->in_use = true;  // nested forks must not evict a running ancestor
+    run_region(team, hit->workers, fn, args, ts);
+    hit->in_use = false;
     team.checkpoint_master();  // before restore clobbers the master's counters
     restore(ts, saved);
     return;
   }
-  // Request changed (num_threads clause or nthreads-var): the hot team's
-  // size no longer matches, so hand its workers back before re-acquiring.
-  if (cacheable) dismiss_hot_team(ts);
+
+  // Miss (or forced growth retry): pick the victim slot before acquiring so
+  // its workers are back on the idle stack for deterministic reuse. Prefer
+  // the slot this fork aliases (same level+request, stale binding or forced
+  // retry), then an empty slot, then the least recently used.
+  HotSlot* victim = nullptr;
+  if (cacheable) {
+    for (HotSlot& slot : ts.hot_slots) {
+      if (slot.team != nullptr && !slot.in_use &&
+          slot.level == parent_level && slot.requested == want) {
+        victim = &slot;
+        break;
+      }
+    }
+    if (victim == nullptr) {
+      for (HotSlot& slot : ts.hot_slots) {
+        if (slot.team == nullptr && !slot.in_use) {
+          victim = &slot;
+          break;
+        }
+      }
+    }
+    if (victim == nullptr) {
+      // LRU over quiescent slots. At least one exists: live (in_use)
+      // ancestors occupy at most parent_level < kHotSlots slots.
+      for (HotSlot& slot : ts.hot_slots) {
+        if (slot.in_use) continue;
+        if (victim == nullptr || slot.last_use < victim->last_use) {
+          victim = &slot;
+        }
+      }
+      ZOMP_CHECK(victim != nullptr, "every hot slot is a live ancestor");
+    }
+    dismiss_slot(*victim);
+  }
 
   std::vector<Worker*> workers;
-  if (want > 1) workers = Pool::instance().acquire(want - 1);
+  if (want > 1) {
+    workers = Pool::instance().acquire(want - 1);
+    if (static_cast<i32>(workers.size()) < want - 1) {
+      // The pool came up short while this thread's other cached teams pin
+      // parked workers: cannibalize every quiescent slot and retry the
+      // shortfall, so a size change never starves on this thread's own
+      // cache (the old single-slot dismiss-on-mismatch behaviour).
+      bool dismissed = false;
+      for (HotSlot& slot : ts.hot_slots) {
+        if (slot.team != nullptr && !slot.in_use) {
+          dismiss_slot(slot);
+          dismissed = true;
+        }
+      }
+      if (dismissed) {
+        const std::vector<Worker*> more = Pool::instance().acquire(
+            want - 1 - static_cast<i32>(workers.size()));
+        workers.insert(workers.end(), more.begin(), more.end());
+      }
+    }
+  }
 
   const SavedBinding saved = save(ts);
   // A short acquire (thread limit / contention) shrinks the team: every
   // sizing downstream — barrier, dispatch ring nthreads, reduction tree,
-  // implicit task contexts — derives from this member list, never from
-  // `want`, so there is no dangling member slot.
+  // implicit task contexts, binding plan — derives from this member list,
+  // never from `want`, so there is no dangling member slot.
   const i32 size = static_cast<i32>(workers.size()) + 1;
-  const i32 level = saved.team->level() + 1;
+  const i32 level = parent_level + 1;
   const i32 active = saved.team->active_level() + (size > 1 ? 1 : 0);
 
   std::vector<ThreadState*> members;
@@ -331,24 +470,33 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
   members.push_back(&ts);
   for (Worker* w : workers) members.push_back(&w->state());
 
+  auto team = std::make_unique<Team>(std::move(members), child_icv, level,
+                                     active);
+  if (bind_sig != 0) {
+    team->set_binding(plan_binding(bind, saved.icv.part_lo, saved.icv.part_len,
+                                   saved.place_num, size));
+  }
+
   if (cacheable) {
-    // Build the team on the heap and keep it (workers stay bound): the next
-    // same-size fork takes the fast path above.
-    ts.hot_team =
-        std::make_unique<Team>(std::move(members), saved.icv, level, active);
-    ts.hot_workers = std::move(workers);
-    ts.hot_requested = want;
-    ts.hot_undersized_reuses = 0;
-    run_region(*ts.hot_team, ts.hot_workers, fn, args, ts);
-    ts.hot_team->checkpoint_master();
+    // Keep the team armed in the victim slot (workers stay bound): the next
+    // fork matching (level, request, binding) takes the fast path above.
+    victim->team = std::move(team);
+    victim->workers = std::move(workers);
+    victim->level = parent_level;
+    victim->requested = want;
+    victim->bind_sig = bind_sig;
+    victim->undersized_reuses = 0;
+    victim->last_use = ++ts.hot_tick;
+    victim->in_use = true;
+    run_region(*victim->team, victim->workers, fn, args, ts);
+    victim->in_use = false;
+    victim->team->checkpoint_master();
     restore(ts, saved);
     return;
   }
 
-  {
-    Team team(std::move(members), saved.icv, level, active);
-    run_region(team, workers, fn, args, ts);
-  }
+  run_region(*team, workers, fn, args, ts);
+  team.reset();
   Pool::instance().release(workers);
   restore(ts, saved);
 }

@@ -8,11 +8,13 @@
 // Region entry is the runtime's fast path (DESIGN.md S1.6). Three mechanisms
 // keep it that way:
 //
-//  * Hot-team cache — each outermost master keeps its most recent Team (and
-//    its workers, still bound) on its ThreadState. A fork requesting the same
-//    size re-arms that team in place (generation bumps, no allocation, no
-//    pool traffic) instead of rebuilding it; the team is rebuilt only when
-//    the requested size changes (num_threads clause / nthreads-var).
+//  * Hot-team cache — each master keeps a small per-level array of recent
+//    Teams (and their workers, still bound) on its ThreadState, keyed on
+//    (nesting level, num_threads request, binding signature). A fork
+//    matching an entry re-arms that team in place (no allocation, no pool
+//    traffic, no re-binding syscalls); misses evict the least-recently-used
+//    entry, so programs alternating between two region shapes — and nested
+//    masters inside recycled outer teams — keep their teams hot.
 //  * Doorbell handoff — a bound worker parks on a per-worker atomic doorbell
 //    between regions, so waking a hot team is one plain store + one release
 //    store per worker, not a mutex/condvar round-trip. The doorbell spins
@@ -47,6 +49,9 @@ struct ForkOptions {
   i32 num_threads = 0;
   /// `if` clause: false serialises the region (team of one).
   bool if_clause = true;
+  /// proc_bind clause; kUnset defers to the pushed one-shot, then to the
+  /// bind-var list (OMP_PROC_BIND) at this environment's nesting level.
+  BindKind proc_bind = BindKind::kUnset;
   SourceIdent ident{};
 };
 
@@ -167,8 +172,17 @@ class Pool {
   /// Total workers ever spawned (for tests/telemetry). Exact.
   i32 spawned() const;
 
+  /// True once the pool's destructor has started. ~ThreadState consults this
+  /// before releasing a dying master's cached hot-team workers: during
+  /// teardown some of those Worker objects may already be destroyed, and
+  /// pushing them back onto the idle stack would touch freed memory.
+  bool shutting_down() const {
+    return shutting_down_.load(std::memory_order_acquire);
+  }
+
  private:
   Pool() = default;
+  ~Pool();
 
   Worker* pop_idle();
   void push_idle(Worker* w);
@@ -183,6 +197,7 @@ class Pool {
 
   mutable std::mutex mutex_;  ///< spawn path + spawned() only
   std::vector<std::unique_ptr<Worker>> all_;
+  std::atomic<bool> shutting_down_{false};
 };
 
 }  // namespace zomp::rt

@@ -1,6 +1,7 @@
 #include "runtime/team.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 namespace zomp::rt {
@@ -93,6 +94,55 @@ void Team::checkpoint_master() {
   master_ws_seq_ = master.ws_seq;
   master_single_seq_ = master.single_seq;
   master_red_seq_ = master.red_seq;
+}
+
+std::string affinity_report(const ThreadState& ts) {
+  // Built as a string end to end: a socket-wide place on a large machine
+  // lists dozens of procs, and a truncated report is worse than none.
+  std::string out = "zomp: level ";
+  out += std::to_string(ts.team != nullptr ? ts.team->level() : 0);
+  out += " thread ";
+  out += std::to_string(ts.tid);
+  out += " bound to place ";
+  out += std::to_string(ts.place_num);
+  out += ", OS procs {";
+  if (ts.place_num >= 0 &&
+      ts.place_num < PlaceTable::instance().num_places()) {
+    const Place& place = PlaceTable::instance().place(ts.place_num);
+    for (std::size_t i = 0; i < place.procs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(place.procs[i]);
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void Team::bind_member(ThreadState& ts, i32 tid) {
+  if (!binding_.active) return;
+  const MemberBinding& mb = binding_.members[static_cast<std::size_t>(tid)];
+  // The member's data environment gets its own slice of the partition
+  // (spread subdivides; close/primary inherit the whole parent partition) —
+  // this overrides the master-environment copy taken from the team ICVs.
+  ts.icv.part_lo = mb.part_lo;
+  ts.icv.part_len = mb.part_len;
+  const bool changed = ts.place_num != mb.place;
+  ts.place_num = mb.place;
+  const u32 generation = PlaceTable::instance().generation();
+  if (ts.bound_place != mb.place || ts.bound_generation != generation) {
+    // The one OS call of the subsystem. Refusal (non-Linux, cgroup-restricted
+    // mask) is deliberate no-op degradation: the logical place assignment
+    // above stays in force for omp_get_place_num and nested partitioning.
+    if (apply_place_mask(mb.place)) {
+      ts.bound_place = mb.place;
+      ts.bound_generation = generation;
+    } else {
+      ts.bound_place = -1;  // the OS mask no longer matches any place
+    }
+  }
+  if (changed && GlobalIcv::instance().display_affinity()) {
+    std::fprintf(stderr, "%s\n", affinity_report(ts).c_str());
+  }
 }
 
 void Team::barrier_wait(i32 tid) {

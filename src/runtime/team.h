@@ -8,11 +8,13 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "runtime/barrier.h"
 #include "runtime/common.h"
 #include "runtime/icv.h"
+#include "runtime/places.h"
 #include "runtime/reduce.h"
 #include "runtime/task.h"
 #include "runtime/worksharing.h"
@@ -22,6 +24,26 @@ namespace zomp::rt {
 class Team;
 class Worker;
 
+/// One entry of the per-master hot-team cache (pool.cpp fast path;
+/// DESIGN.md S1.6). The cache is a small fully-associative array keyed on
+/// (parent nesting level, num_threads request, binding signature): programs
+/// alternating between two region shapes — or forking nested teams from a
+/// recycled outer one — hit their own entry instead of rebuild-churning the
+/// single slot the cache used to be.
+struct HotSlot {
+  std::unique_ptr<Team> team;
+  std::vector<Worker*> workers;
+  i32 level = -1;      ///< parent team level at the fork (-1 = slot empty)
+  i32 requested = 0;   ///< the num_threads REQUEST that built the team
+  u64 bind_sig = 0;    ///< places.h binding_sig of the team's placement
+  i32 undersized_reuses = 0;
+  u64 last_use = 0;    ///< LRU stamp from ThreadState::hot_tick
+  /// True while the slot's team is executing a region this thread is inside
+  /// (an ancestor of the current fork). Such a slot must never be evicted or
+  /// cannibalized — its workers are running, not parked.
+  bool in_use = false;
+};
+
 /// Per-OS-thread runtime state. Exactly one per thread that ever touches the
 /// runtime; reachable via `current_thread()`.
 struct ThreadState {
@@ -30,6 +52,10 @@ struct ThreadState {
   Team* team = nullptr;  ///< innermost team; never null after binding
   Icv icv;        ///< this thread's data environment
   i32 pushed_num_threads = 0;  ///< one-shot num_threads for the next fork
+  /// One-shot proc_bind clause for the next fork (BindKind values;
+  /// kUnset = none). The ABI's zomp_push_proc_bind parks the clause here,
+  /// mirroring pushed_num_threads.
+  BindKind pushed_proc_bind = BindKind::kUnset;
 
   u64 ws_seq = 0;      ///< worksharing constructs encountered in this region
   u64 single_seq = 0;  ///< single constructs encountered in this region
@@ -42,29 +68,38 @@ struct ThreadState {
 
   Worker* worker = nullptr;  ///< pool worker backing this state, if any
 
+  // -- Affinity (DESIGN.md S1.8) --------------------------------------------
+  /// Place (index into the process PlaceTable) this thread is logically
+  /// assigned to by the innermost bound region; -1 before any binding. This
+  /// is what omp_get_place_num reports, and it is maintained even when the
+  /// platform refuses sched_setaffinity (binding degrades to a no-op).
+  i32 place_num = -1;
+  /// Place whose processor mask was last *applied* through sched_setaffinity
+  /// on this OS thread (-1 = never). The syscall cache: a hot-team re-arm
+  /// with an unchanged binding signature re-assigns the same place, so
+  /// Team::bind_member compares and skips the kernel round-trip.
+  /// `bound_generation` pins the cache to the place table it indexed — a
+  /// replaced table (tests) re-applies even for an equal place number.
+  i32 bound_place = -1;
+  u32 bound_generation = 0;
+
   /// Lazily-created size-1 team used when this thread executes runtime
   /// constructs outside any parallel region (orphaned constructs bind to an
   /// implicit team of one, per the spec).
   std::unique_ptr<Team> serial_team;
 
   // -- Hot-team cache (pool.cpp fork fast path; DESIGN.md S1.6) -------------
-  // The most recent outermost team this thread mastered, kept armed with its
-  // workers still bound (parked on their doorbells, NOT on the pool's idle
-  // list). A fork repeating `hot_requested` re-arms the team in place; any
-  // other request dismisses it (workers go back to the pool) and rebuilds.
-  std::unique_ptr<Team> hot_team;
-  std::vector<Worker*> hot_workers;
-  /// The num_threads request that built the hot team. Kept separately from
-  /// hot_team->size() because a short Pool::acquire may have shrunk the
-  /// team: repeats of the same *request* still reuse the shrunk team.
-  i32 hot_requested = 0;
-  /// Consecutive reuses of a hot team smaller than its request. Every
-  /// kUndersizedRetryPeriod-th such fork dismisses and rebuilds, so a team
-  /// shrunk by *transient* pool contention grows back once the contention
-  /// clears instead of being cached undersized forever.
-  i32 hot_undersized_reuses = 0;
+  // Recent teams this thread mastered, kept armed with their workers still
+  // bound (parked on their doorbells, NOT on the pool's idle list). A fork
+  // matching a slot's (level, request, binding signature) re-arms that team
+  // in place; misses evict the least-recently-used slot. Per-level entries
+  // mean pool workers acting as nested masters cache too — their pinned
+  // sub-teams ride here until eviction or thread exit.
+  static constexpr i32 kHotSlots = 4;
+  HotSlot hot_slots[kHotSlots];
+  u64 hot_tick = 0;  ///< LRU clock for the slots
 
-  /// Defined in pool.cpp: dismisses the hot team (if any) so its workers
+  /// Defined in pool.cpp: dismisses every cached hot team so their workers
   /// return to the pool when this thread exits.
   ~ThreadState();
 };
@@ -80,6 +115,12 @@ void bind_thread_state(ThreadState* state);
 /// Hands out process-unique global thread ids (shared by pool workers and
 /// user threads that touch the runtime).
 i32 allocate_gtid();
+
+/// One-line binding report for `ts` in the libomp OMP_DISPLAY_AFFINITY
+/// style: nesting level, thread num, place num, and the place's OS
+/// processor ids. Used by bind_member's display path and by
+/// omp_display_affinity().
+std::string affinity_report(const ThreadState& ts);
 
 /// The team executing one parallel region. Construction wires every member's
 /// ThreadState; the master thread owns the object and destroys it after all
@@ -121,6 +162,23 @@ class Team {
   i32 active_level() const { return active_level_; }
   const Icv& icv() const { return icv_; }
   ThreadState& member(i32 tid) { return *members_[static_cast<std::size_t>(tid)]; }
+
+  // -- Affinity (DESIGN.md S1.8) --------------------------------------------
+
+  /// Installs this region's placement (places.h plan_binding output).
+  /// Master-only, before any member runs; a hot re-arm with an unchanged
+  /// binding signature keeps the previous plan untouched.
+  void set_binding(BindingPlan plan) { binding_ = std::move(plan); }
+  const BindingPlan& binding() const { return binding_; }
+
+  /// Applies member `tid`'s placement to the calling thread: overrides the
+  /// place-partition ICVs copied from the team, records the assigned place,
+  /// and — only when the place actually changed — issues sched_setaffinity
+  /// (cached via ThreadState::bound_place, so hot-team rearms skip the
+  /// syscall). A refused mask leaves the logical assignment in force.
+  /// No-op for inactive plans. Emits the OMP_DISPLAY_AFFINITY report line
+  /// when enabled and the placement changed.
+  void bind_member(ThreadState& ts, i32 tid);
 
   /// Task-aware barrier: no member leaves until every member has arrived and
   /// every outstanding explicit task of the team has completed. Members help
@@ -256,6 +314,9 @@ class Team {
   Icv icv_;
   i32 level_ = 0;
   i32 active_level_ = 0;
+
+  /// This region's placement; inactive (default) teams bind nothing.
+  BindingPlan binding_;
 
   // Task-aware sense barrier (epoch-based so members need no local flag).
   alignas(kCacheLine) std::atomic<i32> bar_arrived_{0};

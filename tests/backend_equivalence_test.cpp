@@ -223,6 +223,43 @@ TEST_P(BackendScheduleSweep, MandelKernelAgreesUnderRewrittenSchedule) {
   EXPECT_EQ((*res.data)[1].as_i64(), native[1]) << c.clause;
 }
 
+// -- proc_bind sweep ---------------------------------------------------------
+//
+// Injecting each proc_bind kind into mandel.mz's parallel-for directive and
+// interpreting must (a) compile — the clause rides the whole front-end path —
+// and (b) leave the integer-exact results untouched: placement moves threads,
+// never work. Runs at 4 threads so close/spread exercise real partitions on
+// multi-core hosts, and degrades to the single-place fallback elsewhere.
+TEST(BackendEquivalenceTest, MandelKernelAgreesUnderProcBindSweep) {
+  const std::string original = read_kernel("mandel.mz");
+  const std::string anchor = "//#omp parallel for";
+
+  constexpr std::int64_t w = 40, h = 40, iters = 150;
+  std::vector<std::int64_t> native(2, 0);
+  mzgen_mandel_mz::mandel_run(w, h, iters,
+                              mz::Slice<std::int64_t>{native.data(), 2});
+
+  for (const char* clause :
+       {"proc_bind(primary)", "proc_bind(close)", "proc_bind(spread)",
+        "proc_bind(master)"}) {
+    std::string source = original;
+    const auto at = source.find(anchor);
+    ASSERT_NE(at, std::string::npos);
+    source.insert(at + anchor.size(), std::string(" ") + clause);
+
+    auto result = core::compile_source(source, {true, "mandel_bind_interp"});
+    ASSERT_TRUE(result.ok) << clause << ": " << result.diagnostics_text();
+
+    zomp::set_num_threads(4);
+    Interp interp(*result.module);
+    SliceVal res = make_slice_i64(2);
+    interp.call_by_name("mandel_run",
+                        {Value(w), Value(h), Value(iters), Value(res)});
+    EXPECT_EQ((*res.data)[0].as_i64(), native[0]) << clause;
+    EXPECT_EQ((*res.data)[1].as_i64(), native[1]) << clause;
+  }
+}
+
 // -- Reduction-operator × schedule × collapse-depth matrix -------------------
 //
 // reduce_matrix.mz exercises all 10 ReduceOps, the order-insensitive f64

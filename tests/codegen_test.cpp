@@ -350,6 +350,37 @@ fn f(n: i64) void {
   EXPECT_NE(cpp.find("zomp_fork_call_if("), std::string::npos);
 }
 
+TEST(CodegenTest, ProcBindClausePushesBeforeFork) {
+  const std::string cpp = gen(R"(
+fn f() void {
+  var t: i64 = 0;
+  //#omp parallel proc_bind(spread)
+  {
+    t += 1;
+  }
+}
+)");
+  // spread = BindKind/omp_proc_bind_t value 4, pushed one-shot like
+  // num_threads and consumed by the fork that follows.
+  const auto push = cpp.find("zomp_push_proc_bind(");
+  ASSERT_NE(push, std::string::npos);
+  EXPECT_NE(cpp.find(", 4);", push), std::string::npos);
+  EXPECT_LT(push, cpp.find("zomp_fork_call("));
+}
+
+TEST(CodegenTest, NoProcBindClauseEmitsNoPush) {
+  const std::string cpp = gen(R"(
+fn f() void {
+  var t: i64 = 0;
+  //#omp parallel
+  {
+    t += 1;
+  }
+}
+)");
+  EXPECT_EQ(cpp.find("zomp_push_proc_bind("), std::string::npos);
+}
+
 TEST(CodegenTest, TaskWithDepsEmitsDependArrayAndFlags) {
   const std::string cpp = gen(R"(
 fn f(x: []i64, n: i64) void {

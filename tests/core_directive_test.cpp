@@ -169,7 +169,7 @@ TEST(DirectiveParserTest, TaskClauses) {
 
 TEST(DirectiveParserTest, UnsupportedClausesWarnButPass) {
   lang::Diagnostics diags;
-  auto d = parse_directive(" parallel proc_bind(close)", lang::SourceLoc{}, diags);
+  auto d = parse_directive(" parallel copyin(x)", lang::SourceLoc{}, diags);
   ASSERT_NE(d, nullptr);
   EXPECT_FALSE(diags.has_errors());
   bool warned = false;
@@ -177,6 +177,30 @@ TEST(DirectiveParserTest, UnsupportedClausesWarnButPass) {
     if (diag.severity == lang::Severity::kWarning) warned = true;
   }
   EXPECT_TRUE(warned);
+}
+
+TEST(DirectiveParserTest, ProcBindKinds) {
+  EXPECT_EQ(parse_ok(" parallel proc_bind(primary)")->proc_bind,
+            ProcBindKind::kPrimary);
+  // `master` is the deprecated 5.0 alias for primary.
+  EXPECT_EQ(parse_ok(" parallel proc_bind(master)")->proc_bind,
+            ProcBindKind::kPrimary);
+  EXPECT_EQ(parse_ok(" parallel proc_bind(close)")->proc_bind,
+            ProcBindKind::kClose);
+  EXPECT_EQ(parse_ok(" parallel for proc_bind(spread) schedule(static)")
+                ->proc_bind,
+            ProcBindKind::kSpread);
+  EXPECT_EQ(parse_ok(" parallel")->proc_bind, ProcBindKind::kUnspecified);
+}
+
+TEST(DirectiveParserTest, ProcBindErrors) {
+  parse_fail(" parallel proc_bind(everywhere)", "unknown proc_bind kind");
+  parse_fail(" parallel proc_bind()", "proc_bind(...) takes");
+  parse_fail(" parallel proc_bind(close, spread)", "proc_bind(...) takes");
+  parse_fail(" parallel proc_bind(close) proc_bind(spread)",
+             "duplicate 'proc_bind' clause");
+  parse_fail(" for proc_bind(close)", "not valid on 'for'");
+  parse_fail(" task proc_bind(spread)", "not valid on 'task'");
 }
 
 TEST(DirectiveParserTest, TaskingConstructHeads) {

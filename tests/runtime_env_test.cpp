@@ -118,6 +118,28 @@ TEST(WaitPolicyParseTest, EnvVariantReadsWaitPolicy) {
   EXPECT_FALSE(env_wait_policy().has_value());
 }
 
+TEST(ProcBindEnvTest, EnvVariantReadsBindList) {
+  unsetenv("OMP_PROC_BIND");
+  setenv("ZOMP_PROC_BIND", "spread, close", 1);
+  const auto list = env_proc_bind();
+  ASSERT_TRUE(list.has_value());
+  ASSERT_EQ(list->size(), 2u);
+  EXPECT_EQ((*list)[0], BindKind::kSpread);
+  EXPECT_EQ((*list)[1], BindKind::kClose);
+  setenv("ZOMP_PROC_BIND", "sideways", 1);
+  EXPECT_FALSE(env_proc_bind().has_value());
+  unsetenv("ZOMP_PROC_BIND");
+  EXPECT_FALSE(env_proc_bind().has_value());
+}
+
+TEST(ProcBindEnvTest, BindKindsNamed) {
+  EXPECT_STREQ(bind_kind_name(BindKind::kFalse), "false");
+  EXPECT_STREQ(bind_kind_name(BindKind::kTrue), "true");
+  EXPECT_STREQ(bind_kind_name(BindKind::kPrimary), "primary");
+  EXPECT_STREQ(bind_kind_name(BindKind::kClose), "close");
+  EXPECT_STREQ(bind_kind_name(BindKind::kSpread), "spread");
+}
+
 TEST(ScheduleNameTest, AllKindsNamed) {
   EXPECT_STREQ(schedule_kind_name(ScheduleKind::kStatic), "static");
   EXPECT_STREQ(schedule_kind_name(ScheduleKind::kDynamic), "dynamic");

@@ -719,6 +719,76 @@ TEST(TaskGraphStressTest, FinalTasksRunIncludedSubtrees) {
   EXPECT_EQ(wrong_thread.load(), 0);
 }
 
+TEST(SchedStressTest, HotTeamRebindStress) {
+  // TSan-checked churn over the affinity-aware hot cache: bind kinds, team
+  // sizes, and nesting all alternate, so teams are recycled, rebuilt (bind
+  // signature is part of the key), and rebound while workers park/unpark on
+  // their doorbells. Allreduce checks every member took the right region.
+  set_max_active_levels(2);
+  const rt::BindKind kinds[] = {rt::BindKind::kUnset, rt::BindKind::kClose,
+                                rt::BindKind::kSpread, rt::BindKind::kPrimary};
+  std::atomic<int> mismatches{0};
+  for (int r = 0; r < 120; ++r) {
+    ParallelOptions opts;
+    opts.num_threads = (r % 3) + 2;  // 2, 3, 4
+    opts.proc_bind = kinds[r % 4];
+    parallel(
+        [&] {
+          const int n = num_threads();
+          if (allreduce(1, std::plus<>{}) != n) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (r % 5 == 0) {
+            // Nested bound team from the (possibly bound) outer member:
+            // exercises the per-level slots and partition inheritance.
+            ParallelOptions inner;
+            inner.num_threads = 2;
+            inner.proc_bind = rt::BindKind::kSpread;
+            parallel(
+                [&] {
+                  const int m = num_threads();
+                  if (allreduce(1, std::plus<>{}) != m) {
+                    mismatches.fetch_add(1, std::memory_order_relaxed);
+                  }
+                },
+                inner);
+          }
+        },
+        opts);
+  }
+  set_max_active_levels(1);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(SchedStressTest, ConcurrentMastersRebindIndependently) {
+  // Three root threads churn bound teams concurrently: per-thread hot slots,
+  // the idle stack, and sched_setaffinity caching must not cross-talk.
+  auto churn = [](int seed, std::atomic<int>& mismatches) {
+    const rt::BindKind kinds[] = {rt::BindKind::kClose, rt::BindKind::kSpread};
+    for (int r = 0; r < 60; ++r) {
+      ParallelOptions opts;
+      opts.num_threads = ((r + seed) % 2) + 2;
+      opts.proc_bind = kinds[(r + seed) % 2];
+      parallel(
+          [&] {
+            const int n = num_threads();
+            if (allreduce(1, std::plus<>{}) != n) {
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+            }
+          },
+          opts);
+    }
+  };
+  std::atomic<int> mismatches{0};
+  std::thread t1(churn, 0, std::ref(mismatches));
+  std::thread t2(churn, 1, std::ref(mismatches));
+  std::thread t3(churn, 2, std::ref(mismatches));
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
 TEST(SchedStressTest, ConcurrentTeamsReduceIndependently) {
   // Two root threads fork separate teams that reduce simultaneously. The
   // retired protocol took one *global* named critical here, serialising the
