@@ -413,19 +413,27 @@ BindingPlan plan_binding(BindKind bind, i32 part_lo, i32 part_len,
       }
       case BindKind::kSpread: {
         if (T <= K) {
-          // Subdivide [0, K) into T contiguous subpartitions; member i owns
-          // [floor(i*K/T), floor((i+1)*K/T)) and sits on its first place.
-          const i32 sub_lo = static_cast<i32>((i64{i} * K) / T);
-          const i32 sub_hi = static_cast<i32>((i64{i + 1} * K) / T);
-          mb.place = part_lo + sub_lo;
+          // Subdivide [0, K) into T contiguous subpartitions with fixed
+          // boundaries [floor(j*K/T), floor((j+1)*K/T)). Spec §10.1.3:
+          // subpartition numbering begins with the one containing the
+          // parent thread's place — so member i takes subpartition
+          // (r + i) % T, where r is the slice holding the master, and the
+          // master itself (member 0) keeps the parent's exact place.
+          const i32 r = static_cast<i32>(
+              (i64{m + 1} * T + K - 1) / K - 1);  // slice containing m
+          const i32 j = (r + i) % T;
+          const i32 sub_lo = static_cast<i32>((i64{j} * K) / T);
+          const i32 sub_hi = static_cast<i32>((i64{j + 1} * K) / T);
+          mb.place = i == 0 ? part_lo + m : part_lo + sub_lo;
           mb.part_lo = part_lo + sub_lo;
           mb.part_len = std::max(1, sub_hi - sub_lo);
         } else {
-          // More members than places: groups share a place, and each
-          // member's partition narrows to that single place.
+          // More members than places: groups share a place, rotated so
+          // group 0 sits on the master's place, and each member's
+          // partition narrows to that single place.
           const i32 sub = static_cast<i32>((i64{i} * K) / T);
-          mb.place = part_lo + sub;
-          mb.part_lo = part_lo + sub;
+          mb.place = part_lo + (m + sub) % K;
+          mb.part_lo = mb.place;
           mb.part_len = 1;
         }
         break;

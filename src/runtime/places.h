@@ -126,11 +126,13 @@ u64 binding_sig(BindKind bind, i32 part_lo, i32 part_len, i32 master_place,
 ///   primary: every member on the master's place, partition unchanged.
 ///   close/true: member i offset from the master's place (consecutive while
 ///     the team fits, grouped by floor(i*K/T) beyond), partition unchanged.
-///   spread: the partition is subdivided left-to-right into `size` disjoint
-///     subpartitions (single shared places once size > K); each member is
-///     assigned the first place of its subpartition and *inherits the
-///     subpartition* as its own place-partition-var, so nested teams spread
-///     over disjoint slices.
+///   spread: the partition is subdivided into `size` disjoint contiguous
+///     subpartitions (single shared places once size > K), numbered starting
+///     with the subpartition that contains the master's place (§10.1.3's
+///     rotation); member 0 keeps the master's exact place, member i sits on
+///     the first place of subpartition (r+i) mod size, and each member
+///     *inherits its subpartition* as its own place-partition-var, so nested
+///     teams spread over disjoint slices.
 /// `master_place` outside the partition snaps to part_lo. Returns an
 /// inactive plan for kFalse/kUnset or an empty place table.
 BindingPlan plan_binding(BindKind bind, i32 part_lo, i32 part_len,

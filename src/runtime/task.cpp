@@ -4,18 +4,42 @@ namespace zomp::rt {
 
 TaskPool::TaskPool(i32 members) {
   queues_.reserve(static_cast<std::size_t>(members));
+  mailboxes_.reserve(static_cast<std::size_t>(members));
   for (i32 i = 0; i < members; ++i) {
     queues_.push_back(std::make_unique<WorkStealingDeque>());
+    mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  stats_.resize(static_cast<std::size_t>(members));
 }
 
 TaskPool::~TaskPool() {
   // Normal joins drain every deque before the team dies, but reclaim any
-  // stragglers so teardown never leaks parked tasks (the deque slots hold
-  // raw pointers the unique_ptr wrapper released on push).
+  // stragglers so teardown never leaks parked tasks (the deque slots and
+  // mailbox entries hold raw pointers the unique_ptr wrapper released).
   for (auto& queue : queues_) {
     while (Task* task = queue->pop()) delete task;
   }
+  for (auto& mailbox : mailboxes_) {
+    for (Task* task : mailbox->tasks) delete task;
+    mailbox->tasks.clear();
+  }
+}
+
+void TaskPool::set_victim_order(std::vector<i32> order) {
+  const auto n = queues_.size();
+  ZOMP_CHECK(order.empty() || order.size() == n * (n - 1),
+             "victim-order table must be n x (n-1) or empty");
+  victim_order_ = std::move(order);
+}
+
+StealStats TaskPool::stats_total() const {
+  StealStats total;
+  for (const StealStats& s : stats_) {
+    total.steal_attempts += s.steal_attempts;
+    total.steal_lost += s.steal_lost;
+    total.mailbox_pulls += s.mailbox_pulls;
+  }
+  return total;
 }
 
 std::unique_ptr<Task> TaskPool::push(i32 tid, std::unique_ptr<Task> task) {
@@ -37,21 +61,92 @@ std::unique_ptr<Task> TaskPool::push(i32 tid, std::unique_ptr<Task> task) {
   return task;  // deque full: caller executes inline
 }
 
+void TaskPool::push_remote(i32 target, std::unique_ptr<Task> task) {
+  ZOMP_CHECK(target >= 0 && target < static_cast<i32>(mailboxes_.size()),
+             "task mailed to non-member thread");
+  // Same counting discipline as push(): counters land before the task is
+  // visible, queued_ seq_cst for the WaitGate park protocol. No overflow
+  // path — the mailbox is unbounded.
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  queued_.fetch_add(1, std::memory_order_seq_cst);
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(target)];
+  {
+    const std::lock_guard<std::mutex> lock(mb.mu);
+    mb.tasks.push_back(task.release());
+  }
+  mb.count.fetch_add(1, std::memory_order_release);
+}
+
+Task* TaskPool::mailbox_pop(i32 member) {
+  Mailbox& mb = *mailboxes_[static_cast<std::size_t>(member)];
+  // Advisory pre-filter, same contract as maybe_empty(): a stale zero only
+  // delays discovery until the caller's queued_ re-check loops back here.
+  if (mb.count.load(std::memory_order_relaxed) <= 0) return nullptr;
+  const std::lock_guard<std::mutex> lock(mb.mu);
+  if (mb.tasks.empty()) return nullptr;
+  Task* task = mb.tasks.front();
+  mb.tasks.pop_front();
+  mb.count.fetch_sub(1, std::memory_order_relaxed);
+  return task;
+}
+
 std::unique_ptr<Task> TaskPool::take(i32 tid) {
   const auto n = static_cast<i32>(queues_.size());
   ZOMP_CHECK(tid >= 0 && tid < n, "task take from non-member thread");
+  StealStats& stats = stats_[static_cast<std::size_t>(tid)];
   // Own deque first, LIFO for locality.
   if (Task* task = queues_[static_cast<std::size_t>(tid)]->pop()) {
     queued_.fetch_sub(1, std::memory_order_acq_rel);
     return std::unique_ptr<Task>(task);
   }
-  // Steal FIFO from siblings, starting just after ourselves so victims are
-  // spread without needing randomness. A lost CAS race just moves on to the
-  // next victim; the caller's retry loop provides the backoff.
-  for (i32 k = 1; k < n; ++k) {
-    WorkStealingDeque& q = *queues_[static_cast<std::size_t>((tid + k) % n)];
-    if (q.maybe_empty()) continue;
-    if (Task* task = q.steal()) {
+  // Own mailbox next: tasks another member aimed specifically at us (the
+  // place-aware taskloop spray) beat a cross-place steal.
+  if (Task* task = mailbox_pop(tid)) {
+    ++stats.mailbox_pulls;
+    queued_.fetch_sub(1, std::memory_order_acq_rel);
+    return std::unique_ptr<Task>(task);
+  }
+  if (n <= 1) return nullptr;
+  // Steal FIFO from siblings. With a victim-order table installed the scan
+  // is hierarchical — same-place siblings first, then same core, same
+  // socket, anywhere (each tier already rotated per-member by the builder).
+  // Without one, fall back to the flat ring, but start it at a per-member
+  // golden-ratio-hashed offset instead of tid+1: under single-producer
+  // fan-out a fixed start makes every idle thief hammer the same victim's
+  // top CAS in lockstep (convoying), and the stagger fans them out. A lost
+  // CAS race just moves on to the next victim; the caller's retry loop
+  // provides the backoff.
+  const i32* order = victim_order_.empty()
+                         ? nullptr
+                         : victim_order_.data() +
+                               static_cast<std::size_t>(tid) *
+                                   static_cast<std::size_t>(n - 1);
+  const i32 start =
+      tid + 1 +
+      static_cast<i32>((static_cast<u32>(tid) * 0x9E3779B9u) %
+                       static_cast<u32>(n));
+  i32 visited = 0;
+  for (i32 k = 0; visited < n - 1; ++k) {
+    i32 victim;
+    if (order != nullptr) {
+      victim = order[visited++];
+    } else {
+      victim = (start + k) % n;
+      if (victim == tid) continue;
+      ++visited;
+    }
+    WorkStealingDeque& q = *queues_[static_cast<std::size_t>(victim)];
+    if (!q.maybe_empty()) {
+      ++stats.steal_attempts;
+      bool lost = false;
+      if (Task* task = q.steal(&lost)) {
+        queued_.fetch_sub(1, std::memory_order_acq_rel);
+        return std::unique_ptr<Task>(task);
+      }
+      if (lost) ++stats.steal_lost;
+    }
+    if (Task* task = mailbox_pop(victim)) {
+      ++stats.mailbox_pulls;
       queued_.fetch_sub(1, std::memory_order_acq_rel);
       return std::unique_ptr<Task>(task);
     }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -210,7 +211,9 @@ class WorkStealingDeque {
 
   /// Any thread. FIFO: oldest task, maximising the stolen subtree. Null when
   /// empty or when the CAS race is lost (caller just tries the next victim).
-  Task* steal() {
+  /// `lost`, when non-null, is set to true on a lost CAS — the convoying
+  /// telemetry the staggered victim scan is measured by (DESIGN.md S1.9).
+  Task* steal(bool* lost = nullptr) {
     i64 t = top_.load(std::memory_order_seq_cst);
     const i64 b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return nullptr;
@@ -218,15 +221,22 @@ class WorkStealingDeque {
         slots_[static_cast<std::size_t>(t & kMask)].load(std::memory_order_relaxed);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
+      if (lost != nullptr) *lost = true;
       return nullptr;
     }
     return task;
   }
 
-  /// Racy size estimate, only used to skip obviously-empty victims.
+  /// Advisory emptiness probe for the victim scan. Acquire loads, `top`
+  /// first, so the (monotonically growing) `bottom` read is the fresher of
+  /// the pair and a push published on another core flips the answer
+  /// promptly. Still only a hint: a push racing mid-publication may be
+  /// missed for one scan, so take() returning null NEVER means "no work" —
+  /// every drain loop must re-check the pool-level queued() counter (the
+  /// barrier/taskwait/taskgroup loops in team.cpp do exactly that).
   bool maybe_empty() const {
-    return top_.load(std::memory_order_relaxed) >=
-           bottom_.load(std::memory_order_relaxed);
+    const i64 t = top_.load(std::memory_order_acquire);
+    return t >= bottom_.load(std::memory_order_acquire);
   }
 
  private:
@@ -238,13 +248,29 @@ class WorkStealingDeque {
   std::array<std::atomic<Task*>, kCapacity> slots_{};
 };
 
-/// Per-team task queues: one work-stealing deque per member.
+/// Per-member steal-path telemetry (DESIGN.md S1.9). Each member writes only
+/// its own (cache-line-padded) entry from inside take(); readers aggregate
+/// after the region joined — the member check-out/acquire pair orders the
+/// plain writes — so the counters need no atomics on the hot path.
+struct alignas(kCacheLine) StealStats {
+  u64 steal_attempts = 0;  ///< CAS-bearing steal() calls on victims' deques
+  u64 steal_lost = 0;      ///< those that lost the top CAS race (convoying)
+  u64 mailbox_pulls = 0;   ///< tasks taken from any member's mailbox
+};
+
+/// Per-team task queues: one work-stealing deque per member, plus one
+/// mutex-guarded *mailbox* per member for tasks another member aims at it
+/// (the Chase–Lev deque is owner-push-only, so cross-member placement —
+/// place-aware taskloop spraying — needs a side channel). Victim selection
+/// in take() is locality-aware when the team installed a victim-order table
+/// (hierarchical: same place, then same core/socket, then anywhere), and a
+/// staggered flat ring otherwise.
 class TaskPool {
  public:
   explicit TaskPool(i32 members);
 
-  /// Drains and frees any tasks still parked in the deques (the slots hold
-  /// raw pointers, so teardown must reclaim them explicitly).
+  /// Drains and frees any tasks still parked in the deques or mailboxes
+  /// (both hold raw pointers, so teardown must reclaim them explicitly).
   ~TaskPool();
 
   TaskPool(const TaskPool&) = delete;
@@ -257,9 +283,31 @@ class TaskPool {
   /// the rejected task would strand its parent/group counters forever.
   [[nodiscard]] std::unique_ptr<Task> push(i32 tid, std::unique_ptr<Task> task);
 
-  /// Pops from `tid`'s own deque (LIFO), or steals FIFO from a sibling.
-  /// Returns nullptr if no task is available right now.
+  /// Enqueues `task` on member `target`'s mailbox — the cross-member
+  /// placement path. Unbounded, so unlike push() it never rejects. The task
+  /// is stealable like any queued task: take() scans victims' mailboxes as
+  /// well as their deques, so a task mailed to a member that never becomes
+  /// idle cannot strand a taskgroup/taskwait/barrier waiter.
+  void push_remote(i32 target, std::unique_ptr<Task> task);
+
+  /// Pops from `tid`'s own deque (LIFO), then its own mailbox, then steals
+  /// from siblings — nearest-first per the installed victim order, or a
+  /// per-member staggered ring when there is none. Returns nullptr if no
+  /// task is available right now; see maybe_empty() for why callers must
+  /// re-check queued() before treating that as "pool dry".
   std::unique_ptr<Task> take(i32 tid);
+
+  /// Installs the hierarchical steal-victim order: row `tid` holds member
+  /// tid's n-1 victims, nearest first (flattened n x (n-1)). Built by the
+  /// team from its binding plan and scheduling_topology() at fork time
+  /// (master-only, while the team is quiescent); empty reverts take() to
+  /// the staggered flat ring.
+  void set_victim_order(std::vector<i32> order);
+  const std::vector<i32>& victim_order() const { return victim_order_; }
+
+  /// Sums every member's steal telemetry. Quiescent-read only (after a
+  /// join/barrier): the per-member entries are plain fields.
+  StealStats stats_total() const;
 
   /// Tasks queued but not yet finished executing (includes tasks currently
   /// running a body). Gates the barrier's drain: zero means every published
@@ -281,9 +329,25 @@ class TaskPool {
   void mark_finished() { outstanding_.fetch_sub(1, std::memory_order_acq_rel); }
 
  private:
-  // Each deque heap-allocated so neighbouring members' hot words never share
-  // a line regardless of vector layout.
+  /// One member's mailbox. The atomic count lets the victim scan skip empty
+  /// mailboxes without taking the lock; like maybe_empty() it is advisory
+  /// (queued() is the authoritative re-check).
+  struct Mailbox {
+    std::mutex mu;
+    std::deque<Task*> tasks;
+    std::atomic<i32> count{0};
+  };
+
+  /// Pops the oldest mailed task from `member`'s mailbox; null when empty.
+  Task* mailbox_pop(i32 member);
+
+  // Each deque/mailbox heap-allocated so neighbouring members' hot words
+  // never share a line regardless of vector layout.
   std::vector<std::unique_ptr<WorkStealingDeque>> queues_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// Flattened n x (n-1) victim-order table; empty = staggered flat ring.
+  std::vector<i32> victim_order_;
+  std::vector<StealStats> stats_;
   alignas(kCacheLine) std::atomic<i64> outstanding_{0};
   alignas(kCacheLine) std::atomic<i64> queued_{0};
 };

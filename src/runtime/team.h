@@ -165,11 +165,17 @@ class Team {
 
   // -- Affinity (DESIGN.md S1.8) --------------------------------------------
 
-  /// Installs this region's placement (places.h plan_binding output).
+  /// Installs this region's placement (places.h plan_binding output) and
+  /// recomputes everything locality derives from it: the steal-victim order
+  /// table and the per-place dispatch shard map (DESIGN.md S1.9).
   /// Master-only, before any member runs; a hot re-arm with an unchanged
-  /// binding signature keeps the previous plan untouched.
-  void set_binding(BindingPlan plan) { binding_ = std::move(plan); }
+  /// binding signature keeps the previous plan (and derived maps) untouched.
+  void set_binding(BindingPlan plan);
   const BindingPlan& binding() const { return binding_; }
+
+  /// The per-place dispatch shard map derived from the binding plan; flat
+  /// (nshards == 1) for unbound or single-place teams.
+  const ShardMap& shard_map() const { return shard_map_; }
 
   /// Applies member `tid`'s placement to the calling thread: overrides the
   /// place-partition ICVs copied from the team, records the assigned place,
@@ -310,6 +316,11 @@ class Team {
   /// still parked.
   void complete_depnode(ThreadState& ts, DepNode& node);
 
+  /// Recomputes the locality products of the binding plan: the shard map and
+  /// the hierarchical steal-victim order (DESIGN.md S1.9). Master-only,
+  /// while the team is quiescent (construction / set_binding).
+  void rebuild_locality();
+
   std::vector<ThreadState*> members_;
   Icv icv_;
   i32 level_ = 0;
@@ -317,6 +328,9 @@ class Team {
 
   /// This region's placement; inactive (default) teams bind nothing.
   BindingPlan binding_;
+
+  /// Per-place dispatch shards derived from binding_ (see shard_map()).
+  ShardMap shard_map_;
 
   // Task-aware sense barrier (epoch-based so members need no local flag).
   alignas(kCacheLine) std::atomic<i32> bar_arrived_{0};

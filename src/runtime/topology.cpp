@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -150,15 +151,35 @@ Topology Topology::synthetic(i32 sockets, i32 cores_per_socket,
 }
 
 bool Topology::usable(i32 os_proc) const {
+  return find_proc(os_proc) != nullptr;
+}
+
+const ProcInfo* Topology::find_proc(i32 os_proc) const {
+  // Linear scan: topologies are at most a few hundred entries and the
+  // callers (place parsing, once-per-fork victim ordering) are cold paths.
   for (const ProcInfo& p : procs_) {
-    if (p.os_proc == os_proc) return true;
+    if (p.os_proc == os_proc) return &p;
   }
-  return false;
+  return nullptr;
 }
 
 const Topology& Topology::instance() {
   static const Topology topo = discover();
   return topo;
 }
+
+namespace {
+std::unique_ptr<Topology> g_scheduling_override;
+}  // namespace
+
+const Topology& scheduling_topology() {
+  return g_scheduling_override ? *g_scheduling_override : Topology::instance();
+}
+
+void set_scheduling_topology_for_test(Topology topo) {
+  g_scheduling_override = std::make_unique<Topology>(std::move(topo));
+}
+
+void clear_scheduling_topology_for_test() { g_scheduling_override.reset(); }
 
 }  // namespace zomp::rt

@@ -294,6 +294,55 @@ TEST(PlanBindingTest, SpreadSubdividesThePartitionDisjointly) {
   }
 }
 
+TEST(PlanBindingTest, SpreadRotatesToStartAtTheMastersSlice) {
+  // OpenMP 5.2 S10.1.3: with T <= K the subpartition numbering begins with
+  // the subpartition containing the parent thread's place, and the master
+  // keeps its exact place. 8 places split into two slices of 4.
+  PlaceTableGuard guard;
+  PlaceTable::instance().set_for_test(synthetic_places(8));
+  {
+    // Master mid-way through the FIRST slice: member 0 keeps place 3 and
+    // owns slice [0,4); member 1 starts the next slice at place 4.
+    const BindingPlan plan = rt::plan_binding(BindKind::kSpread, 0, 8, 3, 2);
+    ASSERT_TRUE(plan.active);
+    EXPECT_EQ(plan.members[0].place, 3);
+    EXPECT_EQ(plan.members[0].part_lo, 0);
+    EXPECT_EQ(plan.members[0].part_len, 4);
+    EXPECT_EQ(plan.members[1].place, 4);
+    EXPECT_EQ(plan.members[1].part_lo, 4);
+    EXPECT_EQ(plan.members[1].part_len, 4);
+  }
+  {
+    // Master in the SECOND slice: the numbering wraps, so member 1 lands on
+    // the first slice — before the fix it was pushed past the partition end.
+    const BindingPlan plan = rt::plan_binding(BindKind::kSpread, 0, 8, 5, 2);
+    ASSERT_TRUE(plan.active);
+    EXPECT_EQ(plan.members[0].place, 5) << "master keeps its own place";
+    EXPECT_EQ(plan.members[0].part_lo, 4);
+    EXPECT_EQ(plan.members[0].part_len, 4);
+    EXPECT_EQ(plan.members[1].place, 0);
+    EXPECT_EQ(plan.members[1].part_lo, 0);
+    EXPECT_EQ(plan.members[1].part_len, 4);
+  }
+}
+
+TEST(PlanBindingTest, SpreadOversubscribedRotatesFromTheMaster) {
+  // T > K: single-place subpartitions assigned round-robin starting at the
+  // master's place (K=2, T=4, master on place 1).
+  PlaceTableGuard guard;
+  PlaceTable::instance().set_for_test(synthetic_places(2));
+  const BindingPlan plan = rt::plan_binding(BindKind::kSpread, 0, 2, 1, 4);
+  ASSERT_TRUE(plan.active);
+  EXPECT_EQ(plan.members[0].place, 1);
+  EXPECT_EQ(plan.members[1].place, 1);
+  EXPECT_EQ(plan.members[2].place, 0);
+  EXPECT_EQ(plan.members[3].place, 0);
+  for (const auto& mb : plan.members) {
+    EXPECT_EQ(mb.part_len, 1) << "oversubscribed spread narrows to one place";
+    EXPECT_EQ(mb.part_lo, mb.place);
+  }
+}
+
 TEST(PlanBindingTest, AcceptanceShapeExplicitPairsSpreadOfFour) {
   // The ISSUE acceptance scenario at the plan level: OMP_PLACES={0:2},{2:2}
   // parsed on a 4-proc machine, proc_bind(spread) at 4 threads -> members

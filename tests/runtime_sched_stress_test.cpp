@@ -789,6 +789,80 @@ TEST(SchedStressTest, ConcurrentMastersRebindIndependently) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// -- Locality-aware steal path (DESIGN.md S1.9) ------------------------------
+
+TEST(SchedStressTest, StealTelemetryCountsAttemptsAndLostRaces) {
+  // Single-producer storm with many thieves contending on one deque: the
+  // per-member steal counters (written only by their owner inside take, read
+  // quiescently after the join) must account for every stolen task, and
+  // lost-CAS retries can never exceed attempts. This is the measurement the
+  // staggered steal-scan starts exist to keep low — convoying thieves all
+  // losing the same CAS shows up directly in steal_lost.
+  constexpr int kTasks = 1024;
+  constexpr int kThreads = 8;
+  std::atomic<int> done{0};
+  rt::Team* team = nullptr;
+  parallel(
+      [&] {
+        if (thread_num() == 0) {
+          team = rt::current_thread().team;
+          for (int i = 0; i < kTasks; ++i) {
+            task([&] { done.fetch_add(1, std::memory_order_relaxed); });
+          }
+          while (done.load(std::memory_order_acquire) < kTasks) {
+            std::this_thread::yield();
+          }
+        }
+      },
+      ParallelOptions{kThreads, true});
+  EXPECT_EQ(done.load(), kTasks);
+  // Post-join quiescent read: workers have checked out and parked, the team
+  // survives in the master's hot cache.
+  ASSERT_NE(team, nullptr);
+  const rt::StealStats stats = team->tasks().stats_total();
+  EXPECT_GT(stats.steal_attempts, 0u)
+      << "a yielding producer means every completion was a steal";
+  EXPECT_LE(stats.steal_lost, stats.steal_attempts)
+      << "lost CAS races are a subset of attempts";
+}
+
+TEST(SchedStressTest, RemoteMailboxBurstWakesParkedWaiters) {
+  // Regression for the maybe_empty pre-filter audit: waiters condvar-park in
+  // the join barrier past the doorbell grace, then the single winner sprays
+  // a taskloop whose chunks land in OTHER members' mailboxes (push_remote).
+  // Parked waiters must wake for work they did not see published and the
+  // barrier must drain everything — under TSan this also checks the
+  // mailbox count/lock publication order.
+  const auto saved = get_wait_policy();
+  set_wait_policy(rt::WaitPolicy::kPassive);
+  constexpr rt::i64 kN = 512;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(kN));
+  for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+  ParallelOptions opts;
+  opts.num_threads = 4;
+  opts.proc_bind = rt::BindKind::kSpread;  // multi-place -> spray enabled
+  parallel(
+      [&] {
+        single([&] {
+          // Outlast the waiters' grace so they are parked when the burst
+          // arrives through their mailboxes.
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          taskloop(
+              rt::i64{0}, kN,
+              [&](rt::i64 i) {
+                hits[static_cast<std::size_t>(i)].fetch_add(
+                    1, std::memory_order_relaxed);
+              },
+              TaskloopOptions{0, 32});
+        });
+      },
+      opts);
+  set_wait_policy(saved);
+  for (rt::i64 i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
 TEST(SchedStressTest, ConcurrentTeamsReduceIndependently) {
   // Two root threads fork separate teams that reduce simultaneously. The
   // retired protocol took one *global* named critical here, serialising the
