@@ -1,8 +1,9 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 #include "lang/lexer.h"
 #include "lang/parser.h"
-#include "lang/sema.h"
 
 namespace zomp::core {
 
@@ -18,13 +19,27 @@ CompileResult compile_source(std::string source, const CompileOptions& options) 
   result.module = parser.parse_module(options.module_name);
   if (result.diags.has_errors()) return result;
 
-  if (options.openmp) {
-    if (!apply_openmp(*result.module, result.diags, &result.stats)) {
-      return result;
-    }
+  PassManager pm;
+  build_default_pipeline(pm, options.opt_level, options.openmp);
+
+  const bool dump_all =
+      std::find(options.dump_ir.begin(), options.dump_ir.end(), "all") !=
+      options.dump_ir.end();
+  PassManager::DumpHook hook;
+  if (!options.dump_ir.empty()) {
+    hook = [&](const std::string& pass, const lang::Module& module) {
+      if (dump_all || std::find(options.dump_ir.begin(), options.dump_ir.end(),
+                                pass) != options.dump_ir.end()) {
+        result.ir_dumps.emplace_back(pass, lang::dump_ast(module));
+      }
+    };
   }
 
-  if (!lang::analyze(*result.module, result.diags)) return result;
+  if (!pm.run(*result.module, result.diags, result.pass_stats, hook)) {
+    result.stats = result.pass_stats.transform;
+    return result;
+  }
+  result.stats = result.pass_stats.transform;
   result.ok = true;
   return result;
 }

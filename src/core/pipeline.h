@@ -1,11 +1,22 @@
-// One-call front-end pipeline: source text -> lexed -> parsed -> OpenMP
-// transform -> sema. Used by the mzc driver, the interpreter-based tests,
-// and the examples.
+// One-call compile pipeline: source text -> lexed -> parsed -> pass pipeline
+// (omp-lower -> sema -> optimizer passes, see core/passes.h) -> backend-ready
+// module. Used by the mzc driver, the interpreter-based tests, and the
+// examples.
+//
+// The pipeline after parsing is a PassManager (passes.h): `omp-lower` (the
+// directive engine) and `sema` run as the first two passes; `opt_level >= 1`
+// appends the optimizer (fold, static-spec, fuse, dce-hoist) plus a `verify`
+// re-analysis. `dump_ir` captures the module's S-expression dump after any
+// named pass — the observability hook behind `mzc --dump-ir=<pass>` and the
+// per-pass golden tests.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/passes.h"
 #include "core/transform.h"
 #include "lang/ast.h"
 #include "lang/source.h"
@@ -19,13 +30,27 @@ struct CompileOptions {
   bool openmp = true;
   /// Module name used in dumps and generated code.
   std::string module_name = "main";
+  /// 0: lower + sema only (the historical pipeline, and the library default
+  /// so AST-golden callers see byte-identical output). 1: the full optimizer
+  /// (mzc's default — see tools/mzc.cpp).
+  int opt_level = 0;
+  /// Pass names whose post-pass IR to capture in CompileResult::ir_dumps
+  /// ("all" captures every pass). See PassManager::pass_names().
+  std::vector<std::string> dump_ir;
 };
 
 struct CompileResult {
   std::unique_ptr<lang::SourceFile> file;
   std::unique_ptr<lang::Module> module;
   lang::Diagnostics diags;
+  /// Directive-engine counters (omp-lower stage); alias of
+  /// pass_stats.transform kept for existing callers.
   TransformStats stats;
+  /// Full pipeline counters, including the optimizer passes.
+  PassStats pass_stats;
+  /// (pass name, dump_ast text) in execution order, for the passes requested
+  /// via CompileOptions::dump_ir.
+  std::vector<std::pair<std::string, std::string>> ir_dumps;
   bool ok = false;
 
   /// Rendered diagnostics (empty string if none).

@@ -26,9 +26,25 @@
 //   4. The remaining constructs (single/master/critical/atomic/ordered/task)
 //      map to their structured statements.
 //
-// Runs before semantic analysis, with names only — the same position and the
-// same type-information limitation the paper describes (§2), resolved the
-// same way (generic/inferred outlined-function parameters).
+// Pipeline position (core/passes.h): this transform is the `omp-lower`
+// pass, the first stage of the PassManager pipeline. It runs before
+// semantic analysis, with names only — the same position and the same
+// type-information limitation the paper describes (§2), resolved the same
+// way (generic/inferred outlined-function parameters). Contract with the
+// downstream passes:
+//   * Output is a plain module: outlined functions are ordinary FnDecls
+//     (marked is_outlined) whose parameter lists pair 1:1 with the fork /
+//     task sites' capture lists — the invariant fold's interprocedural
+//     propagation, fuse's parameter-union merge, and dce-hoist's
+//     capture+parameter removal all rely on.
+//   * Every loop is normalised to half-open [lo, hi) step 1 (collapse
+//     nests linearized first), which is what makes static-spec's literal
+//     bounds check and the backends' zomp_static_range lowering a plain
+//     pattern match.
+//   * The transform itself never folds, fuses, or marks anything — at -O0
+//     its output goes to the backends exactly as lowered, and every
+//     optimization above it must keep the module re-analyzable (the
+//     `verify` pass re-runs sema after the optimizers).
 #pragma once
 
 #include "lang/ast.h"

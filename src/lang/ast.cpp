@@ -251,6 +251,7 @@ std::string dump_stmt(const Stmt& stmt, int indent) {
         out << " proc_bind="
             << (stmt.proc_bind <= 4 ? names[stmt.proc_bind] : "?");
       }
+      if (stmt.hoist_depth > 0) out << " hoist@" << stmt.hoist_depth;
       for (const auto& c : stmt.captures) {
         out << " [" << c.name << ' ' << capture_mode_name(c.mode);
         if (c.mode == CaptureMode::kReductionPtr) {
@@ -282,6 +283,7 @@ std::string dump_stmt(const Stmt& stmt, int indent) {
       }
       if (stmt.nowait) out << " nowait";
       if (stmt.ordered) out << " ordered";
+      if (stmt.static_spec) out << " static-spec";
       for (const auto& lp : stmt.lastprivate) {
         out << " lastprivate=" << lp.first << "->" << lp.second;
       }

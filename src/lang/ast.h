@@ -272,6 +272,13 @@ struct Stmt {
   /// omp_proc_bind_t value (2 primary, 3 close, 4 spread); -1 when absent.
   /// Kept numeric so lang/ stays free of runtime headers.
   int proc_bind = -1;
+  /// kOmpFork only, set by the optimizer's capture-hoist pass: > 0 means
+  /// every capture's address is invariant across the enclosing serial loop
+  /// nest, so codegen may build the fork's `void*` argument pack once,
+  /// outside the loop at serial-loop nesting depth `hoist_depth - 1`
+  /// (1 = hoist out of the innermost enclosing loop). 0 = no hoist. The
+  /// interpreter ignores the flag (it has no argument pack to reuse).
+  int hoist_depth = 0;
 
   // kOmpTask tasking clauses (see core/directive.h): depend items are
   // lvalue expressions evaluated to addresses at creation time, in the
@@ -296,6 +303,14 @@ struct Stmt {
   std::vector<CollapseDim> collapse;
   bool nowait = false;
   bool ordered = false;
+  /// Set by the optimizer's static-specialization pass: the loop is
+  /// schedule(static) with no chunk, not ordered, and its bounds are integer
+  /// literals, so backends may lower it to one `zomp_static_range` call (a
+  /// single contiguous [lo,hi) block per thread) instead of the full
+  /// static-init strided protocol. Semantics are identical to the blocked
+  /// static distribution; the runtime still sizes blocks from the *actual*
+  /// team, so a smaller-than-requested team stays correct.
+  bool static_spec = false;
   /// lastprivate entries as {private local, writeback target} name pairs.
   std::vector<std::pair<std::string, std::string>> lastprivate;
   /// Resolved counterparts of `lastprivate` (sema), same order.

@@ -42,6 +42,7 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   if (stmt.num_threads) copy->num_threads = clone_expr(*stmt.num_threads);
   if (stmt.if_clause) copy->if_clause = clone_expr(*stmt.if_clause);
   copy->proc_bind = stmt.proc_bind;
+  copy->hoist_depth = stmt.hoist_depth;
   for (const auto& dep : stmt.depends) {
     Stmt::OmpDepend d;
     d.kind = dep.kind;
@@ -61,6 +62,7 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   }
   copy->nowait = stmt.nowait;
   copy->ordered = stmt.ordered;
+  copy->static_spec = stmt.static_spec;
   copy->lastprivate = stmt.lastprivate;
   copy->target = stmt.target;
   copy->reduce_op = stmt.reduce_op;

@@ -94,6 +94,17 @@ void zomp_for_static_fini(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
   // static path keeps no shared state.
 }
 
+void zomp_static_range(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                       std::int64_t lo, std::int64_t hi, std::int64_t* plo,
+                       std::int64_t* phi, std::int32_t* plast) {
+  ThreadState& ts = current_thread();
+  const zomp::rt::StaticRange r =
+      zomp::rt::static_block_range(lo, hi, ts.tid, ts.team->size());
+  *plo = r.lo;
+  *phi = r.hi;
+  *plast = r.last ? 1 : 0;
+}
+
 void zomp_dispatch_init(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
                         std::int32_t sched_kind, std::int64_t chunk,
                         std::int64_t lo, std::int64_t hi, std::int64_t step) {
@@ -362,5 +373,31 @@ std::int64_t mz_omp_get_partition_num_places(void) {
   return zomp::partition_num_places();
 }
 void mz_omp_display_affinity(void) { zomp::display_affinity(); }
+
+void zomp_set_affinity_format(const char* format) {
+  zomp::set_affinity_format(format);
+}
+std::uint64_t zomp_get_affinity_format(char* buffer, std::uint64_t size) {
+  return zomp::get_affinity_format(buffer, static_cast<std::size_t>(size));
+}
+std::uint64_t zomp_capture_affinity(char* buffer, std::uint64_t size,
+                                    const char* format) {
+  return zomp::capture_affinity(buffer, static_cast<std::size_t>(size),
+                                format);
+}
+
+void mz_omp_set_affinity_format(const char* format) {
+  zomp::set_affinity_format(format);
+}
+std::int64_t mz_omp_get_affinity_format(char* buffer, std::int64_t size) {
+  const std::size_t n = size > 0 ? static_cast<std::size_t>(size) : 0;
+  return static_cast<std::int64_t>(zomp::get_affinity_format(buffer, n));
+}
+std::int64_t mz_omp_capture_affinity(char* buffer, std::int64_t size,
+                                     const char* format) {
+  const std::size_t n = size > 0 ? static_cast<std::size_t>(size) : 0;
+  return static_cast<std::int64_t>(
+      zomp::capture_affinity(buffer, n, format));
+}
 
 }  // extern "C"

@@ -80,6 +80,17 @@ void zomp_for_static_init(const zomp_ident_t* loc, std::int32_t gtid,
 /// shape parity with __kmpc_for_static_fini).
 void zomp_for_static_fini(const zomp_ident_t* loc, std::int32_t gtid);
 
+/// Optimizer fast path (mzc -O1 `static-spec`): the chunkless step-1
+/// schedule(static) case collapsed to one call — this thread's single
+/// contiguous block [*plo, *phi) of [lo, hi), with *plast set when the block
+/// ends at hi. Block shapes (and the lastprivate owner) are identical to
+/// zomp_for_static_init with chunk <= 0 and step 1; the block is computed
+/// from the team actually delivered at fork, so a short pool acquire cannot
+/// change the loop's results. No init/fini pairing, no dispatch ring.
+void zomp_static_range(const zomp_ident_t* loc, std::int32_t gtid,
+                       std::int64_t lo, std::int64_t hi, std::int64_t* plo,
+                       std::int64_t* phi, std::int32_t* plast);
+
 /// Dynamic/guided/runtime/auto schedules. `sched_kind` takes the
 /// zomp::rt::ScheduleKind values (0 static, 1 dynamic, 2 guided, 3 auto,
 /// 4 runtime).
@@ -255,6 +266,15 @@ std::int32_t zomp_get_partition_num_places(void);
 void zomp_get_partition_place_nums(std::int32_t* nums);
 void zomp_display_affinity(void);
 
+// affinity-format-var (OMP_AFFINITY_FORMAT): the template binding reports
+// expand — see runtime/icv.h for the field escapes. get/capture follow the
+// spec's truncation contract: copy at most `size` bytes including the NUL,
+// return the untruncated length (excluding the NUL).
+void zomp_set_affinity_format(const char* format);
+std::uint64_t zomp_get_affinity_format(char* buffer, std::uint64_t size);
+std::uint64_t zomp_capture_affinity(char* buffer, std::uint64_t size,
+                                    const char* format);
+
 // MiniZig-facing variants: MiniZig's only integer type is i64, so its
 // `extern fn` declarations of the runtime API (the paper's route for calling
 // omp_* from Zig) bind to these.
@@ -272,5 +292,9 @@ std::int64_t mz_omp_get_place_num(void);
 std::int64_t mz_omp_get_place_num_procs(std::int64_t place);
 std::int64_t mz_omp_get_partition_num_places(void);
 void mz_omp_display_affinity(void);
+void mz_omp_set_affinity_format(const char* format);
+std::int64_t mz_omp_get_affinity_format(char* buffer, std::int64_t size);
+std::int64_t mz_omp_capture_affinity(char* buffer, std::int64_t size,
+                                     const char* format);
 
 }  // extern "C"

@@ -1,7 +1,10 @@
 #include "runtime/api.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -115,6 +118,50 @@ void partition_place_nums(i32* nums) {
 void display_affinity() {
   std::fprintf(stderr, "%s\n",
                rt::affinity_report(current_thread()).c_str());
+}
+
+void display_affinity(const char* format) {
+  if (format == nullptr) {
+    display_affinity();
+    return;
+  }
+  std::fprintf(
+      stderr, "%s\n",
+      rt::affinity_report(current_thread(), std::string(format)).c_str());
+}
+
+namespace {
+
+/// The omp_get_affinity_format/omp_capture_affinity truncation contract:
+/// copy at most size-1 chars + NUL, return the untruncated length.
+std::size_t copy_out(const std::string& text, char* buffer,
+                     std::size_t size) {
+  if (buffer != nullptr && size > 0) {
+    const std::size_t n = std::min(text.size(), size - 1);
+    std::memcpy(buffer, text.data(), n);
+    buffer[n] = '\0';
+  }
+  return text.size();
+}
+
+}  // namespace
+
+void set_affinity_format(const char* format) {
+  rt::GlobalIcv::instance().set_affinity_format(
+      format == nullptr ? std::string() : std::string(format));
+}
+
+std::size_t get_affinity_format(char* buffer, std::size_t size) {
+  return copy_out(rt::GlobalIcv::instance().affinity_format(), buffer, size);
+}
+
+std::size_t capture_affinity(char* buffer, std::size_t size,
+                             const char* format) {
+  const std::string text =
+      format == nullptr
+          ? rt::affinity_report(current_thread())
+          : rt::affinity_report(current_thread(), std::string(format));
+  return copy_out(text, buffer, size);
 }
 
 double wtime() {

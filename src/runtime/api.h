@@ -80,8 +80,25 @@ void partition_place_nums(rt::i32* nums);
 
 /// Prints the calling thread's one-line binding report to stderr
 /// (omp_display_affinity; same format OMP_DISPLAY_AFFINITY=true emits at
-/// binding changes).
+/// binding changes). The report expands affinity-format-var; a non-null
+/// `format` overrides the ICV for this one call, as the spec's
+/// omp_display_affinity(format) does.
 void display_affinity();
+void display_affinity(const char* format);
+
+/// affinity-format-var accessors (omp_set_affinity_format /
+/// omp_get_affinity_format). `get` copies at most `size` bytes including a
+/// terminating NUL and returns the full format's length excluding the NUL
+/// (the caller can size a retry buffer from it); size 0 / null buffer just
+/// queries the length.
+void set_affinity_format(const char* format);
+std::size_t get_affinity_format(char* buffer, std::size_t size);
+
+/// Expands `format` (null: affinity-format-var) for the calling thread into
+/// `buffer` under the same truncation contract as get_affinity_format
+/// (omp_capture_affinity).
+std::size_t capture_affinity(char* buffer, std::size_t size,
+                             const char* format);
 
 /// Monotonic wall-clock in seconds (omp_get_wtime).
 double wtime();

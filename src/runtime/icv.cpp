@@ -53,6 +53,22 @@ GlobalIcv::GlobalIcv() {
   if (const auto display = env_bool("DISPLAY_AFFINITY")) {
     display_affinity_ = *display;
   }
+  // Keep the default format's fixed text identical to the pre-ICV report so
+  // existing log scrapes (and the AffinityReportFormat test) stay valid.
+  affinity_format_ = "zomp: level %L thread %n bound to place %p, OS procs {%A}";
+  if (const auto fmt = env_string("AFFINITY_FORMAT"); fmt && !fmt->empty()) {
+    affinity_format_ = *fmt;
+  }
+}
+
+std::string GlobalIcv::affinity_format() const {
+  std::lock_guard<std::mutex> lock(affinity_format_mu_);
+  return affinity_format_;
+}
+
+void GlobalIcv::set_affinity_format(std::string fmt) {
+  std::lock_guard<std::mutex> lock(affinity_format_mu_);
+  affinity_format_ = std::move(fmt);
 }
 
 BindKind GlobalIcv::bind_at(i32 index) const {

@@ -5,6 +5,8 @@
 // tasks of a new team); `num_threads` clauses override via a one-shot push.
 #pragma once
 
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "runtime/common.h"
@@ -95,6 +97,17 @@ class GlobalIcv {
   bool display_affinity() const { return display_affinity_; }
   void set_display_affinity(bool on) { display_affinity_ = on; }
 
+  /// affinity-format-var (OMP_AFFINITY_FORMAT / omp_set_affinity_format):
+  /// the template every binding report expands (team.h affinity_report).
+  /// Field escapes: %n thread num, %N team size, %L nesting level,
+  /// %i native thread id, %P process id, %H hostname, %A OS proc list of
+  /// the bound place, %p place number (zomp extension), %% literal percent;
+  /// OpenMP long names (%{thread_num} etc.) map to the same fields.
+  /// Mutex-protected: the spec allows any thread to set it while others
+  /// capture reports.
+  std::string affinity_format() const;
+  void set_affinity_format(std::string fmt);
+
  private:
   GlobalIcv();
 
@@ -106,6 +119,8 @@ class GlobalIcv {
   std::atomic<WaitPolicy> wait_policy_{WaitPolicy::kActive};
   std::vector<BindKind> proc_bind_list_;
   bool display_affinity_ = false;
+  mutable std::mutex affinity_format_mu_;
+  std::string affinity_format_;
 };
 
 }  // namespace zomp::rt

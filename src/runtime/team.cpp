@@ -3,7 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <cstdio>
+#include <functional>
+#include <thread>
 #include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <sys/syscall.h>
+#endif
 
 #include "runtime/topology.h"
 
@@ -207,16 +216,12 @@ void Team::rebuild_locality() {
                               : std::vector<i32>{});
 }
 
-std::string affinity_report(const ThreadState& ts) {
-  // Built as a string end to end: a socket-wide place on a large machine
-  // lists dozens of procs, and a truncated report is worse than none.
-  std::string out = "zomp: level ";
-  out += std::to_string(ts.team != nullptr ? ts.team->level() : 0);
-  out += " thread ";
-  out += std::to_string(ts.tid);
-  out += " bound to place ";
-  out += std::to_string(ts.place_num);
-  out += ", OS procs {";
+namespace {
+
+/// %A: the bound place's OS processor ids, comma-separated. Empty when the
+/// thread is unbound (place_num -1) — matching the pre-ICV report.
+std::string proc_list_text(const ThreadState& ts) {
+  std::string out;
   if (ts.place_num >= 0 &&
       ts.place_num < PlaceTable::instance().num_places()) {
     const Place& place = PlaceTable::instance().place(ts.place_num);
@@ -225,8 +230,105 @@ std::string affinity_report(const ThreadState& ts) {
       out += std::to_string(place.procs[i]);
     }
   }
-  out += "}";
   return out;
+}
+
+/// %P: the OS process id (0 where the platform offers none).
+i64 process_id() {
+#if defined(__unix__) || defined(__APPLE__)
+  return static_cast<i64>(::getpid());
+#else
+  return 0;
+#endif
+}
+
+/// %i: the OS thread id where the platform exposes one (gettid has no libc
+/// wrapper on older glibc, hence the raw syscall); elsewhere a stable hash
+/// of the C++ thread id — still distinct per thread, which is all the
+/// format field promises.
+i64 native_thread_id() {
+#if defined(__linux__)
+  return static_cast<i64>(::syscall(SYS_gettid));
+#else
+  return static_cast<i64>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+#endif
+}
+
+/// %H: the machine's hostname.
+std::string host_name() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+/// Maps an OpenMP long field name (%{thread_num}) to its short-name char,
+/// or 0 when unknown.
+char long_field_char(const std::string& name) {
+  if (name == "thread_num") return 'n';
+  if (name == "num_threads") return 'N';
+  if (name == "nesting_level") return 'L';
+  if (name == "process_id") return 'P';
+  if (name == "native_thread_id") return 'i';
+  if (name == "host") return 'H';
+  if (name == "thread_affinity") return 'A';
+  return 0;
+}
+
+std::string expand_field(char field, const ThreadState& ts) {
+  switch (field) {
+    case 'n': return std::to_string(ts.tid);
+    case 'N':
+      return std::to_string(ts.team != nullptr ? ts.team->size() : 1);
+    case 'L':
+      return std::to_string(ts.team != nullptr ? ts.team->level() : 0);
+    case 'P': return std::to_string(process_id());
+    case 'i': return std::to_string(native_thread_id());
+    case 'H': return host_name();
+    case 'A': return proc_list_text(ts);
+    case 'p': return std::to_string(ts.place_num);  // zomp extension
+    case '%': return "%";
+    default: return std::string("%") + field;  // unknown: copy through
+  }
+}
+
+}  // namespace
+
+std::string affinity_report(const ThreadState& ts,
+                            const std::string& format) {
+  // Built as a string end to end: a socket-wide place on a large machine
+  // lists dozens of procs, and a truncated report is worse than none.
+  std::string out;
+  out.reserve(format.size() + 16);
+  for (std::size_t i = 0; i < format.size(); ++i) {
+    if (format[i] != '%' || i + 1 == format.size()) {
+      out.push_back(format[i]);
+      continue;
+    }
+    char field = format[++i];
+    if (field == '{') {
+      const std::size_t close = format.find('}', i);
+      if (close == std::string::npos) {  // unterminated: copy through
+        out += "%{";
+        continue;
+      }
+      field = long_field_char(format.substr(i + 1, close - i - 1));
+      if (field == 0) {  // unknown long name: copy through verbatim
+        out += "%" + format.substr(i, close - i + 1);
+        i = close;
+        continue;
+      }
+      i = close;
+    }
+    out += expand_field(field, ts);
+  }
+  return out;
+}
+
+std::string affinity_report(const ThreadState& ts) {
+  return affinity_report(ts, GlobalIcv::instance().affinity_format());
 }
 
 void Team::bind_member(ThreadState& ts, i32 tid) {

@@ -116,11 +116,17 @@ void bind_thread_state(ThreadState* state);
 /// user threads that touch the runtime).
 i32 allocate_gtid();
 
-/// One-line binding report for `ts` in the libomp OMP_DISPLAY_AFFINITY
-/// style: nesting level, thread num, place num, and the place's OS
-/// processor ids. Used by bind_member's display path and by
-/// omp_display_affinity().
+/// One-line binding report for `ts`, expanded from the affinity-format-var
+/// ICV (icv.h, OMP_AFFINITY_FORMAT): nesting level, thread num, place num,
+/// and the place's OS processor ids by default. Used by bind_member's
+/// display path and by omp_display_affinity().
 std::string affinity_report(const ThreadState& ts);
+
+/// Expands an explicit affinity format string for `ts` — the engine behind
+/// omp_capture_affinity(..., format) and the ICV-driven overload above.
+/// Field escapes are documented on GlobalIcv::affinity_format(); an
+/// unrecognised escape is copied through verbatim.
+std::string affinity_report(const ThreadState& ts, const std::string& format);
 
 /// The team executing one parallel region. Construction wires every member's
 /// ThreadState; the master thread owns the object and destroys it after all

@@ -7,7 +7,8 @@
 //
 // Usage:
 //   mzc INPUT.mz -o OUT.cpp [--header OUT.h] [--safe] [--main]
-//       [--no-omp] [--module NAME] [--dump-ast] [--dump-stats]
+//       [--no-omp] [--module NAME] [-O0|-O1] [--dump-ir=PASS]
+//       [--dump-ast] [--dump-stats]
 //
 // Flags:
 //   -o FILE        write the generated C++ (required unless a --dump flag)
@@ -16,8 +17,12 @@
 //   --main         emit an `int main()` wrapper around `pub fn main`
 //   --no-omp       ignore //#omp directives (serial build, stock-Zig view)
 //   --module NAME  module/namespace name (default: input basename)
+//   -O0 / -O1      optimizer level (default -O1: fold, static-spec, fuse,
+//                  dce-hoist — see core/passes.h)
+//   --dump-ir=PASS print the module's IR after pass PASS to stdout (one of
+//                  the pipeline pass names, or "all"; repeatable)
 //   --dump-ast     print the transformed AST instead of generating code
-//   --dump-stats   print directive-engine statistics to stderr
+//   --dump-stats   print directive-engine + optimizer statistics to stderr
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,8 +38,8 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s INPUT.mz -o OUT.cpp [--header OUT.h] [--safe] "
-               "[--main] [--no-omp] [--module NAME] [--dump-ast] "
-               "[--dump-stats]\n",
+               "[--main] [--no-omp] [--module NAME] [-O0|-O1] "
+               "[--dump-ir=PASS] [--dump-ast] [--dump-stats]\n",
                argv0);
   return 2;
 }
@@ -72,6 +77,8 @@ int main(int argc, char** argv) {
   bool openmp = true;
   bool dump_ast = false;
   bool dump_stats = false;
+  int opt_level = 1;
+  std::vector<std::string> dump_ir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -87,6 +94,12 @@ int main(int argc, char** argv) {
       emit_main = true;
     } else if (arg == "--no-omp") {
       openmp = false;
+    } else if (arg == "-O0") {
+      opt_level = 0;
+    } else if (arg == "-O1") {
+      opt_level = 1;
+    } else if (arg.rfind("--dump-ir=", 0) == 0) {
+      dump_ir.push_back(arg.substr(std::strlen("--dump-ir=")));
     } else if (arg == "--dump-ast") {
       dump_ast = true;
     } else if (arg == "--dump-stats") {
@@ -100,7 +113,9 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (input.empty() || (output.empty() && !dump_ast)) return usage(argv[0]);
+  if (input.empty() || (output.empty() && !dump_ast && dump_ir.empty())) {
+    return usage(argv[0]);
+  }
   if (module_name.empty()) module_name = basename_no_ext(input);
 
   std::ifstream in(input);
@@ -114,10 +129,16 @@ int main(int argc, char** argv) {
   zomp::core::CompileOptions options;
   options.openmp = openmp;
   options.module_name = module_name;
+  options.opt_level = opt_level;
+  options.dump_ir = dump_ir;
   auto result = zomp::core::compile_source(source.str(), options);
 
   const std::string diag_text = result.diagnostics_text();
   if (!diag_text.empty()) std::fputs(diag_text.c_str(), stderr);
+  for (const auto& [pass, ir] : result.ir_dumps) {
+    std::fprintf(stdout, ";; after %s\n", pass.c_str());
+    std::fputs(ir.c_str(), stdout);
+  }
   if (!result.ok) return 1;
 
   if (dump_stats) {
@@ -126,11 +147,22 @@ int main(int argc, char** argv) {
                  "worksharing loops, %d tasks\n",
                  result.stats.directives_seen, result.stats.regions_outlined,
                  result.stats.ws_loops, result.stats.tasks_outlined);
+    if (opt_level >= 1) {
+      std::fprintf(stderr,
+                   "mzc: -O1: %d operands folded, %d static-specialized "
+                   "loops, %d regions fused, %d dead captures, %d hoisted "
+                   "forks\n",
+                   result.pass_stats.folded_operands,
+                   result.pass_stats.static_specialized,
+                   result.pass_stats.regions_fused,
+                   result.pass_stats.dead_captures,
+                   result.pass_stats.hoisted_forks);
+    }
   }
   if (dump_ast) {
     std::fputs(zomp::lang::dump_ast(*result.module).c_str(), stdout);
-    if (output.empty()) return 0;
   }
+  if (output.empty()) return 0;
 
   zomp::codegen::CodegenOptions cg;
   cg.safety_checks = safe;

@@ -592,6 +592,93 @@ TEST(BindingRoundTripTest, AffinityReportFormat) {
 }
 
 // ---------------------------------------------------------------------------
+// affinity-format-var (OMP_AFFINITY_FORMAT, omp_*_affinity_format family)
+// ---------------------------------------------------------------------------
+
+/// Restores affinity-format-var on scope exit so format tests do not leak
+/// into each other (the ICV is process-wide).
+class AffinityFormatGuard {
+ public:
+  AffinityFormatGuard() : saved_(rt::GlobalIcv::instance().affinity_format()) {}
+  ~AffinityFormatGuard() { rt::GlobalIcv::instance().set_affinity_format(saved_); }
+
+ private:
+  std::string saved_;
+};
+
+TEST(AffinityFormatTest, ShortFieldsExpand) {
+  PlaceTableGuard guard;
+  std::vector<Place> table(1);
+  table[0].procs = {0};
+  PlaceTable::instance().set_for_test(table);
+  ParallelOptions opts;
+  opts.num_threads = 2;
+  opts.proc_bind = BindKind::kClose;
+  std::vector<std::string> reports(2);
+  parallel(
+      [&] {
+        reports[static_cast<std::size_t>(thread_num())] = rt::affinity_report(
+            rt::current_thread(), "n=%n N=%N L=%L A={%A} pct=%%");
+      },
+      opts);
+  EXPECT_EQ(reports[0], "n=0 N=2 L=1 A={0} pct=%");
+  EXPECT_EQ(reports[1], "n=1 N=2 L=1 A={0} pct=%");
+}
+
+TEST(AffinityFormatTest, ProcessAndThreadIdsAreNumeric) {
+  const std::string report = rt::affinity_report(
+      rt::current_thread(), "%P/%i");
+  const auto slash = report.find('/');
+  ASSERT_NE(slash, std::string::npos) << report;
+  EXPECT_NE(report.substr(0, slash).find_first_of("0123456789"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.substr(slash + 1).find_first_of("0123456789"),
+            std::string::npos)
+      << report;
+}
+
+TEST(AffinityFormatTest, LongNamesAndUnknownEscapes) {
+  const std::string report = rt::affinity_report(
+      rt::current_thread(), "%{thread_num}|%{no_such_field}|%Z|%{open");
+  EXPECT_EQ(report, "0|%{no_such_field}|%Z|%{open");
+}
+
+TEST(AffinityFormatTest, SetGetCaptureRoundTrip) {
+  AffinityFormatGuard guard;
+  set_affinity_format("thread %n of %N");
+  char buf[64] = {};
+  const std::size_t len = get_affinity_format(buf, sizeof(buf));
+  EXPECT_EQ(std::string(buf), "thread %n of %N");
+  EXPECT_EQ(len, std::string("thread %n of %N").size());
+
+  // Truncation contract: short buffers NUL-terminate, return full length.
+  char tiny[8] = {};
+  EXPECT_EQ(get_affinity_format(tiny, sizeof(tiny)), len);
+  EXPECT_EQ(std::string(tiny), "thread ");
+
+  char cap[64] = {};
+  const std::size_t cap_len = capture_affinity(cap, sizeof(cap), nullptr);
+  EXPECT_EQ(std::string(cap), "thread 0 of 1");
+  EXPECT_EQ(cap_len, std::string("thread 0 of 1").size());
+
+  // Explicit format overrides the ICV for one call.
+  char once[64] = {};
+  capture_affinity(once, sizeof(once), "L%L");
+  EXPECT_EQ(std::string(once), "L0");
+}
+
+TEST(AffinityFormatTest, DefaultFormatMatchesLegacyReport) {
+  AffinityFormatGuard guard;
+  rt::GlobalIcv::instance().set_affinity_format(
+      "zomp: level %L thread %n bound to place %p, OS procs {%A}");
+  const std::string report = rt::affinity_report(rt::current_thread());
+  EXPECT_NE(report.find("zomp: level 0 thread 0 bound to place"),
+            std::string::npos)
+      << report;
+}
+
+// ---------------------------------------------------------------------------
 // Hot-team cache interplay
 // ---------------------------------------------------------------------------
 
