@@ -267,6 +267,56 @@ BENCHMARK(BM_ParallelForTiny)
     ->Unit(benchmark::kMicrosecond)
     ->Iterations(200);
 
+/// Cancellation-point cost in the BM_ParallelForTiny shape (the ≤2% budget
+/// of DESIGN.md S10): the same tiny 256-iteration parallel-for, now with one
+/// `omp cancellation point for` per iteration. range(0): 0 = no point (the
+/// BM_ParallelForTiny baseline, re-measured here so the delta reads off one
+/// run), 1 = point with OMP_CANCELLATION unset (the flag test must be all
+/// the user pays), 2 = point with cancellation enabled (nothing cancels, so
+/// this prices the enabled-but-idle check). range(1): team size.
+/// BENCH_cancel.json: mode 1 must be within 2% of mode 0.
+void BM_CancellationPointOverhead(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  constexpr std::int64_t n = 256;
+  const double want = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  static constexpr zomp_ident_t kLoc{"micro_runtime.cpp", "cancellation point",
+                                     0};
+  zomp::rt::GlobalIcv::instance().set_cancellation(mode == 2);
+  for (auto _ : state) {
+    double total;
+    if (mode == 0) {
+      total = zomp::parallel_reduce<double>(
+          0, n, 0.0, std::plus<>{},
+          [](std::int64_t i) { return static_cast<double>(i); },
+          zomp::ForOptions{}, zomp::ParallelOptions{threads, true});
+    } else {
+      total = zomp::parallel_reduce<double>(
+          0, n, 0.0, std::plus<>{},
+          [](std::int64_t i) {
+            (void)zomp_cancellation_point(&kLoc, 0, ZOMP_CANCEL_LOOP);
+            return static_cast<double>(i);
+          },
+          zomp::ForOptions{}, zomp::ParallelOptions{threads, true});
+    }
+    if (total != want) state.SkipWithError("bad reduction result");
+  }
+  zomp::rt::GlobalIcv::instance().set_cancellation(false);
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetLabel(mode == 0   ? "no-point"
+                 : mode == 1 ? "point-icv-off"
+                             : "point-icv-on");
+}
+BENCHMARK(BM_CancellationPointOverhead)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({2, 2})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Unit(benchmark::kMicrosecond)
+    ->Iterations(200);
+
 void BM_BarrierCentral(benchmark::State& state) {
   const int threads = bench_threads();
   const int rounds = 64;

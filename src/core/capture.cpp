@@ -66,6 +66,8 @@ class FreeVarWalker {
       case Stmt::Kind::kContinue:
       case Stmt::Kind::kOmpBarrier:
       case Stmt::Kind::kOmpTaskwait:
+      case Stmt::Kind::kOmpCancel:
+      case Stmt::Kind::kOmpCancellationPoint:
         break;
       case Stmt::Kind::kOmpFork:
       case Stmt::Kind::kOmpTask:

@@ -29,13 +29,17 @@ enum class DirectiveKind {
   kTaskwait,
   kTaskgroup,
   kTaskloop,
+  kCancel,
+  kCancellationPoint,
 };
 
 const char* directive_kind_name(DirectiveKind kind);
 
 /// Does this directive stand alone (no associated statement)?
 constexpr bool directive_is_standalone(DirectiveKind kind) {
-  return kind == DirectiveKind::kBarrier || kind == DirectiveKind::kTaskwait;
+  return kind == DirectiveKind::kBarrier || kind == DirectiveKind::kTaskwait ||
+         kind == DirectiveKind::kCancel ||
+         kind == DirectiveKind::kCancellationPoint;
 }
 
 struct ReductionClause {
@@ -101,6 +105,11 @@ struct Directive {
 
   // critical
   std::string critical_name;
+
+  /// kCancel / kCancellationPoint: the construct-type-clause, encoded as the
+  /// runtime's ZOMP_CANCEL_* values (1 parallel, 2 for, 4 taskgroup) so it
+  /// flows numerically through lang::Stmt::cancel_construct to the backends.
+  int cancel_construct = 0;
 };
 
 }  // namespace zomp::core

@@ -26,6 +26,8 @@ const char* directive_kind_name(DirectiveKind kind) {
     case DirectiveKind::kTaskwait: return "taskwait";
     case DirectiveKind::kTaskgroup: return "taskgroup";
     case DirectiveKind::kTaskloop: return "taskloop";
+    case DirectiveKind::kCancel: return "cancel";
+    case DirectiveKind::kCancellationPoint: return "cancellation point";
   }
   return "<invalid>";
 }
@@ -82,6 +84,18 @@ class ClauseParser {
       directive->kind = DirectiveKind::kTaskgroup;
     } else if (head == "taskloop") {
       directive->kind = DirectiveKind::kTaskloop;
+    } else if (head == "cancel") {
+      directive->kind = DirectiveKind::kCancel;
+      if (!parse_cancel_construct(*directive)) return nullptr;
+    } else if (head == "cancellation") {
+      // Two-word name, like "parallel for": `cancellation point <construct>`.
+      if (peek_word() != "point") {
+        error("expected 'point' after 'cancellation'");
+        return nullptr;
+      }
+      advance();
+      directive->kind = DirectiveKind::kCancellationPoint;
+      if (!parse_cancel_construct(*directive)) return nullptr;
     } else {
       diags_.error(loc_, "unknown OpenMP directive '" + head + "'");
       return nullptr;
@@ -131,6 +145,25 @@ class ClauseParser {
     diags_.error(loc_, "in '#omp' directive: " + message);
     diags_ok_ = false;
     pos_ = tokens_.size();  // stop parsing this directive
+  }
+
+  /// `cancel` / `cancellation point` take a construct-type operand naming the
+  /// enclosing construct they act on. Encoded as the ZOMP_CANCEL_* values.
+  bool parse_cancel_construct(Directive& d) {
+    const std::string word = expect_word("construct name after 'cancel'");
+    if (word.empty()) return false;
+    if (word == "parallel") {
+      d.cancel_construct = 1;  // ZOMP_CANCEL_PARALLEL
+    } else if (word == "for") {
+      d.cancel_construct = 2;  // ZOMP_CANCEL_LOOP
+    } else if (word == "taskgroup") {
+      d.cancel_construct = 4;  // ZOMP_CANCEL_TASKGROUP
+    } else {
+      error("unknown cancel construct '" + word +
+            "' (expected 'parallel', 'for' or 'taskgroup')");
+      return false;
+    }
+    return true;
   }
 
   /// Collects the tokens of one balanced-paren clause argument, consuming
@@ -529,6 +562,10 @@ class ClauseParser {
     if (d.ordered && d.nowait) {
       error("'ordered' cannot combine with 'nowait'");
     }
+    // cancel/cancellation point take only the construct-type operand. Every
+    // clause falls into one of the generic rejections above (they are neither
+    // parallel, for, task nor taskloop kinds), so no dedicated block: the
+    // spec's if-clause on cancel is likewise rejected rather than dropped.
   }
 
   /// Backends recompute collapse dimensions with 64-bit stride products;

@@ -310,14 +310,23 @@ class Transformer {
         }
         return lower_for(fn, d, std::move(stmt));
       case DirectiveKind::kBarrier:
-      case DirectiveKind::kTaskwait: {
+      case DirectiveKind::kTaskwait:
+      case DirectiveKind::kCancel:
+      case DirectiveKind::kCancellationPoint: {
         // Standalone directives: the parser attached them to the *following*
         // statement (or to an empty placeholder at block end); the construct
         // precedes that statement rather than consuming it.
-        auto node = Stmt::make(d.kind == DirectiveKind::kBarrier
-                                   ? Stmt::Kind::kOmpBarrier
-                                   : Stmt::Kind::kOmpTaskwait,
-                               d.loc);
+        Stmt::Kind kind = Stmt::Kind::kOmpBarrier;
+        switch (d.kind) {
+          case DirectiveKind::kTaskwait: kind = Stmt::Kind::kOmpTaskwait; break;
+          case DirectiveKind::kCancel: kind = Stmt::Kind::kOmpCancel; break;
+          case DirectiveKind::kCancellationPoint:
+            kind = Stmt::Kind::kOmpCancellationPoint;
+            break;
+          default: break;
+        }
+        auto node = Stmt::make(kind, d.loc);
+        node->cancel_construct = d.cancel_construct;
         if (is_empty_placeholder(*stmt)) return node;
         auto block = Stmt::make(Stmt::Kind::kBlock, d.loc);
         block->stmts.push_back(std::move(node));

@@ -223,7 +223,10 @@ void pack_combine(void* /*ctx*/, void* lhs, const void* rhs) {
 
 class Exec {
  public:
-  enum class Flow { kNormal, kBreak, kContinue, kReturn };
+  /// kCancelLoop is the `cancel for` escape: it unwinds like kReturn until
+  /// the innermost enclosing kOmpWsLoop catches it and drains to the loop's
+  /// closing barrier (the interpreter twin of codegen's goto-label escape).
+  enum class Flow { kNormal, kBreak, kContinue, kReturn, kCancelLoop };
 
   Exec(Interp& interp, const FnDecl& fn) : interp_(interp), fn_(fn) {}
 
@@ -313,7 +316,7 @@ class Exec {
         for (;;) {
           if (!eval(*stmt.expr).as_bool()) return Flow::kNormal;
           const Flow f = exec_stmt(*stmt.body);
-          if (f == Flow::kReturn) return f;
+          if (f == Flow::kReturn || f == Flow::kCancelLoop) return f;
           if (f == Flow::kBreak) return Flow::kNormal;
           if (stmt.step) exec_stmt(*stmt.step);  // also runs after continue
         }
@@ -323,7 +326,7 @@ class Exec {
         for (std::int64_t i = lo; i < hi; ++i) {
           bind(stmt.symbol, Value(i));
           const Flow f = exec_stmt(*stmt.body);
-          if (f == Flow::kReturn) return f;
+          if (f == Flow::kReturn || f == Flow::kCancelLoop) return f;
           if (f == Flow::kBreak) break;
         }
         return Flow::kNormal;
@@ -338,9 +341,14 @@ class Exec {
       case Stmt::Kind::kOmpWsLoop: return exec_ws_loop(stmt);
       case Stmt::Kind::kOmpBarrier: {
         rt::ThreadState& ts = rt::current_thread();
-        ts.team->barrier_wait(ts.tid);
+        // An abandoned episode (cancel parallel) unwinds to the region end —
+        // the member heads straight for the non-cancellable join barrier.
+        if (ts.team->barrier_wait(ts.tid)) return Flow::kReturn;
         return Flow::kNormal;
       }
+      case Stmt::Kind::kOmpCancel:
+      case Stmt::Kind::kOmpCancellationPoint:
+        return exec_cancel(stmt);
       case Stmt::Kind::kOmpCritical: {
         rt::critical_enter(stmt.name);
         const Flow f = exec_stmt(*stmt.body);
@@ -351,7 +359,9 @@ class Exec {
         rt::ThreadState& ts = rt::current_thread();
         Flow f = Flow::kNormal;
         if (ts.team->single_begin(ts)) f = exec_stmt(*stmt.body);
-        if (!stmt.nowait) ts.team->barrier_wait(ts.tid);
+        if (!stmt.nowait && ts.team->barrier_wait(ts.tid)) {
+          return Flow::kReturn;  // abandoned: region cancelled
+        }
         return f;
       }
       case Stmt::Kind::kOmpMaster:
@@ -544,6 +554,20 @@ class Exec {
         stmt.schedule.kind == ScheduleSpec::Kind::kRuntime;
 
     bool had_last = false;
+    // Cancellation escape shared by the three scheduling paths. `cancel for`
+    // surfaces as Flow::kCancelLoop: stop issuing chunks and drain to the
+    // closing barrier. A `cancel parallel` observed mid-loop surfaces as
+    // Flow::kReturn with the team's parallel bit set: leave the whole region.
+    Flow out = Flow::kNormal;
+    auto body_escapes = [&](Flow f) {
+      if (f == Flow::kCancelLoop ||
+          (f == Flow::kReturn &&
+           team.cancellation_requested(ts, rt::Team::kCancelParallel))) {
+        out = f;
+        return true;
+      }
+      return false;
+    };
     if (!needs_dispatch && stmt.static_spec && chunk == 0) {
       // Static-schedule specialization (optimizer static-spec pass): one
       // contiguous block per thread, no stride stepping — the interpreter
@@ -554,7 +578,7 @@ class Exec {
       for (std::int64_t i = r.lo; i < r.hi; ++i) {
         bind(loop.symbol, Value(i));
         bind_dims();
-        exec_stmt(*loop.body);
+        if (body_escapes(exec_stmt(*loop.body))) break;
         advance_dims();
       }
       had_last = r.last;
@@ -562,13 +586,14 @@ class Exec {
       const rt::StaticRange r =
           rt::static_distribute(lo, hi, 1, chunk, ts.tid, team.size());
       const std::int64_t span = r.hi - r.lo;
-      for (std::int64_t block = r.lo; block < hi; block += r.stride) {
+      for (std::int64_t block = r.lo; block < hi && out == Flow::kNormal;
+           block += r.stride) {
         const std::int64_t end = std::min(block + span, hi);
         if (!dims.empty()) seed_dims(block);
         for (std::int64_t i = block; i < end; ++i) {
           bind(loop.symbol, Value(i));
           bind_dims();
-          exec_stmt(*loop.body);
+          if (body_escapes(exec_stmt(*loop.body))) break;
           advance_dims();
         }
       }
@@ -578,28 +603,66 @@ class Exec {
                          1);
       std::int64_t clo = 0, chi = 0;
       bool last = false;
-      while (team.dispatch_next(ts, &clo, &chi, &last)) {
+      while (out == Flow::kNormal && team.dispatch_next(ts, &clo, &chi, &last)) {
         if (!dims.empty()) seed_dims(clo);
         for (std::int64_t i = clo; i < chi; ++i) {
           bind(loop.symbol, Value(i));
           bind_dims();
-          exec_stmt(*loop.body);
+          if (body_escapes(exec_stmt(*loop.body))) break;
           advance_dims();
         }
         if (last) had_last = true;
       }
+      // An escaped chunk leaves this thread mid-dispatch; detach its slot so
+      // dispatch_fini accounting stays balanced (no-op if already detached).
+      if (out != Flow::kNormal) team.dispatch_break(ts);
     }
 
     ordered_iv_ = saved_iv;
     ordered_lo_ = saved_lo;
 
-    if (had_last) {
+    if (out == Flow::kReturn) return Flow::kReturn;  // region cancelled
+    if (had_last && out == Flow::kNormal) {
       for (const auto& [local, target] : stmt.lastprivate_syms) {
         *cell_of(target, stmt.loc) = *cell_of(local, stmt.loc);
       }
     }
-    if (!stmt.nowait) team.barrier_wait(ts.tid);
+    if (!stmt.nowait && team.barrier_wait(ts.tid)) return Flow::kReturn;
     return Flow::kNormal;
+  }
+
+  /// `omp cancel` / `omp cancellation point`. Construct codes are the
+  /// ZOMP_CANCEL_* values carried through Stmt::cancel_construct (1 parallel,
+  /// 2 for, 4 taskgroup). Activation and observation both translate into a
+  /// Flow escape: kCancelLoop unwinds to the enclosing ws-loop, kReturn
+  /// unwinds to the region (or task body) end. Everything is a no-op while
+  /// the OMP_CANCELLATION ICV is off — the runtime predicates encode that.
+  Flow exec_cancel(const Stmt& stmt) {
+    rt::ThreadState& ts = rt::current_thread();
+    rt::Team& team = *ts.team;
+    const bool is_point = stmt.kind == Stmt::Kind::kOmpCancellationPoint;
+    switch (stmt.cancel_construct) {
+      case 1:  // parallel
+        if (is_point ? team.cancellation_requested(ts, rt::Team::kCancelParallel)
+                     : team.cancel_activate(ts, rt::Team::kCancelParallel)) {
+          return Flow::kReturn;
+        }
+        return Flow::kNormal;
+      case 2: {  // for: a point also observes a region-wide cancel
+        const bool hit =
+            is_point ? team.cancellation_requested(
+                           ts, rt::Team::kCancelLoop | rt::Team::kCancelParallel)
+                     : team.cancel_activate(ts, rt::Team::kCancelLoop);
+        return hit ? Flow::kCancelLoop : Flow::kNormal;
+      }
+      case 4:  // taskgroup
+        if (is_point ? team.taskgroup_cancelled(ts) : team.cancel_taskgroup(ts)) {
+          return Flow::kReturn;
+        }
+        return Flow::kNormal;
+      default:
+        return Flow::kNormal;
+    }
   }
 
   /// Storage address of a depend item (the OpenMP list-item identity): the

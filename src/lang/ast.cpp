@@ -340,6 +340,17 @@ std::string dump_stmt(const Stmt& stmt, int indent) {
       break;
     }
     case Stmt::Kind::kOmpTaskwait: out << pad << "(omp-taskwait)\n"; break;
+    case Stmt::Kind::kOmpCancel:
+    case Stmt::Kind::kOmpCancellationPoint: {
+      const char* construct = stmt.cancel_construct == 1   ? "parallel"
+                              : stmt.cancel_construct == 2 ? "for"
+                                                           : "taskgroup";
+      out << pad
+          << (stmt.kind == Stmt::Kind::kOmpCancel ? "(omp-cancel "
+                                                  : "(omp-cancellation-point ")
+          << construct << ")\n";
+      break;
+    }
     case Stmt::Kind::kOmpTaskgroup:
       out << pad << "(omp-taskgroup\n"
           << dump_stmt(*stmt.body, indent + 1) << pad << ")\n";

@@ -207,6 +207,8 @@ struct Stmt {
     kOmpTaskwait,
     kOmpTaskgroup,         ///< body; waits for group tasks + descendants
     kOmpTaskloop,          ///< chunked task execution of an outlined loop fn
+    kOmpCancel,            ///< `cancel <construct>`: activate cancellation
+    kOmpCancellationPoint, ///< `cancellation point <construct>`: check it
   };
 
   Kind kind;
@@ -295,6 +297,11 @@ struct Stmt {
   // kOmpTaskloop chunking clauses (mutually exclusive, validated upstream).
   ExprPtr grainsize;
   ExprPtr num_tasks;
+
+  /// kOmpCancel / kOmpCancellationPoint: which construct the cancellation
+  /// names, as the runtime ABI's ZOMP_CANCEL_* values (1 parallel, 2 for,
+  /// 4 taskgroup). Kept numeric so lang/ stays free of runtime headers.
+  int cancel_construct = 0;
 
   // kOmpWsLoop: body is the kForRange statement to distribute. For
   // collapse(n>1) the body is the canonicalized linearized loop and

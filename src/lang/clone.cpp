@@ -54,6 +54,7 @@ StmtPtr clone_stmt(const Stmt& stmt) {
   copy->untied = stmt.untied;
   if (stmt.grainsize) copy->grainsize = clone_expr(*stmt.grainsize);
   if (stmt.num_tasks) copy->num_tasks = clone_expr(*stmt.num_tasks);
+  copy->cancel_construct = stmt.cancel_construct;
   copy->schedule.kind = stmt.schedule.kind;
   if (stmt.schedule.chunk) copy->schedule.chunk = clone_expr(*stmt.schedule.chunk);
   for (const auto& d : stmt.collapse) {

@@ -184,11 +184,35 @@ class Sema {
       stmt.pending_directives.clear();
     }
     switch (stmt.kind) {
-      case Stmt::Kind::kBlock:
+      case Stmt::Kind::kBlock: {
         push_scope();
-        for (auto& s : stmt.stmts) check_stmt(*s);
+        const Stmt* prev = nullptr;
+        for (auto& s : stmt.stmts) {
+          // A barrier textually right after `cancel parallel|for` is almost
+          // always a bug: the cancelling thread proceeds to the region join
+          // without arriving, so this barrier can only complete abandoned.
+          // The directive engine nests the statements following a standalone
+          // directive in fresh blocks, so unwrap to the first effective
+          // statement before comparing.
+          const Stmt* eff = s.get();
+          while (eff->kind == Stmt::Kind::kBlock && !eff->stmts.empty()) {
+            eff = eff->stmts.front().get();
+          }
+          if (prev != nullptr && prev->kind == Stmt::Kind::kOmpCancel &&
+              prev->cancel_construct != 4 &&
+              eff->kind == Stmt::Kind::kOmpBarrier) {
+            diags_.warning(s->loc,
+                           "barrier immediately after 'cancel': a cancelling "
+                           "thread never arrives here, so this barrier cannot "
+                           "synchronise the team; rely on the region join "
+                           "instead");
+          }
+          check_stmt(*s);
+          prev = s.get();
+        }
         pop_scope();
         break;
+      }
       case Stmt::Kind::kVarDecl:
         check_var_decl(stmt, Symbol::Kind::kLocal);
         break;
@@ -280,12 +304,22 @@ class Sema {
       case Stmt::Kind::kOmpBarrier:
       case Stmt::Kind::kOmpTaskwait:
         break;
+      case Stmt::Kind::kOmpCancel:
+      case Stmt::Kind::kOmpCancellationPoint:
+        check_cancel(stmt);
+        break;
       case Stmt::Kind::kOmpCritical:
       case Stmt::Kind::kOmpMaster:
       case Stmt::Kind::kOmpOrdered:
       case Stmt::Kind::kOmpSingle:
-      case Stmt::Kind::kOmpTaskgroup:
+        omp_ctx_.push_back(OmpCtx::kOther);
         check_stmt(*stmt.body);
+        omp_ctx_.pop_back();
+        break;
+      case Stmt::Kind::kOmpTaskgroup:
+        omp_ctx_.push_back(OmpCtx::kTaskgroup);
+        check_stmt(*stmt.body);
+        omp_ctx_.pop_back();
         break;
       case Stmt::Kind::kOmpAtomic: {
         if (stmt.body->kind != Stmt::Kind::kAssign ||
@@ -345,6 +379,44 @@ class Sema {
     }
   }
 
+  /// The closely-nested construct-kind rule for `cancel` / `cancellation
+  /// point`: the construct-type operand must name the *innermost* enclosing
+  /// OpenMP construct (OpenMP 5.2 §12.5.1). An empty stack means the
+  /// construct is orphaned — binding is dynamic, so the runtime resolves it
+  /// (serial teams make every construct a no-op anyway).
+  void check_cancel(Stmt& stmt) {
+    const char* name = stmt.kind == Stmt::Kind::kOmpCancel
+                           ? "cancel"
+                           : "cancellation point";
+    if (omp_ctx_.empty()) return;
+    const OmpCtx inner = omp_ctx_.back();
+    auto mismatch = [&](const char* construct, const char* need) {
+      diags_.error(stmt.loc, std::string("'") + name + " " + construct +
+                                 "' must be closely nested inside " + need +
+                                 " (another construct intervenes)");
+    };
+    switch (stmt.cancel_construct) {
+      case 1:  // parallel
+        if (inner != OmpCtx::kParallel) mismatch("parallel", "a parallel region");
+        break;
+      case 2:  // for
+        if (inner != OmpCtx::kWsLoop) {
+          mismatch("for", "a worksharing loop");
+        }
+        break;
+      case 4:  // taskgroup
+        if (inner != OmpCtx::kTask) {
+          mismatch("taskgroup", "a task (the cancel applies to the "
+                                "innermost enclosing taskgroup)");
+        }
+        break;
+      default:
+        diags_.error(stmt.loc, std::string("'") + name +
+                                   "' is missing its construct operand");
+        break;
+    }
+  }
+
   void check_fork(Stmt& stmt, bool is_task) {
     FnDecl* callee = module_.find_function(stmt.callee);
     if (callee == nullptr || !callee->is_outlined) {
@@ -378,7 +450,11 @@ class Sema {
     for (std::size_t i = 0; i < stmt.captures.size(); ++i) {
       if (!bind_capture(stmt, *callee, i, is_task)) ok = false;
     }
-    if (ok) check_function(*callee);
+    if (ok) {
+      omp_ctx_.push_back(is_task ? OmpCtx::kTask : OmpCtx::kParallel);
+      check_function(*callee);
+      omp_ctx_.pop_back();
+    }
   }
 
   /// The tasking clause expressions of a task node, typed in the enclosing
@@ -442,7 +518,11 @@ class Sema {
         p.indirect = false;
       }
     }
-    if (ok) check_function(*callee);
+    if (ok) {
+      omp_ctx_.push_back(OmpCtx::kTask);  // chunk tasks are task regions
+      check_function(*callee);
+      omp_ctx_.pop_back();
+    }
   }
 
   /// Resolves capture #i in the enclosing scope and binds the callee's
@@ -535,11 +615,13 @@ class Sema {
     // Note: user-facing ordered+nowait is rejected by the directive parser;
     // the *internal* nowait of the combined parallel-for lowering is fine
     // because the region's join barrier serialises construct instances.
+    omp_ctx_.push_back(OmpCtx::kWsLoop);
     if (!stmt.collapse.empty()) {
       check_collapsed_body(stmt);
     } else {
       check_stmt(*stmt.body);
     }
+    omp_ctx_.pop_back();
     stmt.lastprivate_syms.clear();
     for (const auto& [local, target] : stmt.lastprivate) {
       Symbol* l = lookup(local);
@@ -905,11 +987,17 @@ class Sema {
     return Type::invalid();
   }
 
+  /// The statically-known OpenMP construct context, for the closely-nested
+  /// `cancel` checks. kOther covers the constructs cancel can never name
+  /// (critical/single/master/ordered) but which still break close nesting.
+  enum class OmpCtx { kParallel, kWsLoop, kTask, kTaskgroup, kOther };
+
   Module& module_;
   Diagnostics& diags_;
   std::vector<std::unordered_map<std::string, Symbol*>> scopes_;
   std::vector<FnDecl*> current_fn_stack_;
   std::unordered_set<const FnDecl*> checked_;
+  std::vector<OmpCtx> omp_ctx_;
   int loop_depth_ = 0;
 };
 

@@ -126,9 +126,65 @@ std::int32_t zomp_dispatch_next(const zomp_ident_t* /*loc*/,
   return more ? 1 : 0;
 }
 
-void zomp_barrier(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+void zomp_dispatch_break(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
   ThreadState& ts = current_thread();
-  ts.team->barrier_wait(ts.tid);
+  ts.team->dispatch_break(ts);
+}
+
+// -- Cancellation ----------------------------------------------------------
+
+std::int32_t zomp_cancel(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/,
+                         std::int32_t construct) {
+  ThreadState& ts = current_thread();
+  zomp::rt::Team& team = *ts.team;
+  switch (construct) {
+    case ZOMP_CANCEL_PARALLEL:
+      return team.cancel_activate(ts, zomp::rt::Team::kCancelParallel) ? 1 : 0;
+    case ZOMP_CANCEL_LOOP:
+      return team.cancel_activate(ts, zomp::rt::Team::kCancelLoop) ? 1 : 0;
+    case ZOMP_CANCEL_TASKGROUP:
+      return team.cancel_taskgroup(ts) ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+std::int32_t zomp_cancellation_point(const zomp_ident_t* /*loc*/,
+                                     std::int32_t /*gtid*/,
+                                     std::int32_t construct) {
+  ThreadState& ts = current_thread();
+  zomp::rt::Team& team = *ts.team;
+  switch (construct) {
+    case ZOMP_CANCEL_PARALLEL:
+      return team.cancellation_requested(ts, zomp::rt::Team::kCancelParallel)
+                 ? 1
+                 : 0;
+    case ZOMP_CANCEL_LOOP:
+      // A pending parallel cancel subsumes the loop: the member must leave
+      // the loop either way to reach the region end.
+      return team.cancellation_requested(
+                 ts, zomp::rt::Team::kCancelLoop |
+                         zomp::rt::Team::kCancelParallel)
+                 ? 1
+                 : 0;
+    case ZOMP_CANCEL_TASKGROUP:
+      return team.taskgroup_cancelled(ts) ? 1 : 0;
+    default:
+      return 0;
+  }
+}
+
+std::int32_t zomp_get_cancellation(void) {
+  return zomp::rt::GlobalIcv::instance().cancellation() ? 1 : 0;
+}
+
+std::int64_t mz_omp_get_cancellation(void) {
+  return zomp_get_cancellation();
+}
+
+std::int32_t zomp_barrier(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {
+  ThreadState& ts = current_thread();
+  return ts.team->barrier_wait(ts.tid) ? 1 : 0;
 }
 
 std::int32_t zomp_single(const zomp_ident_t* /*loc*/, std::int32_t /*gtid*/) {

@@ -99,14 +99,30 @@ void zomp_dispatch_init(const zomp_ident_t* loc, std::int32_t gtid,
                         std::int64_t lo, std::int64_t hi, std::int64_t step);
 
 /// Claims the next chunk; returns 0 when the construct is exhausted for this
-/// thread. *plast reports whether the chunk contains the final iteration.
+/// thread — or when a loop/parallel cancellation is pending, in which case
+/// the remaining iterations are abandoned (chunk claims are cancellation
+/// points; the member detaches from the construct exactly as on exhaustion).
 std::int32_t zomp_dispatch_next(const zomp_ident_t* loc, std::int32_t gtid,
                                 std::int64_t* plo, std::int64_t* phi,
                                 std::int32_t* plast);
 
+/// Detaches the calling thread from its in-flight dispatch construct without
+/// claiming further chunks. Generated code calls this on the cancellation
+/// branch out of a dispatch-scheduled loop (the member still owes the
+/// construct its detach, or the dispatch ring entry never frees). No-op when
+/// no dispatch construct is bound (static loops, or already exhausted), so
+/// the cancel label can call it unconditionally.
+void zomp_dispatch_break(const zomp_ident_t* loc, std::int32_t gtid);
+
 // -- Synchronisation -----------------------------------------------------------
 
-void zomp_barrier(const zomp_ident_t* loc, std::int32_t gtid);
+/// Task-draining team barrier. Barriers are cancellation points (OpenMP 5.2
+/// §5): returns 1 when the episode was ABANDONED because `cancel parallel`
+/// is pending for the team — the caller must immediately return from the
+/// outlined region (the non-cancellable join barrier re-synchronises) — and
+/// 0 for every completed episode. Always 0 when OMP_CANCELLATION is off, so
+/// pre-cancellation callers that ignore the result stay correct.
+std::int32_t zomp_barrier(const zomp_ident_t* loc, std::int32_t gtid);
 
 /// Returns 1 for exactly one thread per construct instance.
 std::int32_t zomp_single(const zomp_ident_t* loc, std::int32_t gtid);
@@ -241,6 +257,53 @@ void zomp_taskloop(const zomp_ident_t* loc, std::int32_t gtid,
                    std::int64_t hi, std::int64_t grainsize,
                    std::int64_t num_tasks);
 
+// -- Cancellation (`omp cancel` / `omp cancellation point`) -------------------
+//
+// Contract (DESIGN.md S10). Everything is gated on the cancel-var ICV
+// (OMP_CANCELLATION): with it off both entry points return 0 and cost one
+// relaxed atomic load, so the ≤2% disabled-overhead budget holds. With it
+// on, `zomp_cancel` activates cancellation of the named construct and
+// returns 1 — the CALLER must then branch to the end of that construct
+// (return from the outlined region for parallel, goto the loop end for a
+// worksharing loop, return from the task/taskgroup body for taskgroup).
+// `zomp_cancellation_point` returns 1 when a matching cancellation is
+// pending and the caller must take the same branch. Semantics per construct:
+//
+//   parallel:  team-wide flag; user barriers abandon (zomp_barrier returns
+//              1), queued tasks are discarded at their scheduling point
+//              (bodies skipped, all accounting kept), and every member runs
+//              to the region end where the join barrier re-synchronises.
+//   for:       team-wide flag; dispatch chunk claims take the exhaustion
+//              path (no further iterations start; running chunk bodies
+//              finish). Cleared at the loop's closing barrier — cancellable
+//              loops must not be nowait. A loop cancellation point also
+//              responds to a pending PARALLEL cancel (the member must leave
+//              the loop to reach the region end).
+//   taskgroup: flags the innermost taskgroup of the calling task; queued
+//              tasks of the group (and descendant groups) are discarded at
+//              their scheduling points. zomp_cancel returns 1 only when the
+//              calling task itself belongs to the cancelled group.
+
+enum : std::int32_t {
+  ZOMP_CANCEL_PARALLEL = 1,
+  ZOMP_CANCEL_LOOP = 2,
+  ZOMP_CANCEL_TASKGROUP = 4,
+};
+
+/// `omp cancel <construct>`: requests cancellation; returns 1 when the
+/// calling thread must branch to the end of the cancelled construct.
+std::int32_t zomp_cancel(const zomp_ident_t* loc, std::int32_t gtid,
+                         std::int32_t construct);
+
+/// `omp cancellation point <construct>`: returns 1 when a matching
+/// cancellation is pending and the caller must branch to the construct end.
+std::int32_t zomp_cancellation_point(const zomp_ident_t* loc,
+                                     std::int32_t gtid,
+                                     std::int32_t construct);
+
+/// omp_get_cancellation: the cancel-var ICV (OMP_CANCELLATION).
+std::int32_t zomp_get_cancellation(void);
+
 // -- Queries / control (the omp_* routine family) -----------------------------------
 
 std::int32_t zomp_get_thread_num(void);
@@ -286,6 +349,7 @@ std::int64_t mz_omp_in_parallel(void);
 std::int64_t mz_omp_get_level(void);
 void mz_omp_set_num_threads(std::int64_t n);
 double mz_omp_get_wtime(void);
+std::int64_t mz_omp_get_cancellation(void);
 std::int64_t mz_omp_get_proc_bind(void);
 std::int64_t mz_omp_get_num_places(void);
 std::int64_t mz_omp_get_place_num(void);

@@ -69,6 +69,8 @@ void set_wait_policy(rt::WaitPolicy policy) {
 
 rt::WaitPolicy get_wait_policy() { return GlobalIcv::instance().wait_policy(); }
 
+bool get_cancellation() { return GlobalIcv::instance().cancellation(); }
+
 rt::BindKind get_proc_bind() {
   return GlobalIcv::instance().bind_at(current_thread().icv.bind_index);
 }

@@ -48,6 +48,11 @@ rt::Schedule get_schedule();
 void set_wait_policy(rt::WaitPolicy policy);
 rt::WaitPolicy get_wait_policy();
 
+/// cancel-var (omp_get_cancellation): whether `omp cancel` is honoured,
+/// from OMP_CANCELLATION. Per spec there is no setter in the omp_* family;
+/// tests use rt::GlobalIcv::set_cancellation directly.
+bool get_cancellation();
+
 // -- Affinity queries (omp_get_proc_bind / omp_get_*_place* family) ---------
 
 /// Binding policy the next parallel region forked from this thread would use

@@ -22,16 +22,21 @@ using u64 = std::uint64_t;
 /// prefetching but doubles footprint for little gain at test scale.
 inline constexpr std::size_t kCacheLine = 64;
 
+/// Fatal-error reporter (defined in fault.cpp): prints the message plus the
+/// calling thread's team/place context (through the OMP_AFFINITY_FORMAT
+/// expander) to stderr, then aborts. Every ZOMP_CHECK routes through here so
+/// a production crash report says WHERE in the thread topology the invariant
+/// broke, not just which source line.
+[[noreturn]] void fatal(const char* msg, const char* file, int line);
+
 /// Runtime invariant check. These guard *internal* invariants (a user data
 /// race cannot trip them) and are cheap enough to keep in release builds:
 /// a broken runtime invariant would otherwise surface as a hang.
-#define ZOMP_CHECK(cond, msg)                                              \
-  do {                                                                     \
-    if (!(cond)) {                                                         \
-      std::fprintf(stderr, "zomp runtime invariant violated: %s (%s:%d)\n", \
-                   msg, __FILE__, __LINE__);                               \
-      std::abort();                                                        \
-    }                                                                      \
+#define ZOMP_CHECK(cond, msg)                             \
+  do {                                                    \
+    if (!(cond)) {                                        \
+      ::zomp::rt::fatal(msg, __FILE__, __LINE__);         \
+    }                                                     \
   } while (0)
 
 /// Waiting behaviour for runtime spin loops (`wait-policy-var`,

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <set>
 
 namespace zomp::rt {
 
@@ -22,12 +24,53 @@ std::string trim(const std::string& s) {
   return s.substr(first, last - first + 1);
 }
 
+std::mutex& warn_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::set<std::string>& warned_names() {
+  static auto* names = new std::set<std::string>();
+  return *names;
+}
+
+i64 g_warning_count = 0;  // guarded by warn_mutex()
+
 void warn_malformed(const char* name, const char* value) {
-  std::fprintf(stderr, "zomp: ignoring malformed environment variable %s=\"%s\"\n",
-               name, value);
+  warn_malformed_env(name, value);
 }
 
 }  // namespace
+
+void warn_malformed_env(const char* name, const char* value,
+                        const char* detail) {
+  {
+    std::lock_guard<std::mutex> lock(warn_mutex());
+    if (!warned_names().insert(name).second) return;
+    ++g_warning_count;
+  }
+  if (detail != nullptr) {
+    std::fprintf(
+        stderr,
+        "zomp: ignoring malformed environment variable %s=\"%s\" (%s)\n",
+        name, value, detail);
+  } else {
+    std::fprintf(stderr,
+                 "zomp: ignoring malformed environment variable %s=\"%s\"\n",
+                 name, value);
+  }
+}
+
+i64 env_malformed_warning_count() {
+  std::lock_guard<std::mutex> lock(warn_mutex());
+  return g_warning_count;
+}
+
+void env_warn_reset_for_test() {
+  std::lock_guard<std::mutex> lock(warn_mutex());
+  warned_names().clear();
+  g_warning_count = 0;
+}
 
 std::optional<std::string> env_string(const char* name) {
   const std::string zomp_name = std::string("ZOMP_") + name;

@@ -42,4 +42,21 @@ std::optional<WaitPolicy> parse_wait_policy(const std::string& text);
 /// of bind kinds (places.h); malformed values warn and return nullopt.
 std::optional<std::vector<BindKind>> env_proc_bind();
 
+/// The one malformed-environment reporting channel: every env parser
+/// (OMP_NUM_THREADS, OMP_SCHEDULE, OMP_PLACES, OMP_WAIT_POLICY,
+/// ZOMP_FAULT_INJECT, ...) funnels bad input here. Warns on stderr with the
+/// offending value AT MOST ONCE per variable name — a misconfigured
+/// deployment logs one line, not one line per region — then the caller
+/// falls back to its default. `name` is the suffix without the OMP_/ZOMP_
+/// prefix; a non-null `detail` appends a parse-error explanation.
+void warn_malformed_env(const char* name, const char* value,
+                        const char* detail = nullptr);
+
+/// Number of distinct malformed variables warned about so far (tests).
+i64 env_malformed_warning_count();
+
+/// Forgets which variables have warned (tests only, so each table case can
+/// assert its own single warning).
+void env_warn_reset_for_test();
+
 }  // namespace zomp::rt

@@ -1,0 +1,154 @@
+#include "runtime/fault.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/env.h"
+#include "runtime/team.h"
+
+namespace zomp::rt {
+
+namespace {
+
+struct SiteState {
+  // Failure period: 0 = never fail, 1 = every call, k = every k'th call.
+  std::atomic<u64> period{0};
+  std::atomic<u64> calls{0};
+  std::atomic<u64> injected{0};
+};
+
+struct FaultState {
+  // One relaxed load gates the whole subsystem; sites only pay counter
+  // traffic while injection is actually configured.
+  std::atomic<bool> enabled{false};
+  SiteState sites[kNumFaultSites];
+};
+
+FaultState& state() {
+  static FaultState* s = [] {
+    auto* st = new FaultState();
+    if (const auto spec = env_string("FAULT_INJECT")) {
+      double probs[kNumFaultSites] = {0, 0, 0};
+      if (parse_fault_spec(*spec, probs)) {
+        bool any = false;
+        for (i32 i = 0; i < kNumFaultSites; ++i) {
+          const double p = probs[i];
+          st->sites[i].period.store(
+              p <= 0.0 ? 0
+                       : static_cast<u64>(
+                             std::max<long long>(1, std::llround(1.0 / p))),
+              std::memory_order_relaxed);
+          any = any || p > 0.0;
+        }
+        st->enabled.store(any, std::memory_order_relaxed);
+      } else {
+        warn_malformed_env("FAULT_INJECT", spec->c_str());
+      }
+    }
+    return st;
+  }();
+  return *s;
+}
+
+}  // namespace
+
+bool fault_should_fail(FaultSite site) noexcept {
+  FaultState& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) return false;
+  SiteState& ss = s.sites[static_cast<i32>(site)];
+  const u64 period = ss.period.load(std::memory_order_relaxed);
+  if (period == 0) return false;
+  const u64 n = ss.calls.fetch_add(1, std::memory_order_relaxed);
+  // The period'th call fails (n is 0-based): p=0.5 -> calls 1, 3, 5, ...
+  // fail, p=1 -> every call. Deterministic, so a test that re-runs the same
+  // workload after fault_configure() sees the identical failure schedule.
+  if (n % period != period - 1) return false;
+  ss.injected.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool parse_fault_spec(const std::string& text, double out[kNumFaultSites]) {
+  double probs[kNumFaultSites] = {0, 0, 0};
+  std::size_t pos = 0;
+  bool any = false;
+  while (pos < text.size()) {
+    std::size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string field = text.substr(pos, end - pos);
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string name = field.substr(0, colon);
+    const std::string value = field.substr(colon + 1);
+    i32 site = -1;
+    if (name == "spawn") site = static_cast<i32>(FaultSite::kSpawn);
+    else if (name == "alloc") site = static_cast<i32>(FaultSite::kAlloc);
+    else if (name == "affinity") site = static_cast<i32>(FaultSite::kAffinity);
+    else return false;
+    char* parse_end = nullptr;
+    const double p = std::strtod(value.c_str(), &parse_end);
+    if (value.empty() || parse_end != value.c_str() + value.size() ||
+        !(p >= 0.0 && p <= 1.0)) {
+      return false;
+    }
+    probs[site] = p;
+    any = true;
+    pos = end + 1;
+  }
+  if (!any) return false;
+  for (i32 i = 0; i < kNumFaultSites; ++i) out[i] = probs[i];
+  return true;
+}
+
+void fault_configure(const double probs[kNumFaultSites]) {
+  FaultState& s = state();
+  bool any = false;
+  for (i32 i = 0; i < kNumFaultSites; ++i) {
+    const double p = probs[i];
+    s.sites[i].period.store(
+        p <= 0.0
+            ? 0
+            : static_cast<u64>(std::max<long long>(1, std::llround(1.0 / p))),
+        std::memory_order_relaxed);
+    s.sites[i].calls.store(0, std::memory_order_relaxed);
+    s.sites[i].injected.store(0, std::memory_order_relaxed);
+    any = any || p > 0.0;
+  }
+  s.enabled.store(any, std::memory_order_relaxed);
+}
+
+void fault_reset() {
+  const double zero[kNumFaultSites] = {0, 0, 0};
+  fault_configure(zero);
+}
+
+i64 fault_injected_count(FaultSite site) noexcept {
+  return static_cast<i64>(state()
+                              .sites[static_cast<i32>(site)]
+                              .injected.load(std::memory_order_relaxed));
+}
+
+[[noreturn]] void fatal(const char* msg, const char* file, int line) {
+  // Reentrancy guard: if building the context report itself trips a check
+  // (the runtime is, by definition, in a broken state here), fall straight
+  // through to abort rather than recursing.
+  static thread_local bool reporting = false;
+  std::fprintf(stderr, "zomp: fatal: %s (%s:%d)\n", msg, file, line);
+  if (!reporting) {
+    reporting = true;
+    // Thread/team/place context through the OMP_AFFINITY_FORMAT expander —
+    // the same fields OMP_DISPLAY_AFFINITY reports, so operators correlate
+    // the abort with their affinity logs.
+    std::fprintf(
+        stderr, "zomp: fatal: context: %s\n",
+        affinity_report(current_thread(),
+                        "level %L thread %n/%N place %p, OS procs {%A}, "
+                        "host %H pid %P")
+            .c_str());
+    reporting = false;
+  }
+  std::abort();
+}
+
+}  // namespace zomp::rt

@@ -84,7 +84,10 @@ void for_each(rt::i64 lo, rt::i64 hi, Body&& body, ForOptions opts = {}) {
       for (rt::i64 i = chunk_lo; i < chunk_hi; ++i) body(i);
     }
   }
-  if (!opts.nowait) team.barrier_wait(ts.tid);
+  // A pending `cancel parallel` abandons the closing barrier (the hl API has
+  // no cancel surface of its own, but the team may be shared with generated
+  // code); the caller still reaches the region join, which re-synchronises.
+  if (!opts.nowait) (void)team.barrier_wait(ts.tid);
 }
 
 /// Fused `#pragma omp parallel for`.
@@ -172,10 +175,13 @@ T parallel_reduce(rt::i64 lo, rt::i64 hi, T identity, Combine&& combine,
   return result;
 }
 
-/// Explicit barrier for the innermost team (`#pragma omp barrier`).
-inline void barrier() {
+/// Explicit barrier for the innermost team (`#pragma omp barrier`). Returns
+/// true when the barrier was abandoned because `cancel parallel` is pending
+/// for the team (barriers are cancellation points) — the caller should run
+/// to the end of the region; false in every normal episode.
+inline bool barrier() {
   rt::ThreadState& ts = rt::current_thread();
-  ts.team->barrier_wait(ts.tid);
+  return ts.team->barrier_wait(ts.tid);
 }
 
 /// Runs `body` under the named critical section (`#pragma omp critical`).
@@ -192,7 +198,7 @@ template <typename Body>
 void single(Body&& body, bool barrier_after = true) {
   rt::ThreadState& ts = rt::current_thread();
   if (ts.team->single_begin(ts)) body();
-  if (barrier_after) ts.team->barrier_wait(ts.tid);
+  if (barrier_after) (void)ts.team->barrier_wait(ts.tid);
 }
 
 /// Runs `body` on the team master only (`#pragma omp master`; no barrier).

@@ -28,8 +28,15 @@ GlobalIcv::GlobalIcv() {
   // on (topology.h: sched_getaffinity-intersected), not the machine width:
   // under `taskset -c 0` a bare `parallel` forks 1 thread, like libomp.
   default_team_size_ = Topology::instance().num_procs();
-  if (const auto n = env_int("NUM_THREADS"); n && *n > 0) {
-    default_team_size_ = static_cast<i32>(*n);
+  if (const auto n = env_int("NUM_THREADS")) {
+    if (*n > 0) {
+      default_team_size_ = static_cast<i32>(*n);
+    } else {
+      // Parsed but nonsensical: same unified warn-once channel as a value
+      // that failed to parse at all, then fall back to the default.
+      warn_malformed_env("NUM_THREADS", std::to_string(*n).c_str(),
+                         "must be positive");
+    }
   }
   // A generous default: teams larger than the hardware are legal (tests use
   // them deliberately, and single-core CI containers still fork 8-wide
@@ -59,6 +66,60 @@ GlobalIcv::GlobalIcv() {
   if (const auto fmt = env_string("AFFINITY_FORMAT"); fmt && !fmt->empty()) {
     affinity_format_ = *fmt;
   }
+  if (const auto cancel = env_bool("CANCELLATION")) {
+    cancellation_.store(*cancel, std::memory_order_relaxed);
+  }
+  if (const auto display = env_string("DISPLAY_ENV")) {
+    const std::string t = *display;
+    if (t == "true" || t == "TRUE" || t == "1") {
+      display_env(/*verbose=*/false);
+    } else if (t == "verbose" || t == "VERBOSE") {
+      display_env(/*verbose=*/true);
+    } else if (t != "false" && t != "FALSE" && t != "0") {
+      warn_malformed_env("DISPLAY_ENV", display->c_str());
+    }
+  }
+}
+
+void GlobalIcv::display_env(bool verbose) const {
+  // libomp's block format: BEGIN/END fences with one "  NAME = 'value'"
+  // line per ICV, so log scrapers written for real OpenMP runtimes work
+  // unchanged.
+  std::FILE* out = stderr;
+  std::fprintf(out, "OPENMP DISPLAY ENVIRONMENT BEGIN\n");
+  std::fprintf(out, "  _OPENMP = '202111'\n");
+  std::fprintf(out, "  OMP_NUM_THREADS = '%d'\n", default_team_size_);
+  std::fprintf(out, "  OMP_THREAD_LIMIT = '%d'\n", thread_limit_);
+  std::fprintf(out, "  OMP_DYNAMIC = '%s'\n",
+               dynamic_default_ ? "TRUE" : "FALSE");
+  std::fprintf(out, "  OMP_MAX_ACTIVE_LEVELS = '%d'\n", max_levels_default_);
+  std::fprintf(out, "  OMP_SCHEDULE = '%s%s'\n",
+               schedule_kind_name(run_sched_default_.kind),
+               run_sched_default_.chunk > 0
+                   ? ("," + std::to_string(run_sched_default_.chunk)).c_str()
+                   : "");
+  std::fprintf(out, "  OMP_WAIT_POLICY = '%s'\n",
+               wait_policy() == WaitPolicy::kPassive ? "PASSIVE" : "ACTIVE");
+  std::string bind_list;
+  for (const BindKind kind : proc_bind_list_) {
+    if (!bind_list.empty()) bind_list += ",";
+    bind_list += bind_kind_name(kind);
+  }
+  std::fprintf(out, "  OMP_PROC_BIND = '%s'\n",
+               bind_list.empty() ? "false" : bind_list.c_str());
+  std::fprintf(out, "  OMP_PLACES = '%s'\n",
+               env_string("PLACES").value_or("cores").c_str());
+  std::fprintf(out, "  OMP_CANCELLATION = '%s'\n",
+               cancellation() ? "TRUE" : "FALSE");
+  std::fprintf(out, "  OMP_DISPLAY_AFFINITY = '%s'\n",
+               display_affinity_ ? "TRUE" : "FALSE");
+  std::fprintf(out, "  OMP_AFFINITY_FORMAT = '%s'\n",
+               affinity_format().c_str());
+  if (verbose) {
+    std::fprintf(out, "  ZOMP_FAULT_INJECT = '%s'\n",
+                 env_string("FAULT_INJECT").value_or("").c_str());
+  }
+  std::fprintf(out, "OPENMP DISPLAY ENVIRONMENT END\n");
 }
 
 std::string GlobalIcv::affinity_format() const {

@@ -97,6 +97,25 @@ class GlobalIcv {
   bool display_affinity() const { return display_affinity_; }
   void set_display_affinity(bool on) { display_affinity_ = on; }
 
+  /// cancel-var (OMP_CANCELLATION, omp_get_cancellation): process-wide and,
+  /// per spec, immutable after startup — there is no omp_set_cancellation.
+  /// The setter exists for tests only (the suite runs in one process and
+  /// cannot re-read the environment); it is atomic so flipping it mid-suite
+  /// is TSan-clean. Teams consult it at every cancellation check, so a
+  /// flipped value applies from the next region on.
+  bool cancellation() const {
+    return cancellation_.load(std::memory_order_relaxed);
+  }
+  void set_cancellation(bool on) {
+    cancellation_.store(on, std::memory_order_relaxed);
+  }
+
+  /// OMP_DISPLAY_ENV=true|verbose: prints the ICV table to stderr at runtime
+  /// init, libomp's format (the standard first diagnostic for misconfigured
+  /// deployments). `verbose` additionally prints the zomp-specific
+  /// variables. Callable on demand for tests.
+  void display_env(bool verbose) const;
+
   /// affinity-format-var (OMP_AFFINITY_FORMAT / omp_set_affinity_format):
   /// the template every binding report expands (team.h affinity_report).
   /// Field escapes: %n thread num, %N team size, %L nesting level,
@@ -119,6 +138,7 @@ class GlobalIcv {
   std::atomic<WaitPolicy> wait_policy_{WaitPolicy::kActive};
   std::vector<BindKind> proc_bind_list_;
   bool display_affinity_ = false;
+  std::atomic<bool> cancellation_{false};
   mutable std::mutex affinity_format_mu_;
   std::string affinity_format_;
 };

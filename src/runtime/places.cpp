@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "runtime/env.h"
+#include "runtime/fault.h"
 
 #if defined(__linux__)
 #include <sched.h>
@@ -327,10 +328,10 @@ PlaceTable::PlaceTable() {
   if (const auto text = env_string("PLACES")) spec = *text;
   PlacesParse parsed = parse_places(spec, topo);
   if (!parsed.ok) {
-    std::fprintf(stderr,
-                 "zomp: ignoring malformed OMP_PLACES=\"%s\" (%s); using "
-                 "'cores'\n",
-                 spec.c_str(), parsed.error.c_str());
+    // Unified malformed-env channel (env.h): warn once, fall back to the
+    // 'cores' default.
+    const std::string detail = parsed.error + "; using 'cores'";
+    warn_malformed_env("PLACES", spec.c_str(), detail.c_str());
     parsed = parse_places("cores", topo);
   }
   places_ = std::move(parsed.places);
@@ -455,6 +456,12 @@ i64 affinity_syscall_count() {
 }
 
 bool apply_place_mask(i32 place) {
+  // Fault-injection hook (fault.h): a refused mask is the pre-existing
+  // degradation path — the logical place assignment stays in force (place
+  // numbering, nested partitioning), only the OS pinning is skipped — so an
+  // injected failure exercises exactly the non-Linux / cgroup-restricted
+  // branch on any host.
+  if (fault_should_fail(FaultSite::kAffinity)) return false;
 #if defined(__linux__)
   const PlaceTable& table = PlaceTable::instance();
   if (place < 0 || place >= table.num_places()) return false;

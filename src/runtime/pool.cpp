@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/fault.h"
+
 namespace zomp::rt {
 
 namespace {
@@ -115,7 +117,10 @@ void Worker::loop() {
     // re-arm reuses the plan, so the syscall is skipped on unchanged reuse.
     job.team->bind_member(state_, job.tid);
     job.fn(state_.gtid, job.tid, job.args);
-    job.team->barrier_wait(job.tid);
+    // The join rendezvous is never cancellable: cancelled members skipped
+    // user barriers but everybody meets here, so the master's teardown /
+    // re-arm below the join stays race-free.
+    job.team->join_barrier_wait(job.tid);
     // check_out() is this thread's final access to the team; the master
     // re-arms or destroys the team only after every member has checked out.
     job.team->check_out();
@@ -202,6 +207,12 @@ std::vector<Worker*> Pool::acquire(i32 want) {
         std::max(0, GlobalIcv::instance().thread_limit() - 1));
     while (static_cast<i32>(out.size()) < want &&
            static_cast<i32>(all_.size()) < limit) {
+      // Fault-injection hook (fault.h): a failed spawn abandons this grow
+      // attempt — `break`, not `continue`, modelling pthread_create refusing
+      // under resource pressure. The caller's short-acquire protocol turns
+      // the shortfall into a smaller but fully consistent team (every
+      // downstream sizing derives from the delivered member list).
+      if (fault_should_fail(FaultSite::kSpawn)) break;
       const i32 index = static_cast<i32>(all_.size());
       all_.push_back(std::make_unique<Worker>(allocate_gtid(), index));
       registry_[index].store(all_.back().get(), std::memory_order_release);
@@ -296,8 +307,11 @@ void run_region(Team& team, const std::vector<Worker*>& workers, Microtask fn,
   // placement is applied here, on its own thread.
   team.bind_member(master, 0);
   fn(master.gtid, 0, args);
-  team.barrier_wait(0);
+  team.join_barrier_wait(0);
   team.wait_all_checked_out();
+  // All members are out: cancellation state is per-region and dies with it,
+  // so the next region on this (possibly hot-cached) team starts clean.
+  team.reset_cancellation();
   if (n > 0) note_active_workers(-n);
 }
 

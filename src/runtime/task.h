@@ -38,6 +38,12 @@ struct Task;
 struct TaskGroup {
   std::atomic<i64> active{0};
   TaskGroup* parent = nullptr;
+  /// `cancel taskgroup` flag. Once set, every not-yet-started task of this
+  /// group (and of descendant groups — execute_task walks the parent chain)
+  /// is discarded at its scheduling point: the body is skipped but all
+  /// parent/group/outstanding accounting still runs, so waiters drain
+  /// normally. Tasks already executing run to completion, per the spec.
+  std::atomic<bool> cancelled{false};
 };
 
 /// One dependence of a task: a storage address plus the access mode of the

@@ -14,6 +14,7 @@
 #include <sys/syscall.h>
 #endif
 
+#include "runtime/fault.h"
 #include "runtime/topology.h"
 
 namespace zomp::rt {
@@ -157,6 +158,10 @@ void Team::rearm(const Icv& icv, i32 level, i32 active_level) {
   level_ = level;
   active_level_ = active_level;
   checked_out_.store(0, std::memory_order_relaxed);
+  // Cancellation is per-region: a recycled hot team must not inherit the
+  // previous region's verdict (belt to run_region's braces — the reset also
+  // runs at the join, but a team parked cancelled must come up clean).
+  reset_cancellation();
 }
 
 void Team::checkpoint_master() {
@@ -358,18 +363,30 @@ void Team::bind_member(ThreadState& ts, i32 tid) {
   }
 }
 
-void Team::barrier_wait(i32 tid) {
+bool Team::barrier_wait(i32 tid) {
   ThreadState& ts = member(tid);
+  // Entry cancellation point (OpenMP 5.2 §5): a member that observes a
+  // pending `cancel parallel` NEVER arrives — abandoners head straight for
+  // the join barrier, so the survivors' arrival count only has to balance
+  // against other survivors (each of which abandons from its wait loop,
+  // rolling its own arrival back). seq_cst load pairs with the seq_cst
+  // fetch_or in cancel_activate.
+  if (cancel_request_.load(std::memory_order_seq_cst) & kCancelParallel) {
+    return true;
+  }
   if (size() == 1) {
     Backoff backoff;
     while (tasks_.outstanding() > 0) {
       if (!run_one_task(ts)) backoff.pause();
     }
+    // A completed barrier closes the innermost loop construct: clear any
+    // pending loop-cancel so the next loop of the region starts clean.
+    cancel_request_.fetch_and(~kCancelLoop, std::memory_order_relaxed);
     if (ts.current_task->deps != nullptr &&
         ts.current_task->children.load(std::memory_order_acquire) == 0) {
       ts.current_task->deps.reset();
     }
-    return;
+    return false;
   }
   const u64 epoch = bar_epoch_.load(std::memory_order_acquire);
   if (bar_arrived_.fetch_add(1, std::memory_order_acq_rel) == size() - 1) {
@@ -382,6 +399,10 @@ void Team::barrier_wait(i32 tid) {
         backoff.pause();
       }
     }
+    // Cancelled loops always end in a barrier (cancellable worksharing must
+    // not be nowait), so a completed episode is exactly where the loop bit
+    // dies: the construct it named is over for every member.
+    cancel_request_.fetch_and(~kCancelLoop, std::memory_order_relaxed);
     bar_arrived_.store(0, std::memory_order_relaxed);
     // seq_cst epoch store: the WaitGate park below keys on it (the classic
     // store-load pairing documented in barrier.h).
@@ -392,6 +413,14 @@ void Team::barrier_wait(i32 tid) {
     Backoff backoff;
     i32 rounds = 0;
     while (bar_epoch_.load(std::memory_order_seq_cst) == epoch) {
+      // Cancellation re-check: the canceller never arrives, so without this
+      // the waiters would park forever. Each abandoner rolls back its own
+      // arrival, returning the count to zero once all survivors left —
+      // the epoch never advances and the episode simply evaporates.
+      if (cancel_request_.load(std::memory_order_seq_cst) & kCancelParallel) {
+        bar_arrived_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
       // Help with explicit tasks, but only when some are STEALABLE: the
       // common task-free region (every NPB kernel) must not pay a full
       // deque scan per wait iteration — one shared-counter load keeps the
@@ -415,9 +444,13 @@ void Team::barrier_wait(i32 tid) {
       // worker doorbell so hot back-to-back joins never touch the futex.
       // The predicate keys on queued() — stealable work — NOT outstanding():
       // one long task executing elsewhere must leave the waiters asleep, not
-      // cycling grace-spin/instant-unpark for its whole duration.
+      // cycling grace-spin/instant-unpark for its whole duration. It also
+      // keys on the cancel flag: cancel_activate's wake_all must find the
+      // parked waiters willing to get up and abandon.
       bar_gate_.park([&] {
         return bar_epoch_.load(std::memory_order_seq_cst) != epoch ||
+               (cancel_request_.load(std::memory_order_seq_cst) &
+                kCancelParallel) != 0 ||
                tasks_.queued() > 0;
       });
       rounds = 0;
@@ -431,6 +464,122 @@ void Team::barrier_wait(i32 tid) {
       ts.current_task->children.load(std::memory_order_acquire) == 0) {
     ts.current_task->deps.reset();
   }
+  return false;
+}
+
+void Team::join_barrier_wait(i32 tid) {
+  // The region-end rendezvous: the user barrier's protocol minus every
+  // cancellation check, on its own counters. After a `cancel parallel` the
+  // survivors skipped arbitrarily many user barriers, so bar_epoch_ is no
+  // longer meaningful team-wide; join_epoch_ is, because nobody ever skips
+  // a join. Discarded tasks drain HERE: execute_task skips their bodies but
+  // runs all accounting, so outstanding() reaches zero without running user
+  // code.
+  ThreadState& ts = member(tid);
+  if (size() == 1) {
+    Backoff backoff;
+    while (tasks_.outstanding() > 0) {
+      if (!run_one_task(ts)) backoff.pause();
+    }
+    if (ts.current_task->deps != nullptr &&
+        ts.current_task->children.load(std::memory_order_acquire) == 0) {
+      ts.current_task->deps.reset();
+    }
+    return;
+  }
+  const u64 epoch = join_epoch_.load(std::memory_order_acquire);
+  if (join_arrived_.fetch_add(1, std::memory_order_acq_rel) == size() - 1) {
+    Backoff backoff;
+    while (tasks_.outstanding() > 0) {
+      if (run_one_task(ts)) {
+        backoff.reset();
+      } else {
+        backoff.pause();
+      }
+    }
+    join_arrived_.store(0, std::memory_order_relaxed);
+    join_epoch_.store(epoch + 1, std::memory_order_seq_cst);
+    bar_gate_.wake_all();
+  } else {
+    const i32 grace = doorbell_grace_rounds();
+    Backoff backoff;
+    i32 rounds = 0;
+    while (join_epoch_.load(std::memory_order_seq_cst) == epoch) {
+      if (tasks_.queued() > 0 && run_one_task(ts)) {
+        backoff.reset();
+        rounds = 0;
+        continue;
+      }
+      if (rounds < grace) {
+        ++rounds;
+        backoff.pause();
+        continue;
+      }
+      // Shares bar_gate_ with the user barrier: a wake meant for the other
+      // episode is a spurious unpark (the predicate re-check re-parks), a
+      // missed wake is impossible because both protocols publish with
+      // seq_cst stores before wake_all.
+      bar_gate_.park([&] {
+        return join_epoch_.load(std::memory_order_seq_cst) != epoch ||
+               tasks_.queued() > 0;
+      });
+      rounds = 0;
+      backoff.reset();
+    }
+  }
+  if (ts.current_task->deps != nullptr &&
+      ts.current_task->children.load(std::memory_order_acquire) == 0) {
+    ts.current_task->deps.reset();
+  }
+}
+
+bool Team::cancel_activate(ThreadState& ts, i32 construct) {
+  (void)ts;
+  // cancel-var gates everything: when OMP_CANCELLATION is unset the whole
+  // subsystem is a no-op and generated cancellation checks cost one relaxed
+  // load. Read at use (not cached at construction) so hot-cached teams obey
+  // a set_cancellation issued between regions.
+  if (!GlobalIcv::instance().cancellation()) return false;
+  cancel_request_.fetch_or(construct, std::memory_order_seq_cst);
+  // Parallel cancel must unpark barrier waiters so they can abandon their
+  // episode; the park predicate re-checks the flag under the gate's lock.
+  if (construct & kCancelParallel) bar_gate_.wake_all();
+  return true;
+}
+
+bool Team::cancellation_requested(ThreadState& ts, i32 construct) {
+  (void)ts;
+  if (!GlobalIcv::instance().cancellation()) return false;
+  return (cancel_request_.load(std::memory_order_seq_cst) & construct) != 0;
+}
+
+bool Team::cancel_taskgroup(ThreadState& ts) {
+  if (!GlobalIcv::instance().cancellation()) return false;
+  TaskGroup* group = ts.current_task->group;
+  if (group == nullptr) return false;  // no construct to cancel: no-op
+  group->cancelled.store(true, std::memory_order_seq_cst);
+  return true;
+}
+
+bool Team::taskgroup_cancelled(ThreadState& ts) const {
+  for (TaskGroup* g = ts.current_task->group; g != nullptr; g = g->parent) {
+    if (g->cancelled.load(std::memory_order_acquire)) return true;
+  }
+  return false;
+}
+
+bool Team::task_discarded(const Task& task) const {
+  // Discard-on-take: a pending parallel cancel discards every queued task of
+  // the region; a cancelled taskgroup discards its own queued tasks and its
+  // descendants' (the group parent chain). No ICV check needed — the flags
+  // can only have been set while cancellation was enabled.
+  if (cancel_request_.load(std::memory_order_acquire) & kCancelParallel) {
+    return true;
+  }
+  for (TaskGroup* g = task.group; g != nullptr; g = g->parent) {
+    if (g->cancelled.load(std::memory_order_acquire)) return true;
+  }
+  return false;
 }
 
 void Team::dispatch_init(ThreadState& ts, Schedule schedule, i64 lo, i64 hi,
@@ -504,25 +653,45 @@ void Team::dispatch_init(ThreadState& ts, Schedule schedule, i64 lo, i64 hi,
 bool Team::dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast) {
   DispatchSlot* slot = ts.dispatch.slot;
   ZOMP_CHECK(slot != nullptr, "dispatch_next without dispatch_init");
+  // Chunk claims are cancellation points: a pending loop cancel (or a
+  // parallel cancel, which subsumes it — the member must reach the region
+  // end) makes every member's next claim take the exhaustion path instead,
+  // so the loop's remaining iterations are abandoned without any explicit
+  // shard surgery — the cursors simply stop advancing and each member
+  // detaches on its own schedule.
+  const bool cancelled =
+      (cancel_request_.load(std::memory_order_acquire) &
+       (kCancelLoop | kCancelParallel)) != 0;
   bool last = false;
-  if (dispatch_next_chunk(*slot, ts.dispatch, ts.tid, plo, phi, &last)) {
+  if (!cancelled &&
+      dispatch_next_chunk(*slot, ts.dispatch, ts.tid, plo, phi, &last)) {
     ts.dispatch.last_chunk = last;
     if (plast != nullptr) *plast = last;
     return true;
   }
   // Exhausted for this member: detach; the last member to detach frees the
-  // slot for reuse by a later construct. Read `nthreads` *before* the
-  // detach RMW: the operands of == are unsequenced, and a read evaluated
-  // after our own fetch_add would race the next construct's initialiser
-  // once the last detacher frees the slot.
-  ts.dispatch.slot = nullptr;
-  const i32 nthreads = slot->nthreads;
-  if (slot->done_members.fetch_add(1, std::memory_order_acq_rel) ==
-      nthreads - 1) {
-    slot->ready.store(false, std::memory_order_relaxed);
-    slot->owner_seq.store(0, std::memory_order_release);
-  }
+  // slot for reuse by a later construct.
+  dispatch_detach(ts, *slot);
   return false;
+}
+
+void Team::dispatch_break(ThreadState& ts) {
+  DispatchSlot* slot = ts.dispatch.slot;
+  if (slot == nullptr) return;  // static-path loop or already detached
+  dispatch_detach(ts, *slot);
+}
+
+void Team::dispatch_detach(ThreadState& ts, DispatchSlot& slot) {
+  // Read `nthreads` *before* the detach RMW: the operands of == are
+  // unsequenced, and a read evaluated after our own fetch_add would race the
+  // next construct's initialiser once the last detacher frees the slot.
+  ts.dispatch.slot = nullptr;
+  const i32 nthreads = slot.nthreads;
+  if (slot.done_members.fetch_add(1, std::memory_order_acq_rel) ==
+      nthreads - 1) {
+    slot.ready.store(false, std::memory_order_relaxed);
+    slot.owner_seq.store(0, std::memory_order_release);
+  }
 }
 
 bool Team::reduce_combine(ThreadState& ts, void* data, std::size_t size,
@@ -610,7 +779,12 @@ void Team::task_create(ThreadState& ts, std::function<void()> body,
                        bool deferred) {
   ZOMP_CHECK(ts.team == this, "task created from non-member thread");
   const bool in_final = ts.current_task->in_final;
-  if (!deferred || in_final || size() == 1) {
+  // Graceful degradation: an injected allocation failure downgrades the task
+  // to undeferred inline execution at the creation point — a legal task
+  // scheduling point, the same valve the deque-overflow path uses — so the
+  // program stays correct, just less parallel.
+  if (!deferred || in_final || size() == 1 ||
+      fault_should_fail(FaultSite::kAlloc)) {
     run_task_inline(ts, body, in_final);
     return;
   }
@@ -622,8 +796,10 @@ void Team::task_create_ex(ThreadState& ts, std::function<void()> body,
   ZOMP_CHECK(ts.team == this, "task created from non-member thread");
   const bool final_task = opts.final || ts.current_task->in_final;
   if (opts.ndeps <= 0) {
-    // No dependences: the original fast path (plus priority recording).
-    if (!opts.deferred || final_task || size() == 1) {
+    // No dependences: the original fast path (plus priority recording and
+    // the same alloc-fault downgrade as task_create).
+    if (!opts.deferred || final_task || size() == 1 ||
+        fault_should_fail(FaultSite::kAlloc)) {
       run_task_inline(ts, body, final_task);
       return;
     }
@@ -682,7 +858,8 @@ void Team::task_create_ex(ThreadState& ts, std::function<void()> body,
     }
   }
 
-  const bool deferred = opts.deferred && !final_task && size() > 1;
+  const bool deferred = opts.deferred && !final_task && size() > 1 &&
+                        !fault_should_fail(FaultSite::kAlloc);
   if (!deferred) {
     // An undeferred task still honours its dependences: help run queued
     // tasks until every predecessor completed (count down to the creation
@@ -737,7 +914,13 @@ void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task,
   TaskContext* saved = ts.current_task;
   task->ctx.group = task->group;  // descendants join the same group
   ts.current_task = &task->ctx;
-  task->body();
+  // Discard-on-take (cancellation): skip ONLY the body. Everything after —
+  // child wait, successor release, group/parent decrements, mark_finished —
+  // still runs, which is the single completion hook this path shares with
+  // the deque-overflow inline route (counted == false): a discarded task
+  // must drain from every counter a normal task would, or the join barrier
+  // and taskgroup_end would wait forever on work that will never run.
+  if (!task_discarded(*task)) task->body();
   // Children of this task must complete before the task itself does
   // (OpenMP's implicit task completion ordering for taskwait counting is
   // handled by the parent's explicit waits; here we only keep the counters
@@ -842,7 +1025,10 @@ void Team::taskloop(ThreadState& ts, i64 lo, i64 hi, i64 grainsize,
       const auto& members = sm.shard_members[static_cast<std::size_t>(shard)];
       const i32 target = members[static_cast<std::size_t>(
           (c / sm.nshards) % static_cast<i64>(members.size()))];
-      if (target == ts.tid) {
+      if (target == ts.tid ||
+          fault_should_fail(FaultSite::kAlloc)) {
+        // Same-degradation spray: an injected failure keeps the chunk local
+        // (task_create's own fault check then decides deferred vs inline).
         task_create(ts, std::move(chunk_task));
       } else {
         tasks_.push_remote(target, new_task(ts, std::move(chunk_task),

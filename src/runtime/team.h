@@ -195,7 +195,60 @@ class Team {
   /// Task-aware barrier: no member leaves until every member has arrived and
   /// every outstanding explicit task of the team has completed. Members help
   /// execute tasks while they wait.
-  void barrier_wait(i32 tid);
+  ///
+  /// Barriers are cancellation points (OpenMP 5.2 §5): when `cancel parallel`
+  /// has been activated for this team the call returns true WITHOUT waiting
+  /// for the other members — the caller must immediately run to the region
+  /// end (the join barrier, which is not cancellable, re-synchronises the
+  /// team). Waiters already parked re-check the flag and abandon the episode
+  /// the same way. Always false when cancellation is disabled.
+  [[nodiscard]] bool barrier_wait(i32 tid);
+
+  /// The region-end (join) rendezvous: identical protocol to barrier_wait but
+  /// NEVER cancellable — after a cancel every member still meets here, so the
+  /// master can safely tear down / re-arm the team. Separate epoch counters
+  /// from the user barrier: a cancelled member skips user barriers, so its
+  /// user-barrier episode count diverges from the survivors'; the join
+  /// counters stay in step because nobody ever skips a join.
+  void join_barrier_wait(i32 tid);
+
+  // -- Cancellation (OpenMP 5.2 §11; DESIGN.md S10) --------------------------
+
+  /// Construct-kind bits of cancel_request_ (a bitmask, libomp-style: one
+  /// team-wide word rather than per-construct sequencing; sound because a
+  /// cancellable worksharing loop cannot be nowait, so the loop bit is dead
+  /// by the time the next loop starts — the completing barrier clears it).
+  static constexpr i32 kCancelParallel = 1;
+  static constexpr i32 kCancelLoop = 2;
+
+  /// `omp cancel parallel|for`: requests cancellation of this team's region
+  /// (kCancelParallel) or innermost worksharing loop (kCancelLoop). Returns
+  /// true when the caller itself must now branch to the end of the cancelled
+  /// construct — i.e. whenever cancellation is enabled (OMP_CANCELLATION),
+  /// first requester or not. False (no-op) when disabled.
+  bool cancel_activate(ThreadState& ts, i32 construct);
+
+  /// `omp cancellation point parallel|for` (and the implicit checks in
+  /// dispatch_next / barrier_wait / execute_task): true when a cancel of
+  /// `construct` is pending and the caller must branch to the construct end.
+  bool cancellation_requested(ThreadState& ts, i32 construct);
+
+  /// `cancel taskgroup`: marks the innermost taskgroup of `ts`'s current
+  /// task cancelled. Queued tasks of the group are discarded at their
+  /// scheduling point (body skipped, accounting kept). Returns true when the
+  /// *calling task* belongs to the cancelled group (it must return), false
+  /// when disabled or no taskgroup is active.
+  bool cancel_taskgroup(ThreadState& ts);
+
+  /// True when `ts`'s current task belongs to a cancelled taskgroup (walks
+  /// the group parent chain). The `cancellation point taskgroup` check.
+  bool taskgroup_cancelled(ThreadState& ts) const;
+
+  /// Clears all cancellation state. Master-only, at region end (after
+  /// wait_all_checked_out) and at re-arm — the flags are per-region.
+  void reset_cancellation() {
+    cancel_request_.store(0, std::memory_order_relaxed);
+  }
 
   // -- Worksharing dispatch ------------------------------------------------
 
@@ -206,8 +259,18 @@ class Team {
                      i64 step);
 
   /// Claims the next chunk. Returns false (and detaches the member from the
-  /// slot, freeing it once all members detached) when exhausted.
+  /// slot, freeing it once all members detached) when exhausted — or when a
+  /// loop/parallel cancel is pending, in which case the remaining iterations
+  /// are abandoned un-executed (the cancellation drain: shards empty member
+  /// by member as each one's next claim detaches instead).
   bool dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast);
+
+  /// Detaches the calling member from its bound dispatch slot without
+  /// claiming further chunks — the escape hatch for a cancellation branch
+  /// taken from inside a dispatch-driven loop body (the member still owes
+  /// the slot its detach or the ring entry never frees). No-op when no slot
+  /// is bound (static-path loops, or dispatch_next already returned false).
+  void dispatch_break(ThreadState& ts);
 
   // -- Per-construct identities ---------------------------------------------
 
@@ -327,6 +390,16 @@ class Team {
   /// while the team is quiescent (construction / set_binding).
   void rebuild_locality();
 
+  /// True when `task` must be discarded at its scheduling point: a parallel
+  /// cancel is pending, or the task's taskgroup chain contains a cancelled
+  /// group. execute_task skips the body but keeps all accounting.
+  bool task_discarded(const Task& task) const;
+
+  /// The one slot-detach protocol, shared by exhaustion (dispatch_next) and
+  /// cancellation escape (dispatch_break): the last member to detach frees
+  /// the ring entry for reuse.
+  void dispatch_detach(ThreadState& ts, DispatchSlot& slot);
+
   std::vector<ThreadState*> members_;
   Icv icv_;
   i32 level_ = 0;
@@ -341,6 +414,16 @@ class Team {
   // Task-aware sense barrier (epoch-based so members need no local flag).
   alignas(kCacheLine) std::atomic<i32> bar_arrived_{0};
   alignas(kCacheLine) std::atomic<u64> bar_epoch_{0};
+  /// Join-barrier counters: same sense-barrier protocol, separate identity
+  /// stream so cancelled members (who skip user barriers) stay in step at
+  /// the region end. Shares bar_gate_ — park predicates re-check both.
+  alignas(kCacheLine) std::atomic<i32> join_arrived_{0};
+  alignas(kCacheLine) std::atomic<u64> join_epoch_{0};
+  /// Pending-cancel bitmask (kCancelParallel | kCancelLoop). The loop bit is
+  /// cleared by the last arriver of the next completed user barrier (the
+  /// cancelled loop's closing barrier — cancellable loops are never nowait);
+  /// the parallel bit by reset_cancellation at region end.
+  alignas(kCacheLine) std::atomic<i32> cancel_request_{0};
   /// Condvar park for join-barrier waiters that outlasted the doorbell grace
   /// (ROADMAP "barrier waiters never condvar-park" item; protocol in
   /// barrier.h). Woken by the epoch flip and by task enqueues, so parked

@@ -470,6 +470,105 @@ fn f(x: []i64, n: i64) void {
   EXPECT_NE(cpp.find(", __lo, __hi)"), std::string::npos);
 }
 
+TEST(CodegenTest, CancelForEmitsEscapeLabelAndLoopFlag) {
+  const std::string cpp = gen(R"(
+fn f(n: i64, x: []i64) void {
+  //#omp parallel
+  {
+    //#omp for schedule(dynamic, 1)
+    for (0..n) |i| {
+      //#omp cancellation point for
+      x[i] = 1;
+      if (i == 5) {
+        //#omp cancel for
+      }
+    }
+  }
+}
+)");
+  // Both the point and the cancel target the loop bit and jump to the escape
+  // label the ws-loop emission planted before its closing barrier.
+  EXPECT_NE(cpp.find("zomp_cancellation_point("), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("zomp_cancel("), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("ZOMP_CANCEL_LOOP"), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("goto __cancel_for_"), std::string::npos) << cpp;
+  // The label detaches the dispatch slot so the ring entry is not leaked.
+  const auto label = cpp.find("__cancel_for_");
+  ASSERT_NE(label, std::string::npos);
+  EXPECT_NE(cpp.find(": zomp_dispatch_break("), std::string::npos) << cpp;
+}
+
+TEST(CodegenTest, WsLoopWithoutCancelEmitsNoLabel) {
+  // -Wunused-label hygiene: the escape label only materialises when a
+  // body-level cancel will goto it.
+  const std::string cpp = gen(R"(
+fn f(n: i64, x: []i64) void {
+  //#omp parallel for schedule(dynamic, 1)
+  for (0..n) |i| {
+    x[i] = 1;
+  }
+}
+)");
+  EXPECT_EQ(cpp.find("cancel_for_"), std::string::npos) << cpp;
+}
+
+TEST(CodegenTest, CancelParallelReturnsFromOutlinedRegion) {
+  const std::string cpp = gen(R"(
+fn f() void {
+  var t: i64 = 0;
+  //#omp parallel
+  {
+    t += 1;
+    //#omp cancel parallel
+  }
+}
+)");
+  // Activation observed -> break any dispatch slot, then leave the outlined
+  // region body; the join barrier is not cancellable.
+  EXPECT_NE(cpp.find("if (zomp_cancel("), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("ZOMP_CANCEL_PARALLEL"), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("zomp_dispatch_break("), std::string::npos) << cpp;
+  EXPECT_NE(cpp.find("; return; }"), std::string::npos) << cpp;
+}
+
+TEST(CodegenTest, CancelTaskgroupUsesTaskgroupFlag) {
+  const std::string cpp = gen(R"(
+fn f(x: []i64) void {
+  //#omp parallel
+  {
+    //#omp single
+    {
+      //#omp taskgroup
+      {
+        //#omp task
+        {
+          //#omp cancel taskgroup
+          x[0] = 1;
+        }
+      }
+    }
+  }
+}
+)");
+  EXPECT_NE(cpp.find("ZOMP_CANCEL_TASKGROUP"), std::string::npos) << cpp;
+}
+
+TEST(CodegenTest, BarrierInOutlinedRegionChecksAbandonment) {
+  const std::string cpp = gen(R"(
+fn f() void {
+  var t: i64 = 0;
+  //#omp parallel
+  {
+    //#omp barrier
+    t += 1;
+  }
+}
+)");
+  // zomp_barrier returns 1 when the episode was abandoned by a pending
+  // cancel parallel; region bodies react by returning to the join.
+  EXPECT_NE(cpp.find("if (zomp_barrier("), std::string::npos) << cpp;
+}
+
 TEST(CodegenTest, StringEscapesInPrint) {
   const std::string cpp = gen(R"(
 fn f() void { @print("a\"b\n"); }

@@ -303,5 +303,38 @@ TEST(DirectiveParserTest, UnknownClauseRejected) {
   parse_fail(" parallel fancy(3)", "unknown clause");
 }
 
+TEST(DirectiveParserTest, CancelConstructs) {
+  auto d = parse_ok(" cancel parallel");
+  EXPECT_EQ(d->kind, DirectiveKind::kCancel);
+  EXPECT_EQ(d->cancel_construct, 1);  // ZOMP_CANCEL_PARALLEL
+  EXPECT_EQ(parse_ok(" cancel for")->cancel_construct, 2);
+  EXPECT_EQ(parse_ok(" cancel taskgroup")->cancel_construct, 4);
+
+  auto p = parse_ok(" cancellation point for");
+  EXPECT_EQ(p->kind, DirectiveKind::kCancellationPoint);
+  EXPECT_EQ(p->cancel_construct, 2);
+  EXPECT_EQ(parse_ok(" cancellation point parallel")->cancel_construct, 1);
+  EXPECT_EQ(parse_ok(" cancellation point taskgroup")->cancel_construct, 4);
+
+  // Both are standalone: they attach to the following statement in the
+  // transform, like barrier and taskwait.
+  EXPECT_TRUE(directive_is_standalone(DirectiveKind::kCancel));
+  EXPECT_TRUE(directive_is_standalone(DirectiveKind::kCancellationPoint));
+}
+
+TEST(DirectiveParserTest, CancelErrors) {
+  parse_fail(" cancel", "construct name after 'cancel'");
+  parse_fail(" cancel sections", "unknown cancel construct");
+  parse_fail(" cancel loop", "unknown cancel construct");
+  parse_fail(" cancellation", "expected 'point' after 'cancellation'");
+  parse_fail(" cancellation pointer", "expected 'point' after 'cancellation'");
+  parse_fail(" cancellation point", "construct name after 'cancel'");
+  // No clause is valid on cancel (the spec's if-clause is not supported and
+  // is rejected rather than silently dropped).
+  parse_fail(" cancel for nowait");
+  parse_fail(" cancel parallel if(1)");
+  parse_fail(" cancellation point for schedule(static)");
+}
+
 }  // namespace
 }  // namespace zomp::core

@@ -186,6 +186,203 @@ fn f(n: i64) void {
   EXPECT_EQ(result.stats.ws_loops, 1);
 }
 
+// -- Cancellation: closely-nested rules and hazard warnings ------------------
+//
+// sema's check only runs after the core transform has lowered //#omp, so
+// these go through compile_source rather than run_sema.
+
+TEST(PipelineCancelTest, CloselyNestedFormsAccepted) {
+  auto result = compile_source(R"(
+fn f(n: i64) void {
+  var acc: i64 = 0;
+  //#omp parallel
+  {
+    //#omp cancellation point parallel
+    //#omp for
+    for (0..n) |i| {
+      //#omp cancellation point for
+      acc += 1;
+      if (i == 3) {
+        //#omp cancel for
+      }
+    }
+    //#omp cancel parallel
+  }
+  //#omp parallel
+  {
+    //#omp single
+    {
+      //#omp taskgroup
+      {
+        //#omp task
+        {
+          //#omp cancel taskgroup
+          acc += 1;
+        }
+      }
+    }
+  }
+}
+)");
+  EXPECT_TRUE(result.ok) << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, OrphanedCancelBindsDynamically) {
+  // No statically enclosing construct: binding is resolved at runtime, so
+  // sema must not reject it.
+  auto result = compile_source(R"(
+fn helper() void {
+  //#omp cancellation point parallel
+  //#omp cancel parallel
+}
+)");
+  EXPECT_TRUE(result.ok) << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, CancelParallelInsideWsLoopRejected) {
+  auto result = compile_source(R"(
+fn f(n: i64) void {
+  //#omp parallel
+  {
+    //#omp for
+    for (0..n) |i| {
+      //#omp cancel parallel
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find(
+                "'cancel parallel' must be closely nested inside a parallel "
+                "region"),
+            std::string::npos)
+      << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, CancelForOutsideLoopRejected) {
+  auto result = compile_source(R"(
+fn f() void {
+  var acc: i64 = 0;
+  //#omp parallel
+  {
+    //#omp cancel for
+    acc += 1;
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find(
+                "'cancel for' must be closely nested inside a worksharing "
+                "loop"),
+            std::string::npos)
+      << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, CancelTaskgroupOutsideTaskRejected) {
+  auto result = compile_source(R"(
+fn f() void {
+  var acc: i64 = 0;
+  //#omp parallel
+  {
+    //#omp taskgroup
+    {
+      //#omp cancel taskgroup
+      acc += 1;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(
+      result.diagnostics_text().find("'cancel taskgroup' must be closely "
+                                     "nested inside a task"),
+      std::string::npos)
+      << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, InterveningConstructBreaksCloseNesting) {
+  // single between parallel and the cancel: kOther intervenes.
+  auto result = compile_source(R"(
+fn f() void {
+  var acc: i64 = 0;
+  //#omp parallel
+  {
+    //#omp single
+    {
+      //#omp cancel parallel
+      acc += 1;
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("another construct intervenes"),
+            std::string::npos)
+      << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, CancellationPointsObeySameNesting) {
+  auto result = compile_source(R"(
+fn f(n: i64) void {
+  //#omp parallel
+  {
+    //#omp for
+    for (0..n) |i| {
+      //#omp cancellation point parallel
+    }
+  }
+}
+)");
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostics_text().find("'cancellation point parallel'"),
+            std::string::npos)
+      << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, BarrierAfterCancelWarns) {
+  auto result = compile_source(R"(
+fn f() void {
+  var acc: i64 = 0;
+  //#omp parallel
+  {
+    //#omp cancel parallel
+    //#omp barrier
+    acc += 1;
+  }
+}
+)");
+  // A warning, not an error: the program is legal but almost certainly hangs.
+  EXPECT_TRUE(result.ok) << result.diagnostics_text();
+  EXPECT_NE(result.diagnostics_text().find("barrier immediately after "
+                                           "'cancel'"),
+            std::string::npos)
+      << result.diagnostics_text();
+}
+
+TEST(PipelineCancelTest, BarrierAfterTaskgroupCancelDoesNotWarn) {
+  // cancel taskgroup does not abandon barriers, so the hazard warning must
+  // stay quiet even for a textually adjacent barrier.
+  auto result = compile_source(R"(
+fn f() void {
+  var acc: i64 = 0;
+  //#omp parallel
+  {
+    //#omp single
+    {
+      //#omp task
+      {
+        //#omp cancel taskgroup
+        //#omp barrier
+        acc += 1;
+      }
+    }
+  }
+}
+)");
+  EXPECT_TRUE(result.ok) << result.diagnostics_text();
+  EXPECT_TRUE(result.diagnostics_text().empty()) << result.diagnostics_text();
+}
+
 TEST(PipelineTest, OutlinedFunctionNamesAreUniqueAndScoped) {
   auto result = compile_source(R"(
 fn alpha() void {

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <string>
 
 #include "runtime/env.h"
+#include "runtime/icv.h"
 
 namespace zomp::rt {
 namespace {
@@ -138,6 +140,94 @@ TEST(ProcBindEnvTest, BindKindsNamed) {
   EXPECT_STREQ(bind_kind_name(BindKind::kPrimary), "primary");
   EXPECT_STREQ(bind_kind_name(BindKind::kClose), "close");
   EXPECT_STREQ(bind_kind_name(BindKind::kSpread), "spread");
+}
+
+// -- Unified malformed-env handling ------------------------------------------
+//
+// Every parser funnels bad input through warn_malformed_env: one stderr line
+// per variable name (not per read), then the caller falls back to its
+// default. The table sweeps garbage through each typed reader.
+
+TEST(MalformedEnvWarnTest, WarnsAtMostOncePerVariable) {
+  env_warn_reset_for_test();
+  EXPECT_EQ(env_malformed_warning_count(), 0);
+  warn_malformed_env("WARNVAR", "garbage");
+  warn_malformed_env("WARNVAR", "different-garbage");
+  warn_malformed_env("WARNVAR", "garbage", "with detail");
+  EXPECT_EQ(env_malformed_warning_count(), 1);
+  warn_malformed_env("OTHERVAR", "junk", "expected an integer");
+  EXPECT_EQ(env_malformed_warning_count(), 2);
+  env_warn_reset_for_test();
+  EXPECT_EQ(env_malformed_warning_count(), 0);
+}
+
+struct GarbageEnvCase {
+  const char* name;   // suffix; the test sets ZOMP_<name>
+  const char* value;  // offending value
+  int reader;         // 0 int, 1 bool, 2 schedule, 3 wait-policy, 4 proc-bind
+};
+
+class GarbageEnvTest : public ::testing::TestWithParam<GarbageEnvCase> {
+ protected:
+  void TearDown() override {
+    unsetenv((std::string("ZOMP_") + GetParam().name).c_str());
+    env_warn_reset_for_test();
+  }
+};
+
+TEST_P(GarbageEnvTest, WarnsOnceAndFallsBackToDefault) {
+  const GarbageEnvCase& c = GetParam();
+  env_warn_reset_for_test();
+  setenv((std::string("ZOMP_") + c.name).c_str(), c.value, 1);
+  const auto read = [&] {
+    switch (c.reader) {
+      case 0: return !env_int(c.name).has_value();
+      case 1: return !env_bool(c.name).has_value();
+      case 2: return !env_schedule().has_value();
+      case 3: return !env_wait_policy().has_value();
+      default: return !env_proc_bind().has_value();
+    }
+  };
+  // Rejected every time, warned exactly once across repeated reads.
+  EXPECT_TRUE(read()) << c.name << "=" << c.value;
+  EXPECT_TRUE(read()) << c.name << "=" << c.value;
+  EXPECT_TRUE(read()) << c.name << "=" << c.value;
+  EXPECT_EQ(env_malformed_warning_count(), 1) << c.name << "=" << c.value;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GarbageTable, GarbageEnvTest,
+    ::testing::Values(GarbageEnvCase{"NUM_THREADS", "many", 0},
+                      GarbageEnvCase{"NUM_THREADS", "4.5", 0},
+                      GarbageEnvCase{"DYNAMIC", "perhaps", 1},
+                      GarbageEnvCase{"SCHEDULE", "sometimes,fast", 2},
+                      GarbageEnvCase{"SCHEDULE", "static,zero", 2},
+                      GarbageEnvCase{"WAIT_POLICY", "spin", 3},
+                      GarbageEnvCase{"PROC_BIND", "sideways", 4},
+                      GarbageEnvCase{"PROC_BIND", "close,far", 4}));
+
+TEST(DisplayEnvTest, PrintsLibompStyleIcvTable) {
+  ::testing::internal::CaptureStderr();
+  GlobalIcv::instance().display_env(/*verbose=*/false);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  // libomp's fenced block format, one "  NAME = 'value'" line per ICV.
+  EXPECT_NE(out.find("OPENMP DISPLAY ENVIRONMENT BEGIN"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("OPENMP DISPLAY ENVIRONMENT END"), std::string::npos);
+  EXPECT_NE(out.find("  OMP_NUM_THREADS = '"), std::string::npos);
+  EXPECT_NE(out.find("  OMP_SCHEDULE = '"), std::string::npos);
+  EXPECT_NE(out.find("  OMP_WAIT_POLICY = '"), std::string::npos);
+  EXPECT_NE(out.find("  OMP_PROC_BIND = '"), std::string::npos);
+  EXPECT_NE(out.find("  OMP_CANCELLATION = '"), std::string::npos);
+  // Terse mode omits the zomp extensions...
+  EXPECT_EQ(out.find("ZOMP_FAULT_INJECT"), std::string::npos);
+
+  ::testing::internal::CaptureStderr();
+  GlobalIcv::instance().display_env(/*verbose=*/true);
+  const std::string verbose = ::testing::internal::GetCapturedStderr();
+  // ...verbose prints them.
+  EXPECT_NE(verbose.find("  ZOMP_FAULT_INJECT = '"), std::string::npos)
+      << verbose;
 }
 
 TEST(ScheduleNameTest, AllKindsNamed) {

@@ -886,5 +886,64 @@ TEST(SchedStressTest, ConcurrentTeamsReduceIndependently) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+TEST(SchedStressTest, DequeOverflowSharesDiscardHookWithCancellation) {
+  // Overflowing tasks route through execute_task — the SAME completion hook
+  // the cancellation discard rides — so once the taskgroup is cancelled,
+  // even tasks the producer must run inline (deque full) skip their bodies
+  // while keeping parent/group accounting. Regression for the earlier
+  // overflow path that ran bodies unconditionally: under a cancelled group
+  // that both executed discarded work and, with the accounting divergence,
+  // could leave taskgroup_end waiting forever.
+  rt::GlobalIcv::instance().set_cancellation(true);
+  constexpr int kTasks = 3000;  // ~2x the bounded deque capacity (1024)
+  std::atomic<int> ran{0};
+  std::atomic<bool> gate{false};
+  parallel(
+      [&] {
+        if (thread_num() == 0) {
+          taskgroup([&] {
+            // The first task is the oldest deque entry, so the lone worker's
+            // first steal blocks on it: the backlog can only drain through
+            // the producer's own overflow-inline path until the gate opens.
+            task([&] {
+              while (!gate.load(std::memory_order_acquire)) {
+                std::this_thread::yield();
+              }
+            });
+            for (int t = 0; t < kTasks; ++t) {
+              task([&] { ran.fetch_add(1, std::memory_order_relaxed); });
+            }
+            // Cancel with the deque still full: everything queued must be
+            // discarded at take time, by worker and producer alike.
+            rt::ThreadState& ts = rt::current_thread();
+            ts.team->cancel_taskgroup(ts);
+            gate.store(true, std::memory_order_release);
+          });
+        }
+      },
+      ParallelOptions{2});
+  // Overflow-inlined tasks before the cancel ran; the queued backlog (the
+  // full deque, ~1024 tasks) was discarded. Completing at all proves the
+  // discard kept the group counts balanced.
+  EXPECT_GT(ran.load(), 0);
+  EXPECT_LT(ran.load(), kTasks - 500);
+  rt::GlobalIcv::instance().set_cancellation(false);
+
+  // The shared hook left no residue: a fresh group runs everything.
+  std::atomic<int> clean{0};
+  parallel(
+      [&] {
+        if (thread_num() == 0) {
+          taskgroup([&] {
+            for (int t = 0; t < 32; ++t) {
+              task([&] { clean.fetch_add(1, std::memory_order_relaxed); });
+            }
+          });
+        }
+      },
+      ParallelOptions{2});
+  EXPECT_EQ(clean.load(), 32);
+}
+
 }  // namespace
 }  // namespace zomp

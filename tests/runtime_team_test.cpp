@@ -369,7 +369,7 @@ TEST(OrderedTest, IterationsEnterInSequence) {
             team.ordered_exit(ts, i);
           }
         }
-        team.barrier_wait(ts.tid);
+        (void)team.barrier_wait(ts.tid);
       },
       ParallelOptions{4, true});
   ASSERT_EQ(order.size(), static_cast<std::size_t>(n));

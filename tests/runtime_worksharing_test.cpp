@@ -212,7 +212,7 @@ TEST(DispatchTest, GuidedChunksShrink) {
         while (team.dispatch_next(ts, &lo, &hi, &last)) {
           zomp::critical([&] { sizes.push_back(hi - lo); });
         }
-        team.barrier_wait(ts.tid);
+        (void)team.barrier_wait(ts.tid);
       },
       zomp::ParallelOptions{1, true});
   ASSERT_GT(sizes.size(), 2u);
