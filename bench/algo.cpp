@@ -1,0 +1,324 @@
+// zomp::algo benchmark (DESIGN.md S11): scan / sort / histogram / top-k on
+// N elements, swept across team widths, against two baselines:
+//
+//   * serial        — a straight single-threaded loop (the oracle: every
+//                     zomp record also checks byte-identity against it)
+//   * std_par       — the same operation through std::execution::par, i.e.
+//                     whatever parallel STL the toolchain ships (libstdc++
+//                     degrades to serial without TBB — still a fair "what
+//                     you get for free" reference)
+//
+// Emits BENCH_algo.json: one record per (primitive, variant, threads) with
+// min and median of --repeats runs (bench_common.h Timing) plus the
+// byte-identity bit. The acceptance bar this backs: exclusive_scan and
+// radix_sort at 8 threads on 1M elements >= 2x over serial, identical
+// output at every width.
+//
+//   ./algo_bench --n 1000000 --repeats 5 --out BENCH_algo.json
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <random>
+#include <string>
+#include <vector>
+
+#if __has_include(<execution>)
+#include <execution>
+#define ALGO_BENCH_HAVE_PSTL 1
+#else
+#define ALGO_BENCH_HAVE_PSTL 0
+#endif
+
+#include "bench_common.h"
+#include "runtime/runtime.h"
+
+namespace {
+
+using zomp::rt::i64;
+using zomp::rt::u64;
+
+constexpr int kWidths[] = {1, 2, 4, 8};
+
+struct Record {
+  std::string name;     ///< primitive
+  std::string variant;  ///< serial | std_par | zomp
+  int threads = 0;      ///< 0 for the baselines
+  bench::Timing timing;
+  bool identical = true;  ///< output byte-identical to the serial oracle
+};
+
+std::vector<Record> g_records;
+
+/// `check` is deliberately a callable, not a bool: C++ evaluates call
+/// arguments in unspecified order, and the identity check must not run
+/// before the measured runs have produced the output it inspects.
+template <typename Check>
+void record(const std::string& name, const std::string& variant, int threads,
+            bench::Timing t, Check check) {
+  const bool identical = check();
+  g_records.push_back({name, variant, threads, t, identical});
+  std::printf("%-16s %-8s t=%d  min %.6fs  median %.6fs%s\n", name.c_str(),
+              variant.c_str(), threads, t.min_s, t.median_s,
+              identical ? "" : "  [MISMATCH]");
+}
+
+/// measure() variant with an untimed per-repeat setup (sorts mutate their
+/// input, so each run must start from the pristine array).
+template <typename Setup, typename Fn>
+bench::Timing measure_with_setup(int repeats, Setup&& setup, Fn&& fn) {
+  std::vector<double> runs;
+  for (int i = 0; i < repeats; ++i) {
+    setup();
+    const double t0 = zomp::wtime();
+    fn();
+    runs.push_back(zomp::wtime() - t0);
+  }
+  std::sort(runs.begin(), runs.end());
+  return bench::Timing{runs.front(), runs[runs.size() / 2]};
+}
+
+template <typename T>
+bool same_bytes(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0;
+}
+
+// -- Primitive drivers -------------------------------------------------------
+
+void bench_scans(const std::vector<i64>& in, int repeats) {
+  const i64 n = static_cast<i64>(in.size());
+  std::vector<i64> out(in.size());
+  std::vector<i64> oracle_ex(in.size());
+  std::vector<i64> oracle_inc(in.size());
+  {
+    i64 run = 0;
+    for (i64 i = 0; i < n; ++i) {
+      oracle_ex[i] = run;
+      run += in[i];
+      oracle_inc[i] = run;
+    }
+  }
+
+  record("exclusive_scan", "serial", 0, bench::measure(repeats, [&] {
+           i64 run = 0;
+           for (i64 i = 0; i < n; ++i) {
+             out[i] = run;
+             run += in[i];
+           }
+         }),
+         [&] { return same_bytes(out, oracle_ex); });
+#if ALGO_BENCH_HAVE_PSTL
+  record("exclusive_scan", "std_par", 0, bench::measure(repeats, [&] {
+           std::exclusive_scan(std::execution::par, in.begin(), in.end(),
+                               out.begin(), i64{0});
+         }),
+         [&] { return same_bytes(out, oracle_ex); });
+#endif
+  for (const int w : kWidths) {
+    zomp::algo::Options o;
+    o.num_threads = w;
+    record("exclusive_scan", "zomp", w, bench::measure(repeats, [&] {
+             zomp::algo::exclusive_scan(in.data(), out.data(), n, i64{0},
+                                        std::plus<>{}, o);
+           }),
+           [&] { return same_bytes(out, oracle_ex); });
+  }
+
+  record("inclusive_scan", "serial", 0, bench::measure(repeats, [&] {
+           i64 run = 0;
+           for (i64 i = 0; i < n; ++i) {
+             run += in[i];
+             out[i] = run;
+           }
+         }),
+         [&] { return same_bytes(out, oracle_inc); });
+  for (const int w : kWidths) {
+    zomp::algo::Options o;
+    o.num_threads = w;
+    record("inclusive_scan", "zomp", w, bench::measure(repeats, [&] {
+             zomp::algo::inclusive_scan(in.data(), out.data(), n,
+                                        std::plus<>{}, o);
+           }),
+           [&] { return same_bytes(out, oracle_inc); });
+  }
+}
+
+void bench_radix(const std::vector<u64>& keys0, int repeats) {
+  const i64 n = static_cast<i64>(keys0.size());
+  std::vector<u64> oracle = keys0;
+  std::sort(oracle.begin(), oracle.end());
+  std::vector<u64> keys(keys0.size());
+
+  record("radix_sort", "serial", 0, measure_with_setup(
+             repeats, [&] { keys = keys0; },
+             [&] { std::sort(keys.begin(), keys.end()); }),
+         [&] { return same_bytes(keys, oracle); });
+#if ALGO_BENCH_HAVE_PSTL
+  record("radix_sort", "std_par", 0, measure_with_setup(
+             repeats, [&] { keys = keys0; },
+             [&] {
+               std::sort(std::execution::par, keys.begin(), keys.end());
+             }),
+         [&] { return same_bytes(keys, oracle); });
+#endif
+  for (const int w : kWidths) {
+    zomp::algo::Options o;
+    o.num_threads = w;
+    record("radix_sort", "zomp", w, measure_with_setup(
+               repeats, [&] { keys = keys0; },
+               [&] { zomp::algo::radix_sort(keys.data(), n, o); }),
+           [&] { return same_bytes(keys, oracle); });
+  }
+}
+
+void bench_counting(const std::vector<u64>& keys0, int repeats) {
+  const i64 n = static_cast<i64>(keys0.size());
+  constexpr i64 kBuckets = 1024;
+  std::vector<u64> src(keys0.size());
+  for (std::size_t i = 0; i < keys0.size(); ++i) src[i] = keys0[i] % kBuckets;
+  std::vector<u64> oracle = src;
+  std::stable_sort(oracle.begin(), oracle.end());
+  std::vector<u64> keys(src.size());
+  const auto key_of = [](u64 v) { return static_cast<i64>(v); };
+
+  record("counting_sort", "serial", 0, measure_with_setup(
+             repeats, [&] { keys = src; },
+             [&] { std::stable_sort(keys.begin(), keys.end()); }),
+         [&] { return same_bytes(keys, oracle); });
+  for (const int w : kWidths) {
+    zomp::algo::Options o;
+    o.num_threads = w;
+    record("counting_sort", "zomp", w, measure_with_setup(
+               repeats, [&] { keys = src; },
+               [&] {
+                 zomp::algo::counting_sort(keys.data(), n, kBuckets, key_of,
+                                           o);
+               }),
+           [&] { return same_bytes(keys, oracle); });
+  }
+}
+
+void bench_histogram(const std::vector<u64>& keys, int repeats) {
+  const i64 n = static_cast<i64>(keys.size());
+  constexpr i64 kBins = 256;
+  std::vector<u64> bins(kBins), oracle(kBins, 0);
+  const auto bin_of = [](u64 v) { return static_cast<i64>(v & 0xFF); };
+  for (const u64 v : keys) ++oracle[static_cast<std::size_t>(bin_of(v))];
+
+  record("histogram", "serial", 0, bench::measure(repeats, [&] {
+           std::fill(bins.begin(), bins.end(), u64{0});
+           for (const u64 v : keys) ++bins[static_cast<std::size_t>(bin_of(v))];
+         }),
+         [&] { return same_bytes(bins, oracle); });
+  for (const int w : kWidths) {
+    zomp::algo::Options o;
+    o.num_threads = w;
+    record("histogram", "zomp", w, bench::measure(repeats, [&] {
+             zomp::algo::histogram(keys.data(), n, bins.data(), kBins, bin_of,
+                                   o);
+           }),
+           [&] { return same_bytes(bins, oracle); });
+  }
+}
+
+void bench_topk(const std::vector<i64>& in, int repeats) {
+  const i64 n = static_cast<i64>(in.size());
+  constexpr i64 kK = 64;
+  std::vector<i64> best(kK), oracle(in.begin(), in.end());
+  std::partial_sort(oracle.begin(), oracle.begin() + kK, oracle.end(),
+                    std::greater<>{});
+  oracle.resize(kK);
+
+  record("top_k", "serial", 0, bench::measure(repeats, [&] {
+           std::vector<i64> tmp(in.begin(), in.end());
+           std::partial_sort(tmp.begin(), tmp.begin() + kK, tmp.end(),
+                             std::greater<>{});
+           std::copy(tmp.begin(), tmp.begin() + kK, best.begin());
+         }),
+         [&] { return same_bytes(best, oracle); });
+  for (const int w : kWidths) {
+    zomp::algo::Options o;
+    o.num_threads = w;
+    record("top_k", "zomp", w, bench::measure(repeats, [&] {
+             zomp::algo::top_k(in.data(), n, kK, best.data(), o);
+           }),
+           [&] { return same_bytes(best, oracle); });
+  }
+}
+
+void bench_reduce(const std::vector<i64>& in, int repeats) {
+  const i64 n = static_cast<i64>(in.size());
+  const i64 oracle = std::accumulate(in.begin(), in.end(), i64{0});
+  i64 got = 0;
+
+  record("reduce", "serial", 0, bench::measure(repeats, [&] {
+           i64 acc = 0;
+           for (i64 i = 0; i < n; ++i) acc += in[i];
+           got = acc;
+         }),
+         [&] { return got == oracle; });
+  for (const int w : kWidths) {
+    zomp::algo::Options o;
+    o.num_threads = w;
+    record("reduce", "zomp", w, bench::measure(repeats, [&] {
+             got = zomp::algo::reduce(in.data(), n, i64{0}, std::plus<>{}, o);
+           }),
+           [&] { return got == oracle; });
+  }
+}
+
+void write_json(const char* path, i64 n, int repeats) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "algo_bench: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"algo\",\n  \"n\": %" PRId64
+                  ",\n  \"repeats\": %d,\n  \"records\": [\n",
+               n, repeats);
+  for (std::size_t i = 0; i < g_records.size(); ++i) {
+    const Record& r = g_records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"variant\": \"%s\", \"threads\": "
+                 "%d, \"min_s\": %.9f, \"median_s\": %.9f, \"identical\": "
+                 "%s}%s\n",
+                 r.name.c_str(), r.variant.c_str(), r.threads,
+                 r.timing.min_s, r.timing.median_s,
+                 r.identical ? "true" : "false",
+                 i + 1 < g_records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const i64 n = args.get_int("n", 1000000);
+  const int repeats = static_cast<int>(args.get_int("repeats", 5));
+  const std::string out = args.get("out", "BENCH_algo.json");
+
+  std::mt19937_64 rng(12345);
+  std::vector<i64> ints(static_cast<std::size_t>(n));
+  std::vector<u64> keys(static_cast<std::size_t>(n));
+  for (auto& v : ints) v = static_cast<i64>(rng()) >> 16;
+  for (auto& v : keys) v = rng();
+
+  bench_scans(ints, repeats);
+  bench_radix(keys, repeats);
+  bench_counting(keys, repeats);
+  bench_histogram(keys, repeats);
+  bench_topk(ints, repeats);
+  bench_reduce(ints, repeats);
+
+  write_json(out.c_str(), n, repeats);
+
+  bool all_identical = true;
+  for (const Record& r : g_records) all_identical &= r.identical;
+  std::printf("algo_bench: %zu records -> %s (%s)\n", g_records.size(),
+              out.c_str(), all_identical ? "all identical" : "MISMATCHES");
+  return all_identical ? 0 : 1;
+}

@@ -48,17 +48,36 @@ class Args {
   std::vector<std::string> args_;
 };
 
+/// One timed measurement: every BENCH_*.json record reports both — the
+/// median for run-to-run stability, the min as the contention-free floor
+/// (the closest a repeat got to the true cost).
+struct Timing {
+  double min_s = 0.0;
+  double median_s = 0.0;
+};
+
+/// Runs `fn` `repeats` times and returns min + median wall seconds.
+template <typename Fn>
+Timing measure(int repeats, Fn&& fn) {
+  std::vector<double> runs;
+  runs.reserve(static_cast<std::size_t>(repeats > 0 ? repeats : 1));
+  for (int i = 0; i < std::max(repeats, 1); ++i) {
+    const double t0 = zomp::wtime();
+    fn();
+    runs.push_back(zomp::wtime() - t0);
+  }
+  std::sort(runs.begin(), runs.end());
+  Timing t;
+  t.min_s = runs.front();
+  t.median_s = runs[runs.size() / 2];
+  return t;
+}
+
 /// Runs `fn` `repeats` times and returns the best wall time in seconds
 /// (NPB reports best-of; so do we).
 template <typename Fn>
 double best_of(int repeats, Fn&& fn) {
-  double best = 1e300;
-  for (int i = 0; i < repeats; ++i) {
-    const double t0 = zomp::wtime();
-    fn();
-    best = std::min(best, zomp::wtime() - t0);
-  }
-  return best;
+  return measure(repeats, fn).min_s;
 }
 
 template <typename T>
@@ -66,4 +85,20 @@ mz::Slice<T> slice_of(std::vector<T>& v) {
   return mz::Slice<T>{v.data(), static_cast<std::int64_t>(v.size())};
 }
 
+#ifdef BENCHMARK_BENCHMARK_H_
+/// min-of-repeats aggregate for google-benchmark suites: CI runs them with
+/// --benchmark_repetitions, and ZOMP_BENCHMARK below adds a "_min" record
+/// next to the stock mean/median/stddev in every BENCH_*.json.
+inline double min_of_runs(const std::vector<double>& runs) {
+  return *std::min_element(runs.begin(), runs.end());
+}
+#endif
+
 }  // namespace bench
+
+#ifdef BENCHMARK_BENCHMARK_H_
+/// Drop-in for BENCHMARK() that registers the min statistic; further chained
+/// setup (->Range, ->UseRealTime, ...) composes as usual.
+#define ZOMP_BENCHMARK(fn) \
+  BENCHMARK(fn)->ComputeStatistics("min", ::bench::min_of_runs)
+#endif

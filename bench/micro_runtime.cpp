@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "runtime/runtime.h"
 
 namespace {
@@ -209,7 +210,7 @@ void BM_ForkJoin(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.SetLabel(hot ? "hot-team" : "mutex-condvar-seed");
 }
-BENCHMARK(BM_ForkJoin)
+ZOMP_BENCHMARK(BM_ForkJoin)
     ->Args({0, 1})
     ->Args({1, 1})
     ->Args({0, 2})
@@ -259,7 +260,7 @@ void BM_ParallelForTiny(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
   state.SetLabel(hot ? "hot-team" : "mutex-condvar-seed");
 }
-BENCHMARK(BM_ParallelForTiny)
+ZOMP_BENCHMARK(BM_ParallelForTiny)
     ->Args({0, 2})
     ->Args({1, 2})
     ->Args({0, 8})
@@ -307,7 +308,7 @@ void BM_CancellationPointOverhead(benchmark::State& state) {
                  : mode == 1 ? "point-icv-off"
                              : "point-icv-on");
 }
-BENCHMARK(BM_CancellationPointOverhead)
+ZOMP_BENCHMARK(BM_CancellationPointOverhead)
     ->Args({0, 2})
     ->Args({1, 2})
     ->Args({2, 2})
@@ -331,7 +332,7 @@ void BM_BarrierCentral(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * rounds);
 }
-BENCHMARK(BM_BarrierCentral)->Unit(benchmark::kMicrosecond)->Iterations(50);
+ZOMP_BENCHMARK(BM_BarrierCentral)->Unit(benchmark::kMicrosecond)->Iterations(50);
 
 void BM_BarrierTree(benchmark::State& state) {
   const int threads = bench_threads();
@@ -347,7 +348,7 @@ void BM_BarrierTree(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * rounds);
 }
-BENCHMARK(BM_BarrierTree)->Unit(benchmark::kMicrosecond)->Iterations(50);
+ZOMP_BENCHMARK(BM_BarrierTree)->Unit(benchmark::kMicrosecond)->Iterations(50);
 
 void BM_WorksharingDispatch(benchmark::State& state) {
   // kind: 0 static, 1 dynamic, 2 guided; iterations fixed, chunk varies.
@@ -365,7 +366,7 @@ void BM_WorksharingDispatch(benchmark::State& state) {
   benchmark::DoNotOptimize(data[0]);
   state.SetLabel(zomp::rt::schedule_kind_name(kind));
 }
-BENCHMARK(BM_WorksharingDispatch)
+ZOMP_BENCHMARK(BM_WorksharingDispatch)
     ->Args({0, 0})
     ->Args({1, 1})
     ->Args({1, 64})
@@ -382,7 +383,7 @@ void BM_Reduction(benchmark::State& state) {
     benchmark::DoNotOptimize(s);
   }
 }
-BENCHMARK(BM_Reduction)->Unit(benchmark::kMicrosecond)->Iterations(100);
+ZOMP_BENCHMARK(BM_Reduction)->Unit(benchmark::kMicrosecond)->Iterations(100);
 
 // ---------------------------------------------------------------------------
 // Reduction-combine before/after. The seed protocol — one member initialises
@@ -448,7 +449,7 @@ void BM_ReductionCombine(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kRounds);
   state.SetLabel(tree ? "tree-rendezvous" : "critical-seed");
 }
-BENCHMARK(BM_ReductionCombine)
+ZOMP_BENCHMARK(BM_ReductionCombine)
     ->Args({0, 2})
     ->Args({1, 2})
     ->Args({0, 8})
@@ -517,7 +518,7 @@ void BM_CollapseMandelStyle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * w * h);
   state.SetLabel(collapsed ? "collapse2-flat" : "rows-only");
 }
-BENCHMARK(BM_CollapseMandelStyle)
+ZOMP_BENCHMARK(BM_CollapseMandelStyle)
     ->Args({0, 1})
     ->Args({1, 1})
     ->Args({0, 16})
@@ -538,7 +539,7 @@ void BM_CriticalThroughput(benchmark::State& state) {
   benchmark::DoNotOptimize(counter);
   state.SetItemsProcessed(state.iterations() * per_thread);
 }
-BENCHMARK(BM_CriticalThroughput)->Unit(benchmark::kMicrosecond)->Iterations(50);
+ZOMP_BENCHMARK(BM_CriticalThroughput)->Unit(benchmark::kMicrosecond)->Iterations(50);
 
 void BM_LockUncontended(benchmark::State& state) {
   zomp::rt::Lock lock;
@@ -547,7 +548,7 @@ void BM_LockUncontended(benchmark::State& state) {
     lock.unset();
   }
 }
-BENCHMARK(BM_LockUncontended)->Iterations(1 << 16);
+ZOMP_BENCHMARK(BM_LockUncontended)->Iterations(1 << 16);
 
 void BM_SpinLockUncontended(benchmark::State& state) {
   zomp::rt::SpinLock lock;
@@ -556,7 +557,7 @@ void BM_SpinLockUncontended(benchmark::State& state) {
     lock.unset();
   }
 }
-BENCHMARK(BM_SpinLockUncontended)->Iterations(1 << 16);
+ZOMP_BENCHMARK(BM_SpinLockUncontended)->Iterations(1 << 16);
 
 void BM_TaskSpawnDrain(benchmark::State& state) {
   const auto tasks = static_cast<int>(state.range(0));
@@ -575,7 +576,7 @@ void BM_TaskSpawnDrain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * tasks);
 }
-BENCHMARK(BM_TaskSpawnDrain)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
+ZOMP_BENCHMARK(BM_TaskSpawnDrain)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
 
 // ---------------------------------------------------------------------------
 // Scheduler-substrate before/after (PR 1). The seed's mutex-guarded task
@@ -681,7 +682,7 @@ void BM_TaskQueueOwnerOps(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kBurst);
   state.SetLabel(lockfree ? "lockfree-deque" : "mutex-seed");
 }
-BENCHMARK(BM_TaskQueueOwnerOps)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond)->Iterations(2000);
+ZOMP_BENCHMARK(BM_TaskQueueOwnerOps)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond)->Iterations(2000);
 
 /// Steal throughput under contention: one member's queue is pre-loaded and
 /// `thieves` threads drain it through take() — the path the task-aware
@@ -729,7 +730,7 @@ void BM_TaskQueueStealDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTasks);
   state.SetLabel(lockfree ? "lockfree-deque" : "mutex-seed");
 }
-BENCHMARK(BM_TaskQueueStealDrain)
+ZOMP_BENCHMARK(BM_TaskQueueStealDrain)
     ->Args({0, 2})
     ->Args({1, 2})
     ->Args({0, 8})
@@ -803,7 +804,7 @@ void BM_TaskSpawnStealThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTasks);
   state.SetLabel(lockfree ? "lockfree-deque" : "mutex-seed");
 }
-BENCHMARK(BM_TaskSpawnStealThroughput)
+ZOMP_BENCHMARK(BM_TaskSpawnStealThroughput)
     ->Args({0, 1})
     ->Args({1, 1})
     ->Args({0, 7})
@@ -862,7 +863,7 @@ void BM_DynamicChunkClaim(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTrips);
   state.SetLabel(batched ? "batched-cursor" : "seed-cursor");
 }
-BENCHMARK(BM_DynamicChunkClaim)
+ZOMP_BENCHMARK(BM_DynamicChunkClaim)
     ->Args({0, 2})
     ->Args({1, 2})
     ->Args({0, 8})
@@ -931,7 +932,7 @@ void BM_HierarchicalSteal(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * kTasks);
   state.SetLabel(hierarchical ? "hierarchical-order" : "flat-ring");
 }
-BENCHMARK(BM_HierarchicalSteal)
+ZOMP_BENCHMARK(BM_HierarchicalSteal)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMicrosecond)
@@ -990,7 +991,7 @@ void BM_DynamicPerPlaceCursor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * kTrips);
   state.SetLabel(sharded ? "sharded-cursors" : "shared-cursor");
 }
-BENCHMARK(BM_DynamicPerPlaceCursor)
+ZOMP_BENCHMARK(BM_DynamicPerPlaceCursor)
     ->Args({0, 2})
     ->Args({1, 2})
     ->Args({0, 8})
@@ -1016,7 +1017,7 @@ void BM_TaskStormSingleProducer(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * tasks);
 }
-BENCHMARK(BM_TaskStormSingleProducer)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
+ZOMP_BENCHMARK(BM_TaskStormSingleProducer)->Arg(512)->Unit(benchmark::kMicrosecond)->Iterations(20);
 
 /// Dependence-layer overhead (DESIGN.md S1.7): an inout chain of N tasks is
 /// the worst case for the depnode machinery — every task allocates a node,
@@ -1042,7 +1043,7 @@ void BM_TaskDependChain(benchmark::State& state) {
   benchmark::DoNotOptimize(acc);
   state.SetItemsProcessed(state.iterations() * chain);
 }
-BENCHMARK(BM_TaskDependChain)
+ZOMP_BENCHMARK(BM_TaskDependChain)
     ->Arg(64)
     ->Arg(512)
     ->Unit(benchmark::kMicrosecond)
@@ -1095,7 +1096,7 @@ void BM_TaskloopVsParallelFor(benchmark::State& state) {
                  : mode == 1 ? "taskloop-default"
                              : "taskloop-grainsize64");
 }
-BENCHMARK(BM_TaskloopVsParallelFor)
+ZOMP_BENCHMARK(BM_TaskloopVsParallelFor)
     ->Arg(0)
     ->Arg(1)
     ->Arg(2)
@@ -1113,7 +1114,7 @@ void BM_AtomicF64Add(benchmark::State& state) {
   benchmark::DoNotOptimize(cell);
   state.SetItemsProcessed(state.iterations() * per_thread);
 }
-BENCHMARK(BM_AtomicF64Add)->Unit(benchmark::kMicrosecond)->Iterations(50);
+ZOMP_BENCHMARK(BM_AtomicF64Add)->Unit(benchmark::kMicrosecond)->Iterations(50);
 
 /// Region entry with thread binding (DESIGN.md S1.8): the hot-team path
 /// with proc_bind(close) vs unbound. The first bound region computes the
@@ -1144,7 +1145,7 @@ void BM_ForkJoinBound(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
   state.SetLabel(bound ? "proc_bind-close" : "unbound");
 }
-BENCHMARK(BM_ForkJoinBound)
+ZOMP_BENCHMARK(BM_ForkJoinBound)
     ->Args({0, 2})
     ->Args({0, 4})
     ->Args({0, 8})

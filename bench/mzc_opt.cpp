@@ -111,7 +111,7 @@ void BM_StaticSpecialized(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_StaticSpecialized)->Apply(thread_args);
+ZOMP_BENCHMARK(BM_StaticSpecialized)->Apply(thread_args);
 
 void BM_StaticStrided(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
@@ -121,7 +121,7 @@ void BM_StaticStrided(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_StaticStrided)->Apply(thread_args);
+ZOMP_BENCHMARK(BM_StaticStrided)->Apply(thread_args);
 
 void BM_RingDispatch(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
@@ -131,7 +131,7 @@ void BM_RingDispatch(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_RingDispatch)->Apply(thread_args);
+ZOMP_BENCHMARK(BM_RingDispatch)->Apply(thread_args);
 
 // -- fusion: one fork + internal barrier vs two fork/join cycles -------------
 
@@ -166,7 +166,7 @@ void BM_FusedRegions(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_FusedRegions)->Apply(thread_args);
+ZOMP_BENCHMARK(BM_FusedRegions)->Apply(thread_args);
 
 void BM_BackToBackForks(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
@@ -181,7 +181,7 @@ void BM_BackToBackForks(benchmark::State& state) {
     if (total != 3 * kExpected) state.SkipWithError("bad sum");
   }
 }
-BENCHMARK(BM_BackToBackForks)->Apply(thread_args);
+ZOMP_BENCHMARK(BM_BackToBackForks)->Apply(thread_args);
 
 // -- table 1, class S, both opt levels ---------------------------------------
 
@@ -206,7 +206,7 @@ void BM_Table1ClassS_Ep(benchmark::State& state) {
   }
   state.SetLabel(state.range(0) == 0 ? "-O0" : "-O1");
 }
-BENCHMARK(BM_Table1ClassS_Ep)->Apply(table_args);
+ZOMP_BENCHMARK(BM_Table1ClassS_Ep)->Apply(table_args);
 
 void BM_Table1ClassS_Cg(benchmark::State& state) {
   const zomp::npb::CgClass cls = zomp::npb::cg_class('S');
@@ -232,7 +232,7 @@ void BM_Table1ClassS_Cg(benchmark::State& state) {
   }
   state.SetLabel(state.range(0) == 0 ? "-O0" : "-O1");
 }
-BENCHMARK(BM_Table1ClassS_Cg)->Apply(table_args);
+ZOMP_BENCHMARK(BM_Table1ClassS_Cg)->Apply(table_args);
 
 void BM_Table1ClassS_Is(benchmark::State& state) {
   const zomp::npb::IsClass cls = zomp::npb::is_class('S');
@@ -255,7 +255,7 @@ void BM_Table1ClassS_Is(benchmark::State& state) {
   }
   state.SetLabel(state.range(0) == 0 ? "-O0" : "-O1");
 }
-BENCHMARK(BM_Table1ClassS_Is)->Apply(table_args);
+ZOMP_BENCHMARK(BM_Table1ClassS_Is)->Apply(table_args);
 
 void BM_Table1ClassS_Mandel(benchmark::State& state) {
   constexpr std::int64_t w = 256, h = 256, iters = 1500;
@@ -271,7 +271,7 @@ void BM_Table1ClassS_Mandel(benchmark::State& state) {
   }
   state.SetLabel(state.range(0) == 0 ? "-O0" : "-O1");
 }
-BENCHMARK(BM_Table1ClassS_Mandel)->Apply(table_args);
+ZOMP_BENCHMARK(BM_Table1ClassS_Mandel)->Apply(table_args);
 
 }  // namespace
 

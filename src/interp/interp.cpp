@@ -1105,6 +1105,20 @@ Interp::Interp(const lang::Module& module, Options options)
   register_host_fn("mz_omp_get_level", [](std::vector<Value>&) {
     return Value(static_cast<std::int64_t>(zomp::level()));
   });
+  register_host_fn("mz_omp_get_team_size", [](std::vector<Value>& args) {
+    return Value(static_cast<std::int64_t>(
+        zomp::team_size(static_cast<rt::i32>(args.at(0).as_i64()))));
+  });
+  register_host_fn("mz_omp_get_max_active_levels", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::get_max_active_levels()));
+  });
+  register_host_fn("mz_omp_set_max_active_levels", [](std::vector<Value>& args) {
+    zomp::set_max_active_levels(static_cast<rt::i32>(args.at(0).as_i64()));
+    return Value();
+  });
+  register_host_fn("mz_omp_get_max_task_priority", [](std::vector<Value>&) {
+    return Value(static_cast<std::int64_t>(zomp::max_task_priority()));
+  });
   register_host_fn("mz_omp_set_num_threads", [](std::vector<Value>& args) {
     zomp::set_num_threads(static_cast<rt::i32>(args.at(0).as_i64()));
     return Value();

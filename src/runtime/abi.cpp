@@ -383,6 +383,18 @@ std::int64_t mz_omp_get_max_threads(void) { return zomp::max_threads(); }
 std::int64_t mz_omp_get_num_procs(void) { return zomp::num_procs(); }
 std::int64_t mz_omp_in_parallel(void) { return zomp::in_parallel() ? 1 : 0; }
 std::int64_t mz_omp_get_level(void) { return zomp::level(); }
+std::int64_t mz_omp_get_team_size(std::int64_t level) {
+  return zomp::team_size(static_cast<i32>(level));
+}
+std::int64_t mz_omp_get_max_active_levels(void) {
+  return zomp::get_max_active_levels();
+}
+void mz_omp_set_max_active_levels(std::int64_t levels) {
+  zomp::set_max_active_levels(static_cast<i32>(levels));
+}
+std::int64_t mz_omp_get_max_task_priority(void) {
+  return zomp::max_task_priority();
+}
 void mz_omp_set_num_threads(std::int64_t n) {
   zomp::set_num_threads(static_cast<i32>(n));
 }
@@ -394,6 +406,18 @@ std::int32_t zomp_get_max_threads(void) { return zomp::max_threads(); }
 std::int32_t zomp_get_num_procs(void) { return zomp::num_procs(); }
 std::int32_t zomp_in_parallel(void) { return zomp::in_parallel() ? 1 : 0; }
 std::int32_t zomp_get_level(void) { return zomp::level(); }
+std::int32_t zomp_get_team_size(std::int32_t level) {
+  return zomp::team_size(level);
+}
+std::int32_t zomp_get_max_active_levels(void) {
+  return zomp::get_max_active_levels();
+}
+void zomp_set_max_active_levels(std::int32_t levels) {
+  zomp::set_max_active_levels(levels);
+}
+std::int32_t zomp_get_max_task_priority(void) {
+  return zomp::max_task_priority();
+}
 void zomp_set_num_threads(std::int32_t n) { zomp::set_num_threads(n); }
 double zomp_get_wtime(void) { return zomp::wtime(); }
 double zomp_get_wtick(void) { return zomp::wtick(); }

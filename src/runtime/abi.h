@@ -312,6 +312,15 @@ std::int32_t zomp_get_max_threads(void);
 std::int32_t zomp_get_num_procs(void);
 std::int32_t zomp_in_parallel(void);
 std::int32_t zomp_get_level(void);
+/// omp_get_team_size(level): size of the ancestor team at nesting depth
+/// `level` (0 = the initial implicit team, always 1); -1 when out of range.
+std::int32_t zomp_get_team_size(std::int32_t level);
+/// max-active-levels-var accessors (omp_get/set_max_active_levels).
+std::int32_t zomp_get_max_active_levels(void);
+void zomp_set_max_active_levels(std::int32_t levels);
+/// omp_get_max_task_priority: the priority-clause ceiling
+/// (OMP_MAX_TASK_PRIORITY; task creation clamps to it).
+std::int32_t zomp_get_max_task_priority(void);
 void zomp_set_num_threads(std::int32_t n);
 double zomp_get_wtime(void);
 double zomp_get_wtick(void);
@@ -347,6 +356,10 @@ std::int64_t mz_omp_get_max_threads(void);
 std::int64_t mz_omp_get_num_procs(void);
 std::int64_t mz_omp_in_parallel(void);
 std::int64_t mz_omp_get_level(void);
+std::int64_t mz_omp_get_team_size(std::int64_t level);
+std::int64_t mz_omp_get_max_active_levels(void);
+void mz_omp_set_max_active_levels(std::int64_t levels);
+std::int64_t mz_omp_get_max_task_priority(void);
 void mz_omp_set_num_threads(std::int64_t n);
 double mz_omp_get_wtime(void);
 std::int64_t mz_omp_get_cancellation(void);

@@ -35,6 +35,20 @@ i32 level() { return current_thread().team->level(); }
 
 i32 active_level() { return current_thread().team->active_level(); }
 
+i32 team_size(i32 at_level) {
+  rt::Team* team = current_thread().team;
+  const i32 cur = team->level();
+  if (at_level < 0 || at_level > cur) return -1;
+  for (i32 l = cur; l > at_level && team != nullptr; --l) {
+    team = team->parent();
+  }
+  // A null hop means we walked past the oldest recorded fork — everything
+  // above it is the initial implicit team of size 1.
+  return team != nullptr ? team->size() : 1;
+}
+
+i32 max_task_priority() { return GlobalIcv::instance().max_task_priority(); }
+
 i32 num_procs() {
   // The processors this process can actually be scheduled on (topology.h):
   // sched_getaffinity-restricted, so `taskset -c 0 ./a.out` reports 1

@@ -25,6 +25,16 @@ bool in_parallel();
 rt::i32 level();
 rt::i32 active_level();
 
+/// Size of the calling thread's ancestor team at nesting depth `at_level`
+/// (omp_get_team_size): 0 is the initial implicit team (always 1), level()
+/// is the innermost team; out-of-range answers -1. Walks the per-fork parent
+/// chain (team.h), so it is only meaningful while the regions execute.
+rt::i32 team_size(rt::i32 at_level);
+
+/// max-task-priority-var (omp_get_max_task_priority): the ceiling task
+/// `priority` clauses clamp to, from OMP_MAX_TASK_PRIORITY (default 0).
+rt::i32 max_task_priority();
+
 /// Number of processors the runtime believes it can use.
 rt::i32 num_procs();
 

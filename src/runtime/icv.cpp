@@ -69,6 +69,14 @@ GlobalIcv::GlobalIcv() {
   if (const auto cancel = env_bool("CANCELLATION")) {
     cancellation_.store(*cancel, std::memory_order_relaxed);
   }
+  if (const auto prio = env_int("MAX_TASK_PRIORITY")) {
+    if (*prio >= 0) {
+      max_task_priority_ = static_cast<i32>(*prio);
+    } else {
+      warn_malformed_env("MAX_TASK_PRIORITY", std::to_string(*prio).c_str(),
+                         "must be non-negative");
+    }
+  }
   if (const auto display = env_string("DISPLAY_ENV")) {
     const std::string t = *display;
     if (t == "true" || t == "TRUE" || t == "1") {
@@ -93,6 +101,7 @@ void GlobalIcv::display_env(bool verbose) const {
   std::fprintf(out, "  OMP_DYNAMIC = '%s'\n",
                dynamic_default_ ? "TRUE" : "FALSE");
   std::fprintf(out, "  OMP_MAX_ACTIVE_LEVELS = '%d'\n", max_levels_default_);
+  std::fprintf(out, "  OMP_MAX_TASK_PRIORITY = '%d'\n", max_task_priority_);
   std::fprintf(out, "  OMP_SCHEDULE = '%s%s'\n",
                schedule_kind_name(run_sched_default_.kind),
                run_sched_default_.chunk > 0

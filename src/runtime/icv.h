@@ -110,6 +110,15 @@ class GlobalIcv {
     cancellation_.store(on, std::memory_order_relaxed);
   }
 
+  /// max-task-priority-var (OMP_MAX_TASK_PRIORITY /
+  /// omp_get_max_task_priority): the highest `priority` clause value the
+  /// program may use; task creation clamps into [0, max] (team.cpp
+  /// new_task). Defaults to 0 — priorities are inert unless the environment
+  /// opts in, per spec. The setter exists for tests (single process, no
+  /// environment re-read); fixed after init otherwise.
+  i32 max_task_priority() const { return max_task_priority_; }
+  void set_max_task_priority(i32 p) { max_task_priority_ = p < 0 ? 0 : p; }
+
   /// OMP_DISPLAY_ENV=true|verbose: prints the ICV table to stderr at runtime
   /// init, libomp's format (the standard first diagnostic for misconfigured
   /// deployments). `verbose` additionally prints the zomp-specific
@@ -137,6 +146,7 @@ class GlobalIcv {
   Schedule run_sched_default_{ScheduleKind::kStatic, 0};
   std::atomic<WaitPolicy> wait_policy_{WaitPolicy::kActive};
   std::vector<BindKind> proc_bind_list_;
+  i32 max_task_priority_ = 0;
   bool display_affinity_ = false;
   std::atomic<bool> cancellation_{false};
   mutable std::mutex affinity_format_mu_;

@@ -256,15 +256,17 @@ struct SavedBinding {
   u64 ws_seq;
   u64 single_seq;
   u64 red_seq;
+  u64 phase_seq;
   MemberDispatch dispatch;
   TaskContext* current_task;
   i32 place_num;
 };
 
 SavedBinding save(const ThreadState& ts) {
-  return SavedBinding{ts.team,       ts.tid,     ts.icv,
+  return SavedBinding{ts.team,       ts.tid,        ts.icv,
                       ts.ws_seq,     ts.single_seq, ts.red_seq,
-                      ts.dispatch,   ts.current_task, ts.place_num};
+                      ts.phase_seq,  ts.dispatch,   ts.current_task,
+                      ts.place_num};
 }
 
 void restore(ThreadState& ts, const SavedBinding& s) {
@@ -278,6 +280,8 @@ void restore(ThreadState& ts, const SavedBinding& s) {
   // resuming the outer region with a rewound sequence would match stale
   // tokens (wrong partials) or spin on tokens never published (deadlock).
   ts.red_seq = s.red_seq;
+  // Same argument for the PhaseSync phase counter (algo constructs).
+  ts.phase_seq = s.phase_seq;
   ts.dispatch = s.dispatch;
   ts.current_task = s.current_task;
   // The *logical* place assignment of the enclosing region comes back; the
@@ -403,6 +407,10 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
     Team& team = *hit->team;
     team.rearm(child_icv, parent_level + 1,
                saved.team->active_level() + (team.size() > 1 ? 1 : 0));
+    // Parent is per-region, not per-cache-entry: a cached team can be
+    // re-entered under a different ancestor (nested masters), so refresh it
+    // on every fork before the doorbell ring publishes the team.
+    team.set_parent(saved.team);
     hit->last_use = ++ts.hot_tick;
     hit->in_use = true;  // nested forks must not evict a running ancestor
     run_region(team, hit->workers, fn, args, ts);
@@ -486,6 +494,7 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
 
   auto team = std::make_unique<Team>(std::move(members), child_icv, level,
                                      active);
+  team->set_parent(saved.team);  // backs omp_get_team_size(level) queries
   if (bind_sig != 0) {
     team->set_binding(plan_binding(bind, saved.icv.part_lo, saved.icv.part_len,
                                    saved.place_num, size));

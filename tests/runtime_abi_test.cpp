@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "runtime/abi.h"
+#include "runtime/icv.h"
 
 namespace {
 
@@ -251,8 +252,78 @@ TEST(AbiQueryTest, MiniZigI64VariantsAgree) {
   EXPECT_EQ(mz_omp_get_num_threads(), zomp_get_num_threads());
   EXPECT_EQ(mz_omp_get_num_procs(), zomp_get_num_procs());
   EXPECT_EQ(mz_omp_in_parallel(), zomp_in_parallel());
+  EXPECT_EQ(mz_omp_get_team_size(0), zomp_get_team_size(0));
+  EXPECT_EQ(mz_omp_get_max_active_levels(), zomp_get_max_active_levels());
+  EXPECT_EQ(mz_omp_get_max_task_priority(), zomp_get_max_task_priority());
   mz_omp_set_num_threads(2);
   EXPECT_EQ(mz_omp_get_max_threads(), 2);
+}
+
+TEST(AbiQueryTest, MaxActiveLevelsRoundTrip) {
+  const std::int32_t saved = zomp_get_max_active_levels();
+  zomp_set_max_active_levels(4);
+  EXPECT_EQ(zomp_get_max_active_levels(), 4);
+  EXPECT_EQ(mz_omp_get_max_active_levels(), 4);
+  // Values below 1 are rejected (max-active-levels-var is at least 1).
+  zomp_set_max_active_levels(0);
+  EXPECT_EQ(zomp_get_max_active_levels(), 4);
+  zomp_set_max_active_levels(saved);
+}
+
+TEST(AbiQueryTest, MaxTaskPriorityReflectsIcv) {
+  // Default: OMP_MAX_TASK_PRIORITY unset -> 0, per spec.
+  EXPECT_EQ(zomp_get_max_task_priority(), 0);
+  zomp::rt::GlobalIcv::instance().set_max_task_priority(7);
+  EXPECT_EQ(zomp_get_max_task_priority(), 7);
+  EXPECT_EQ(mz_omp_get_max_task_priority(), 7);
+  zomp::rt::GlobalIcv::instance().set_max_task_priority(0);
+  EXPECT_EQ(zomp_get_max_task_priority(), 0);
+}
+
+struct TeamSizeState {
+  std::atomic<std::int32_t> outer_l1{-99};
+  std::atomic<std::int32_t> inner_l1{-99};
+  std::atomic<std::int32_t> inner_l2{-99};
+  std::atomic<std::int32_t> inner_l0{-99};
+};
+
+void team_size_inner(std::int32_t /*gtid*/, std::int32_t tid, void** args) {
+  auto* st = static_cast<TeamSizeState*>(args[0]);
+  if (tid == 0) {
+    st->inner_l0.store(zomp_get_team_size(0));
+    st->inner_l1.store(zomp_get_team_size(1));
+    st->inner_l2.store(zomp_get_team_size(2));
+  }
+}
+
+void team_size_outer(std::int32_t /*gtid*/, std::int32_t tid, void** args) {
+  auto* st = static_cast<TeamSizeState*>(args[0]);
+  if (tid == 0) {
+    st->outer_l1.store(zomp_get_team_size(1));
+    zomp_push_num_threads(&kLoc, 2);
+    zomp_fork_call(&kLoc, &team_size_inner, 1, args);
+  }
+}
+
+TEST(AbiQueryTest, TeamSizeWalksAncestorChain) {
+  // Serial context: level 0 is the initial implicit team of size 1; anything
+  // else is out of range.
+  EXPECT_EQ(zomp_get_team_size(0), 1);
+  EXPECT_EQ(zomp_get_team_size(1), -1);
+  EXPECT_EQ(zomp_get_team_size(-1), -1);
+
+  const std::int32_t saved = zomp_get_max_active_levels();
+  zomp_set_max_active_levels(2);
+  TeamSizeState st;
+  void* args[1] = {&st};
+  zomp_push_num_threads(&kLoc, 3);
+  zomp_fork_call(&kLoc, &team_size_outer, 1, args);
+  zomp_set_max_active_levels(saved);
+
+  EXPECT_EQ(st.outer_l1.load(), 3);   // innermost team, seen from level 1
+  EXPECT_EQ(st.inner_l0.load(), 1);   // initial implicit team
+  EXPECT_EQ(st.inner_l1.load(), 3);   // ancestor: the outer 3-wide team
+  EXPECT_EQ(st.inner_l2.load(), 2);   // innermost: the nested 2-wide team
 }
 
 TEST(AbiReduceTest, TreeReduceCombinesAndElectsOneWinner) {

@@ -1,0 +1,430 @@
+// zomp::algo property tests (DESIGN.md S11): every primitive must be
+// byte-identical to its serial oracle at every team width, for every input
+// shape — empty, singleton, non-power-of-two, duplicate-heavy, pre-sorted,
+// reverse-sorted. The parallel paths are forced (serial_cutoff = 1) so even
+// tiny sizes exercise the PhaseSync protocol, and a spawn-fault run proves
+// the decoupled scan stays correct on a shrunken team.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "runtime/fault.h"
+#include "runtime/runtime.h"
+
+namespace zomp {
+namespace {
+
+using rt::i64;
+using rt::u64;
+
+constexpr int kWidths[] = {1, 2, 4, 8};
+
+/// Options that force the parallel path regardless of size.
+algo::Options opts_for(int width) {
+  algo::Options o;
+  o.num_threads = width;
+  o.serial_cutoff = 1;
+  return o;
+}
+
+/// Input shapes: the scan/sort failure modes live in slice-boundary and
+/// equal-key handling, so sizes straddle power-of-two edges and values
+/// repeat heavily.
+const std::vector<i64>& test_sizes() {
+  static const std::vector<i64> kSizes = {0, 1, 2, 3, 7, 64, 1000, 10007};
+  return kSizes;
+}
+
+template <typename T>
+std::vector<T> random_values(i64 n, u64 seed, T lo, T hi) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<long long> dist(static_cast<long long>(lo),
+                                                static_cast<long long>(hi));
+  std::vector<T> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = static_cast<T>(dist(rng));
+  return v;
+}
+
+template <typename T>
+std::vector<std::vector<T>> input_shapes(i64 n, T lo, T hi) {
+  std::vector<std::vector<T>> shapes;
+  shapes.push_back(random_values<T>(n, 0x5eed0000u + static_cast<u64>(n), lo,
+                                    hi));              // uniform random
+  shapes.push_back(random_values<T>(n, 0xd0d00000u + static_cast<u64>(n),
+                                    T{0}, T{3}));      // duplicate-heavy
+  std::vector<T> sorted = shapes.front();
+  std::sort(sorted.begin(), sorted.end());
+  shapes.push_back(sorted);                            // already sorted
+  std::reverse(sorted.begin(), sorted.end());
+  shapes.push_back(sorted);                            // reverse sorted
+  return shapes;
+}
+
+// -- Scans -------------------------------------------------------------------
+
+TEST(AlgoScanTest, ExclusiveMatchesSerialOracleAcrossShapesAndWidths) {
+  for (const i64 n : test_sizes()) {
+    for (const auto& in : input_shapes<i64>(n, -1000, 1000)) {
+      std::vector<i64> oracle(in.size());
+      i64 run = 7;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        oracle[i] = run;
+        run += in[i];
+      }
+      for (const int w : kWidths) {
+        std::vector<i64> out(in.size(), -1);
+        algo::exclusive_scan(in.data(), out.data(), n, i64{7}, std::plus<>{},
+                             opts_for(w));
+        EXPECT_EQ(out, oracle) << "n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(AlgoScanTest, InclusiveMatchesSerialOracleAcrossShapesAndWidths) {
+  for (const i64 n : test_sizes()) {
+    for (const auto& in : input_shapes<i64>(n, -1000, 1000)) {
+      std::vector<i64> oracle(in.size());
+      i64 run = 0;
+      for (std::size_t i = 0; i < in.size(); ++i) {
+        run += in[i];
+        oracle[i] = run;
+      }
+      for (const int w : kWidths) {
+        std::vector<i64> out(in.size(), -1);
+        algo::inclusive_scan(in.data(), out.data(), n, std::plus<>{},
+                             opts_for(w));
+        EXPECT_EQ(out, oracle) << "n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(AlgoScanTest, ExclusiveScanWorksInPlace) {
+  const std::vector<i64> in = random_values<i64>(5000, 42, -50, 50);
+  std::vector<i64> oracle(in.size());
+  i64 run = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    oracle[i] = run;
+    run += in[i];
+  }
+  for (const int w : kWidths) {
+    std::vector<i64> buf = in;
+    algo::exclusive_scan(buf.data(), buf.data(),
+                         static_cast<i64>(buf.size()), i64{0}, std::plus<>{},
+                         opts_for(w));
+    EXPECT_EQ(buf, oracle) << "w=" << w;
+  }
+}
+
+TEST(AlgoScanTest, NonCommutativeOpRespectsElementOrder) {
+  // Scans require associativity, not commutativity: 2x2 matrix product mod
+  // p is associative but order-sensitive, so any operand swap in the carry
+  // chain (or a block boundary folded the wrong way) changes the result.
+  struct M2 {
+    i64 a, b, c, d;
+    bool operator==(const M2&) const = default;
+  };
+  constexpr i64 kP = 10007;
+  const auto op = [](const M2& x, const M2& y) {
+    return M2{(x.a * y.a + x.b * y.c) % kP, (x.a * y.b + x.b * y.d) % kP,
+              (x.c * y.a + x.d * y.c) % kP, (x.c * y.b + x.d * y.d) % kP};
+  };
+  std::mt19937_64 rng(11);
+  std::uniform_int_distribution<i64> dist(0, kP - 1);
+  std::vector<M2> in(2049);
+  for (auto& m : in) m = M2{dist(rng), dist(rng), dist(rng), dist(rng)};
+  std::vector<M2> oracle(in.size());
+  M2 run = in.front();
+  oracle[0] = run;
+  for (std::size_t i = 1; i < in.size(); ++i) {
+    run = op(run, in[i]);
+    oracle[i] = run;
+  }
+  for (const int w : kWidths) {
+    std::vector<M2> out(in.size());
+    algo::inclusive_scan(in.data(), out.data(), static_cast<i64>(in.size()),
+                         op, opts_for(w));
+    EXPECT_EQ(out, oracle) << "w=" << w;
+  }
+}
+
+// -- Reduce / transform / for_each -------------------------------------------
+
+TEST(AlgoReduceTest, SumMatchesAccumulateAcrossWidths) {
+  for (const i64 n : test_sizes()) {
+    const auto in = random_values<i64>(n, 0xabc + static_cast<u64>(n), -1000,
+                                       1000);
+    const i64 oracle = std::accumulate(in.begin(), in.end(), i64{17});
+    for (const int w : kWidths) {
+      EXPECT_EQ(algo::reduce(in.data(), n, i64{17}, std::plus<>{},
+                             opts_for(w)),
+                oracle)
+          << "n=" << n << " w=" << w;
+    }
+  }
+}
+
+TEST(AlgoReduceTest, MaxAppliesInitExactlyOnce) {
+  // A non-idempotent check: init must combine exactly once, so sum with a
+  // nonzero init over an all-zero array must equal the init.
+  const std::vector<i64> zeros(513, 0);
+  for (const int w : kWidths) {
+    EXPECT_EQ(algo::reduce(zeros.data(), static_cast<i64>(zeros.size()),
+                           i64{23}, std::plus<>{}, opts_for(w)),
+              23);
+  }
+}
+
+TEST(AlgoTransformTest, MapsEveryElementAcrossWidths) {
+  const auto in = random_values<i64>(4097, 3, -100, 100);
+  std::vector<i64> oracle(in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) oracle[i] = in[i] * 2 + 1;
+  for (const int w : kWidths) {
+    std::vector<i64> out(in.size(), 0);
+    algo::transform(in.data(), out.data(), static_cast<i64>(in.size()),
+                    [](i64 v) { return v * 2 + 1; }, opts_for(w));
+    EXPECT_EQ(out, oracle) << "w=" << w;
+  }
+}
+
+TEST(AlgoForEachTest, TouchesEveryIndexExactlyOnce) {
+  for (const int w : kWidths) {
+    std::vector<std::atomic<int>> hits(3001);
+    for (auto& h : hits) h.store(0);
+    algo::for_each(0, 3001, [&](i64 i) { hits[i].fetch_add(1); },
+                   opts_for(w));
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "i=" << i << " w=" << w;
+    }
+  }
+}
+
+// -- Sorts -------------------------------------------------------------------
+
+template <typename K>
+void radix_roundtrip(K lo, K hi) {
+  for (const i64 n : test_sizes()) {
+    for (auto& shape : input_shapes<K>(n, lo, hi)) {
+      std::vector<K> oracle = shape;
+      std::sort(oracle.begin(), oracle.end());
+      for (const int w : kWidths) {
+        std::vector<K> keys = shape;
+        algo::radix_sort(keys.data(), n, opts_for(w));
+        EXPECT_EQ(keys, oracle) << "n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(AlgoRadixSortTest, U64) { radix_roundtrip<u64>(0, ~u64{0} >> 1); }
+TEST(AlgoRadixSortTest, U32) { radix_roundtrip<std::uint32_t>(0, ~0u); }
+TEST(AlgoRadixSortTest, I64NegativesSortBelowPositives) {
+  radix_roundtrip<i64>(-1'000'000, 1'000'000);
+}
+TEST(AlgoRadixSortTest, I32NegativesSortBelowPositives) {
+  radix_roundtrip<std::int32_t>(-100000, 100000);
+}
+TEST(AlgoRadixSortTest, U16) { radix_roundtrip<std::uint16_t>(0, 65535); }
+TEST(AlgoRadixSortTest, U8) { radix_roundtrip<std::uint8_t>(0, 255); }
+
+TEST(AlgoCountingSortTest, MatchesStableSortAcrossWidths) {
+  constexpr i64 kBuckets = 100;
+  for (const i64 n : test_sizes()) {
+    for (auto& shape : input_shapes<u64>(n, 0, kBuckets - 1)) {
+      std::vector<u64> oracle = shape;
+      std::stable_sort(oracle.begin(), oracle.end());
+      for (const int w : kWidths) {
+        std::vector<u64> keys = shape;
+        algo::counting_sort(keys.data(), n, kBuckets,
+                            [](u64 v) { return static_cast<i64>(v); },
+                            opts_for(w));
+        EXPECT_EQ(keys, oracle) << "n=" << n << " w=" << w;
+      }
+    }
+  }
+}
+
+TEST(AlgoCountingSortTest, IsStable) {
+  // Tag each element with its original index; after sorting by key alone,
+  // equal keys must keep ascending tags — and the whole sequence must be
+  // byte-identical to std::stable_sort's.
+  struct Tagged {
+    u64 key;
+    u64 tag;
+    bool operator==(const Tagged&) const = default;
+  };
+  const i64 n = 20000;
+  const auto raw = random_values<u64>(n, 77, 0, 15);  // heavy duplication
+  std::vector<Tagged> src(static_cast<std::size_t>(n));
+  for (i64 i = 0; i < n; ++i) {
+    src[static_cast<std::size_t>(i)] = {raw[static_cast<std::size_t>(i)],
+                                        static_cast<u64>(i)};
+  }
+  std::vector<Tagged> oracle = src;
+  std::stable_sort(oracle.begin(), oracle.end(),
+                   [](const Tagged& a, const Tagged& b) {
+                     return a.key < b.key;
+                   });
+  for (const int w : kWidths) {
+    std::vector<Tagged> elems = src;
+    algo::counting_sort(elems.data(), n, 16,
+                        [](const Tagged& t) { return static_cast<i64>(t.key); },
+                        opts_for(w));
+    EXPECT_EQ(elems, oracle) << "w=" << w;
+  }
+}
+
+// -- top_k -------------------------------------------------------------------
+
+TEST(AlgoTopKTest, EdgeKsAndShapesMatchPartialSort) {
+  for (const i64 n : test_sizes()) {
+    const auto in = random_values<i64>(n, 0xf00 + static_cast<u64>(n), -500,
+                                       500);
+    std::vector<i64> sorted = in;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>{});
+    for (const i64 k : {i64{0}, i64{1}, i64{5}, n, 2 * n}) {
+      const i64 want = std::min(k, n);
+      for (const int w : kWidths) {
+        std::vector<i64> out(static_cast<std::size_t>(std::max(k, i64{1})),
+                             -9999);
+        const i64 got = algo::top_k(in.data(), n, k, out.data(), opts_for(w));
+        ASSERT_EQ(got, want) << "n=" << n << " k=" << k << " w=" << w;
+        for (i64 i = 0; i < want; ++i) {
+          EXPECT_EQ(out[static_cast<std::size_t>(i)],
+                    sorted[static_cast<std::size_t>(i)])
+              << "n=" << n << " k=" << k << " w=" << w << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(AlgoTopKTest, CustomComparatorSelectsSmallest) {
+  const auto in = random_values<i64>(9999, 5, -500, 500);
+  std::vector<i64> sorted = in;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<i64> out(10);
+  const i64 got = algo::top_k(in.data(), static_cast<i64>(in.size()), 10,
+                              out.data(), opts_for(4), std::less<i64>{});
+  ASSERT_EQ(got, 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(out[i], sorted[i]);
+}
+
+// -- Histogram ---------------------------------------------------------------
+
+TEST(AlgoHistogramTest, BinCountsMatchSerialAcrossWidths) {
+  constexpr i64 kBins = 256;
+  for (const i64 n : test_sizes()) {
+    const auto in = random_values<u64>(n, 0xbead + static_cast<u64>(n), 0,
+                                       ~u64{0} >> 1);
+    std::vector<u64> oracle(kBins, 0);
+    for (const u64 v : in) ++oracle[v & 0xFF];
+    for (const int w : kWidths) {
+      std::vector<u64> bins(kBins, 1234);  // must be fully overwritten
+      algo::histogram(in.data(), n, bins.data(), kBins,
+                      [](u64 v) { return static_cast<i64>(v & 0xFF); },
+                      opts_for(w));
+      EXPECT_EQ(bins, oracle) << "n=" << n << " w=" << w;
+    }
+  }
+}
+
+// -- Stress: back-to-back phase traffic (TSan hunts reordering here) ---------
+
+TEST(AlgoStressTest, BackToBackScansAndSortsReusePhaseSlotsSafely) {
+  // Many parallel algorithm calls in a row on the same hot team: phase_seq
+  // must stay monotonic and slot payload reuse must be fenced, or TSan (and
+  // eventually the oracles) catch the overlap.
+  const i64 n = 8192;
+  const auto base = random_values<u64>(n, 0xcafe, 0, ~u64{0} >> 1);
+  std::vector<u64> sorted = base;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<i64> as_i64(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    as_i64[i] = static_cast<i64>(base[i] & 0xFFFF);
+  }
+  std::vector<i64> scan_oracle(as_i64.size());
+  i64 run = 0;
+  for (std::size_t i = 0; i < as_i64.size(); ++i) {
+    scan_oracle[i] = run;
+    run += as_i64[i];
+  }
+
+  for (int iter = 0; iter < 20; ++iter) {
+    const int w = kWidths[iter % 4];
+    std::vector<i64> out(as_i64.size());
+    algo::exclusive_scan(as_i64.data(), out.data(), n, i64{0}, std::plus<>{},
+                         opts_for(w));
+    ASSERT_EQ(out, scan_oracle) << "iter=" << iter;
+    std::vector<u64> keys = base;
+    algo::radix_sort(keys.data(), n, opts_for(w));
+    ASSERT_EQ(keys, sorted) << "iter=" << iter;
+  }
+}
+
+// -- Fault injection: shrunken teams -----------------------------------------
+
+class AlgoFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    double probs[rt::kNumFaultSites] = {0, 0, 0};
+    probs[static_cast<int>(rt::FaultSite::kSpawn)] = 0.5;
+    rt::fault_configure(probs);
+  }
+  void TearDown() override { rt::fault_reset(); }
+};
+
+TEST_F(AlgoFaultTest, ScanAndSortStayExactWhenSpawnFaultsShrinkTheTeam) {
+  // Every other worker spawn fails: the delivered team is smaller than the
+  // request, and every phase structure (PhaseSync width, scratch rows,
+  // shard map) must follow the delivered size, not the requested one. The
+  // request must exceed the hot pool left by earlier tests (width <= 8) or
+  // no spawns happen at all — hence 32.
+  constexpr int kWide = 32;
+  const i64 n = 50000;
+  const auto base = random_values<u64>(n, 0xdead, 0, ~u64{0} >> 1);
+  std::vector<u64> sorted = base;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<i64> as_i64(base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    as_i64[i] = static_cast<i64>(base[i] & 0xFFFF);
+  }
+  std::vector<i64> scan_oracle(as_i64.size());
+  i64 run = 0;
+  for (std::size_t i = 0; i < as_i64.size(); ++i) {
+    scan_oracle[i] = run;
+    run += as_i64[i];
+  }
+
+  for (int iter = 0; iter < 8; ++iter) {
+    std::vector<i64> out(as_i64.size());
+    algo::exclusive_scan(as_i64.data(), out.data(), n, i64{0}, std::plus<>{},
+                         opts_for(kWide));
+    ASSERT_EQ(out, scan_oracle) << "iter=" << iter;
+
+    std::vector<u64> keys = base;
+    algo::radix_sort(keys.data(), n, opts_for(kWide));
+    ASSERT_EQ(keys, sorted) << "iter=" << iter;
+
+    std::vector<u64> counted(base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) counted[i] = base[i] % 64;
+    std::vector<u64> counted_oracle = counted;
+    std::stable_sort(counted_oracle.begin(), counted_oracle.end());
+    algo::counting_sort(counted.data(), n, 64,
+                        [](u64 v) { return static_cast<i64>(v); },
+                        opts_for(kWide));
+    ASSERT_EQ(counted, counted_oracle) << "iter=" << iter;
+  }
+  EXPECT_GT(rt::fault_injected_count(rt::FaultSite::kSpawn), 0);
+}
+
+}  // namespace
+}  // namespace zomp
