@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "lang/sema.h"
+#include "runtime/abi.h"
 #include "runtime/api.h"
 #include "runtime/hl.h"
 #include "runtime/pool.h"
@@ -1125,6 +1126,14 @@ Interp::Interp(const lang::Module& module, Options options)
   });
   register_host_fn("mz_omp_get_wtime",
                    [](std::vector<Value>&) { return Value(zomp::wtime()); });
+  register_host_fn("mz_omp_get_wtick",
+                   [](std::vector<Value>&) { return Value(zomp::wtick()); });
+  register_host_fn("mz_omp_team_stat", [](std::vector<Value>& args) {
+    return Value(mz_omp_team_stat(args.at(0).as_i64()));
+  });
+  register_host_fn("mz_omp_trace_flush", [](std::vector<Value>&) {
+    return Value(mz_omp_trace_flush());
+  });
   register_host_fn("mz_omp_get_proc_bind", [](std::vector<Value>&) {
     return Value(static_cast<std::int64_t>(zomp::get_proc_bind()));
   });

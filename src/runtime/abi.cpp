@@ -8,6 +8,7 @@
 #include "runtime/pool.h"
 #include "runtime/sync.h"
 #include "runtime/team.h"
+#include "runtime/trace.h"
 #include "runtime/worksharing.h"
 
 namespace {
@@ -399,6 +400,20 @@ void mz_omp_set_num_threads(std::int64_t n) {
   zomp::set_num_threads(static_cast<i32>(n));
 }
 double mz_omp_get_wtime(void) { return zomp::wtime(); }
+double mz_omp_get_wtick(void) { return zomp::wtick(); }
+std::int64_t mz_omp_team_stat(std::int64_t which) {
+  const zomp::TeamStats s = zomp::team_stats();
+  switch (which) {
+    case 0: return s.steal_attempts;
+    case 1: return s.steal_lost;
+    case 2: return s.mailbox_pulls;
+    case 3: return s.tasks_executed;
+    case 4: return s.dispatch_claims;
+    case 5: return s.barrier_episodes;
+    default: return 0;
+  }
+}
+std::int64_t mz_omp_trace_flush(void) { return zomp::trace_flush() ? 1 : 0; }
 
 std::int32_t zomp_get_thread_num(void) { return zomp::thread_num(); }
 std::int32_t zomp_get_num_threads(void) { return zomp::num_threads(); }
@@ -421,6 +436,17 @@ std::int32_t zomp_get_max_task_priority(void) {
 void zomp_set_num_threads(std::int32_t n) { zomp::set_num_threads(n); }
 double zomp_get_wtime(void) { return zomp::wtime(); }
 double zomp_get_wtick(void) { return zomp::wtick(); }
+std::int32_t zomp_trace_flush(void) { return zomp::trace_flush() ? 1 : 0; }
+void zomp_team_stats(zomp_team_stats_t* out) {
+  if (out == nullptr) return;
+  const zomp::TeamStats s = zomp::team_stats();
+  out->steal_attempts = s.steal_attempts;
+  out->steal_lost = s.steal_lost;
+  out->mailbox_pulls = s.mailbox_pulls;
+  out->tasks_executed = s.tasks_executed;
+  out->dispatch_claims = s.dispatch_claims;
+  out->barrier_episodes = s.barrier_episodes;
+}
 
 std::int32_t zomp_get_proc_bind(void) {
   return static_cast<std::int32_t>(zomp::get_proc_bind());

@@ -191,4 +191,16 @@ double wtick() {
   return static_cast<double>(period::num) / static_cast<double>(period::den);
 }
 
+TeamStats team_stats() {
+  const rt::StealStats total = current_thread().team->tasks().stats_total();
+  TeamStats out;
+  out.steal_attempts = static_cast<rt::i64>(total.steal_attempts);
+  out.steal_lost = static_cast<rt::i64>(total.steal_lost);
+  out.mailbox_pulls = static_cast<rt::i64>(total.mailbox_pulls);
+  out.tasks_executed = static_cast<rt::i64>(total.tasks_executed);
+  out.dispatch_claims = static_cast<rt::i64>(total.dispatch_claims);
+  out.barrier_episodes = static_cast<rt::i64>(total.barrier_episodes);
+  return out;
+}
+
 }  // namespace zomp

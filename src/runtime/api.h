@@ -121,4 +121,19 @@ double wtime();
 /// Timer resolution in seconds (omp_get_wtick).
 double wtick();
 
+/// Innermost team scheduling telemetry (DESIGN.md S12): the per-member
+/// StealStats totals, summed across the team. Accumulates across hot-team
+/// reuses of the same team object. Quiescent-read contract: call from a
+/// point where no sibling is mid-region (after a barrier, or outside the
+/// region on the master) — the per-member entries are plain fields.
+struct TeamStats {
+  rt::i64 steal_attempts = 0;
+  rt::i64 steal_lost = 0;
+  rt::i64 mailbox_pulls = 0;
+  rt::i64 tasks_executed = 0;
+  rt::i64 dispatch_claims = 0;
+  rt::i64 barrier_episodes = 0;
+};
+TeamStats team_stats();
+
 }  // namespace zomp

@@ -1,5 +1,7 @@
 #include "runtime/barrier.h"
 
+#include "runtime/trace.h"
+
 namespace zomp::rt {
 
 std::unique_ptr<Barrier> Barrier::create(BarrierKind kind, i32 n) {
@@ -57,18 +59,21 @@ CentralBarrier::CentralBarrier(i32 n) : n_(n), local_sense_(n) {}
 
 void CentralBarrier::wait(i32 member) {
   ZOMP_CHECK(member >= 0 && member < n_, "barrier member id out of range");
+  trace_emit(TraceEv::kBarrierEnter, kBarrierKindCentral);
   const bool my_sense = !local_sense_[member].sense;
   local_sense_[member].sense = my_sense;
   if (arrived_.fetch_add(1, std::memory_order_acq_rel) == n_ - 1) {
     // Last arriver resets the counter for the next round, then releases.
     arrived_.store(0, std::memory_order_relaxed);
     global_sense_.store(my_sense, std::memory_order_release);
+    trace_emit(TraceEv::kBarrierWaitEnd, kBarrierKindCentral);
     return;
   }
   Backoff backoff;
   while (global_sense_.load(std::memory_order_acquire) != my_sense) {
     backoff.pause();
   }
+  trace_emit(TraceEv::kBarrierWaitEnd, kBarrierKindCentral);
 }
 
 TreeBarrier::TreeBarrier(i32 n) : n_(n) {
@@ -101,12 +106,14 @@ void TreeBarrier::arrive(i32 node) {
 
 void TreeBarrier::wait(i32 member) {
   ZOMP_CHECK(member >= 0 && member < n_, "barrier member id out of range");
+  trace_emit(TraceEv::kBarrierEnter, kBarrierKindTree);
   const u64 gen = generation_.load(std::memory_order_acquire);
   arrive(member);
   Backoff backoff;
   while (generation_.load(std::memory_order_acquire) == gen) {
     backoff.pause();
   }
+  trace_emit(TraceEv::kBarrierWaitEnd, kBarrierKindTree);
 }
 
 }  // namespace zomp::rt

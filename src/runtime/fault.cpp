@@ -7,6 +7,7 @@
 
 #include "runtime/env.h"
 #include "runtime/team.h"
+#include "runtime/trace.h"
 
 namespace zomp::rt {
 
@@ -66,6 +67,7 @@ bool fault_should_fail(FaultSite site) noexcept {
   // workload after fault_configure() sees the identical failure schedule.
   if (n % period != period - 1) return false;
   ss.injected.fetch_add(1, std::memory_order_relaxed);
+  trace_emit(TraceEv::kFault, static_cast<i64>(site));
   return true;
 }
 

@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "runtime/env.h"
+#include "runtime/metrics.h"
 #include "runtime/topology.h"
+#include "runtime/trace.h"
 
 namespace zomp::rt {
 
@@ -77,6 +79,12 @@ GlobalIcv::GlobalIcv() {
                          "must be non-negative");
     }
   }
+  // Observability (DESIGN.md S12): arm the tracer and metrics registry
+  // before the DISPLAY_ENV block below, so a verbose display reports the
+  // parsed state (and malformed values have already warned through the
+  // env funnel).
+  trace_init_from_env();
+  metrics_init_from_env();
   if (const auto display = env_string("DISPLAY_ENV")) {
     const std::string t = *display;
     if (t == "true" || t == "TRUE" || t == "1") {
@@ -127,6 +135,11 @@ void GlobalIcv::display_env(bool verbose) const {
   if (verbose) {
     std::fprintf(out, "  ZOMP_FAULT_INJECT = '%s'\n",
                  env_string("FAULT_INJECT").value_or("").c_str());
+    // Report the tracer/metrics state as armed, not the raw env text: a
+    // malformed value (warned above through the env funnel) reads as off.
+    std::fprintf(out, "  ZOMP_TRACE = '%s'\n", trace_output_path().c_str());
+    std::fprintf(out, "  ZOMP_METRICS = '%s'\n",
+                 metrics_enabled() ? "TRUE" : "FALSE");
   }
   std::fprintf(out, "OPENMP DISPLAY ENVIRONMENT END\n");
 }

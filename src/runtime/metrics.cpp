@@ -1,0 +1,116 @@
+#include "runtime/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/env.h"
+#include "runtime/fault.h"
+
+namespace zomp::rt {
+namespace metrics_detail {
+
+std::atomic<u32> g_enabled{0};
+std::atomic<u64> g_counters[static_cast<i32>(Metric::kCount)] = {};
+
+}  // namespace metrics_detail
+
+namespace {
+
+std::atomic<u64> g_shard_claims[kMetricsMaxShards] = {};
+std::atomic<bool> g_atexit_registered{false};
+
+const char* metric_name(Metric m) {
+  switch (m) {
+    case Metric::kParallelRegions: return "parallel_regions";
+    case Metric::kHotTeamHits: return "hot_team_hits";
+    case Metric::kHotTeamRebuilds: return "hot_team_rebuilds";
+    case Metric::kBarrierEpisodes: return "barrier_episodes";
+    case Metric::kBarrierWaitNs: return "barrier_wait_ns";
+    case Metric::kDispatchClaims: return "dispatch_claims";
+    case Metric::kTasksExecuted: return "tasks_executed";
+    case Metric::kTasksStolen: return "tasks_stolen";
+    case Metric::kMailboxPulls: return "tasks_mailbox_pulled";
+    case Metric::kStealAttempts: return "steal_attempts";
+    case Metric::kStealLost: return "steal_lost";
+    case Metric::kCancellations: return "cancellations_observed";
+    case Metric::kCount: break;
+  }
+  return "unknown";
+}
+
+void atexit_report() {
+  std::fputs(metrics_report().c_str(), stderr);
+}
+
+}  // namespace
+
+void metrics_note_shard_claim(i32 shard) noexcept {
+  if (!metrics_enabled()) return;
+  metrics_detail::g_counters[static_cast<i32>(Metric::kDispatchClaims)]
+      .fetch_add(1, std::memory_order_relaxed);
+  if (shard < 0) shard = 0;
+  if (shard >= kMetricsMaxShards) shard = kMetricsMaxShards - 1;
+  g_shard_claims[shard].fetch_add(1, std::memory_order_relaxed);
+}
+
+void metrics_init_from_env() {
+  // env_bool warns through warn_malformed_env on unparseable values and
+  // falls back to the default (off), so a bad ZOMP_METRICS degrades to the
+  // zero-cost path rather than failing startup.
+  if (!env_bool("METRICS").value_or(false)) return;
+  metrics_detail::g_enabled.store(1, std::memory_order_relaxed);
+  if (!g_atexit_registered.exchange(true)) std::atexit(atexit_report);
+}
+
+u64 metrics_value(Metric m) noexcept {
+  if (m < Metric::kParallelRegions || m >= Metric::kCount) return 0;
+  return metrics_detail::g_counters[static_cast<i32>(m)].load(
+      std::memory_order_relaxed);
+}
+
+u64 metrics_shard_claims(i32 shard) noexcept {
+  if (shard < 0 || shard >= kMetricsMaxShards) return 0;
+  return g_shard_claims[shard].load(std::memory_order_relaxed);
+}
+
+std::string metrics_report() {
+  std::string out = "ZOMP METRICS REPORT BEGIN\n";
+  char buf[128];
+  for (i32 i = 0; i < static_cast<i32>(Metric::kCount); ++i) {
+    const Metric m = static_cast<Metric>(i);
+    std::snprintf(buf, sizeof(buf), "  %s = '%" PRIu64 "'\n", metric_name(m),
+                  metrics_value(m));
+    out += buf;
+  }
+  for (i32 s = 0; s < kMetricsMaxShards; ++s) {
+    const u64 v = metrics_shard_claims(s);
+    if (v == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  dispatch_claims_shard[%d] = '%" PRIu64 "'\n", s, v);
+    out += buf;
+  }
+  static const char* kSiteNames[kNumFaultSites] = {"spawn", "alloc",
+                                                   "affinity"};
+  for (i32 s = 0; s < kNumFaultSites; ++s) {
+    std::snprintf(buf, sizeof(buf),
+                  "  faults_injected[%s] = '%" PRId64 "'\n", kSiteNames[s],
+                  fault_injected_count(static_cast<FaultSite>(s)));
+    out += buf;
+  }
+  out += "ZOMP METRICS REPORT END\n";
+  return out;
+}
+
+void metrics_set_enabled_for_test(bool on) {
+  metrics_detail::g_enabled.store(on ? 1u : 0u, std::memory_order_relaxed);
+}
+
+void metrics_reset_for_test() {
+  for (auto& c : metrics_detail::g_counters) {
+    c.store(0, std::memory_order_relaxed);
+  }
+  for (auto& c : g_shard_claims) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace zomp::rt

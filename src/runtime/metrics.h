@@ -1,0 +1,89 @@
+// Process-wide metrics registry (DESIGN.md S12).
+//
+// A flat table of relaxed atomic counters bumped at the same hook sites the
+// tracer instruments, plus a per-shard dispatch-claim breakdown. Where the
+// per-team StealStats (task.h) answer "what did THIS team's schedule look
+// like" and die with the team, the registry aggregates across every team,
+// rearm, and nesting level for the whole process lifetime.
+//
+// Cost contract (same as trace_emit and PR 8's cancellation points): with
+// ZOMP_METRICS unset, every metrics_add is one relaxed flag load and a
+// predicted branch. Counter increments are relaxed fetch_adds — hot sites
+// (chunk claims, steals) tolerate that; nothing here orders anything.
+//
+// With ZOMP_METRICS=true a libomp-fenced report (the OMP_DISPLAY_ENV
+// BEGIN/END framing convention) is written to stderr at process exit; tests
+// and tools can pull metrics_report() / metrics_value() directly.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "runtime/common.h"
+
+namespace zomp::rt {
+
+enum class Metric : i32 {
+  kParallelRegions = 0,   ///< forks entering run_region (all sizes)
+  kHotTeamHits = 1,       ///< forks served from the hot-team cache
+  kHotTeamRebuilds = 2,   ///< forks that (re)built a team through the pool
+  kBarrierEpisodes = 3,   ///< barrier episodes entered (user + join)
+  kBarrierWaitNs = 4,     ///< wall ns spent inside those episodes
+  kDispatchClaims = 5,    ///< dynamic/guided/static chunk claims served
+  kTasksExecuted = 6,     ///< explicit task bodies run (incl. inline)
+  kTasksStolen = 7,       ///< tasks obtained via a successful deque steal
+  kMailboxPulls = 8,      ///< tasks obtained from an affinity mailbox
+  kStealAttempts = 9,     ///< CAS-bearing steal() calls on victim deques
+  kStealLost = 10,        ///< steals that lost the CAS race
+  kCancellations = 11,    ///< cancel activations observed
+  kCount = 12,
+};
+
+namespace metrics_detail {
+
+extern std::atomic<u32> g_enabled;
+extern std::atomic<u64> g_counters[static_cast<i32>(Metric::kCount)];
+
+}  // namespace metrics_detail
+
+/// Upper bound on distinguished shard lanes in the per-shard claim
+/// breakdown; claims from higher shard indexes fold into the last lane.
+inline constexpr i32 kMetricsMaxShards = 16;
+
+/// The disabled-mode gate: one relaxed load.
+inline bool metrics_enabled() noexcept {
+  return metrics_detail::g_enabled.load(std::memory_order_relaxed) != 0;
+}
+
+/// Bump `m` by `delta` when metrics are on. The hook the runtime layers
+/// call; self-gating, so call sites stay one line.
+inline void metrics_add(Metric m, u64 delta = 1) noexcept {
+  if (!metrics_enabled()) return;
+  metrics_detail::g_counters[static_cast<i32>(m)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+/// A dispatch chunk claim served from shard `shard` (worksharing.cpp serve
+/// paths — own-slab, steal_slab victim, and the static/guided cursors).
+/// Counts kDispatchClaims plus the per-shard lane.
+void metrics_note_shard_claim(i32 shard) noexcept;
+
+/// Seeds the registry from ZOMP_METRICS (env_bool semantics; malformed
+/// values warn through the env funnel and read as false) and registers the
+/// at-exit report writer once enabled. Called by GlobalIcv's constructor.
+void metrics_init_from_env();
+
+/// Current counter value / per-shard claim lane (aggregate readers).
+u64 metrics_value(Metric m) noexcept;
+u64 metrics_shard_claims(i32 shard) noexcept;
+
+/// The fenced report: "ZOMP METRICS REPORT BEGIN/END" around one
+/// `name = 'value'` line per counter, the nonzero shard lanes, and the
+/// fault-injection site counts (pulled from fault.cpp at render time).
+std::string metrics_report();
+
+/// Test hooks: force the enable flag; zero every counter.
+void metrics_set_enabled_for_test(bool on);
+void metrics_reset_for_test();
+
+}  // namespace zomp::rt

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "runtime/fault.h"
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
 
 namespace zomp::rt {
 
@@ -116,11 +118,13 @@ void Worker::loop() {
     // thread last bound — the sched_setaffinity call (team.cpp). A hot
     // re-arm reuses the plan, so the syscall is skipped on unchanged reuse.
     job.team->bind_member(state_, job.tid);
+    trace_emit(TraceEv::kImplicitTaskBegin, job.tid, job.team->size());
     job.fn(state_.gtid, job.tid, job.args);
     // The join rendezvous is never cancellable: cancelled members skipped
     // user barriers but everybody meets here, so the master's teardown /
     // re-arm below the join stays race-free.
     job.team->join_barrier_wait(job.tid);
+    trace_emit(TraceEv::kImplicitTaskEnd, job.tid, job.team->size());
     // check_out() is this thread's final access to the team; the master
     // re-arms or destroys the team only after every member has checked out.
     job.team->check_out();
@@ -304,18 +308,23 @@ void run_region(Team& team, const std::vector<Worker*>& workers, Microtask fn,
                 void** args, ThreadState& master) {
   const i32 n = static_cast<i32>(workers.size());
   if (n > 0) note_active_workers(n);
+  trace_emit(TraceEv::kParallelBegin, team.size(), team.level());
+  metrics_add(Metric::kParallelRegions);
   for (std::size_t i = 0; i < workers.size(); ++i) {
     workers[i]->assign(&team, static_cast<i32>(i) + 1, fn, args);
   }
   // Workers bind themselves at job-take (Worker::loop); the master's
   // placement is applied here, on its own thread.
   team.bind_member(master, 0);
+  trace_emit(TraceEv::kImplicitTaskBegin, 0, team.size());
   fn(master.gtid, 0, args);
   team.join_barrier_wait(0);
+  trace_emit(TraceEv::kImplicitTaskEnd, 0, team.size());
   team.wait_all_checked_out();
   // All members are out: cancellation state is per-region and dies with it,
   // so the next region on this (possibly hot-cached) team starts clean.
   team.reset_cancellation();
+  trace_emit(TraceEv::kParallelEnd, team.size(), team.level());
   if (n > 0) note_active_workers(-n);
 }
 
@@ -403,6 +412,7 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
     // pool traffic, no allocation. The binding plan is keyed by bind_sig,
     // so it carries over untouched and bind_member skips the setaffinity
     // syscall on every member (place unchanged).
+    metrics_add(Metric::kHotTeamHits);
     const SavedBinding saved = save(ts);
     Team& team = *hit->team;
     team.rearm(child_icv, parent_level + 1,
@@ -424,6 +434,7 @@ void fork_call(Microtask fn, void** args, const ForkOptions& opts) {
   // its workers are back on the idle stack for deterministic reuse. Prefer
   // the slot this fork aliases (same level+request, stale binding or forced
   // retry), then an empty slot, then the least recently used.
+  metrics_add(Metric::kHotTeamRebuilds);
   HotSlot* victim = nullptr;
   if (cacheable) {
     for (HotSlot& slot : ts.hot_slots) {

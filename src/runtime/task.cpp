@@ -1,5 +1,8 @@
 #include "runtime/task.h"
 
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
+
 namespace zomp::rt {
 
 TaskPool::TaskPool(i32 members) {
@@ -38,6 +41,9 @@ StealStats TaskPool::stats_total() const {
     total.steal_attempts += s.steal_attempts;
     total.steal_lost += s.steal_lost;
     total.mailbox_pulls += s.mailbox_pulls;
+    total.tasks_executed += s.tasks_executed;
+    total.dispatch_claims += s.dispatch_claims;
+    total.barrier_episodes += s.barrier_episodes;
   }
   return total;
 }
@@ -103,6 +109,7 @@ std::unique_ptr<Task> TaskPool::take(i32 tid) {
   // place-aware taskloop spray) beat a cross-place steal.
   if (Task* task = mailbox_pop(tid)) {
     ++stats.mailbox_pulls;
+    metrics_add(Metric::kMailboxPulls);
     queued_.fetch_sub(1, std::memory_order_acq_rel);
     return std::unique_ptr<Task>(task);
   }
@@ -138,15 +145,23 @@ std::unique_ptr<Task> TaskPool::take(i32 tid) {
     WorkStealingDeque& q = *queues_[static_cast<std::size_t>(victim)];
     if (!q.maybe_empty()) {
       ++stats.steal_attempts;
+      metrics_add(Metric::kStealAttempts);
+      trace_emit(TraceEv::kStealAttempt, victim);
       bool lost = false;
       if (Task* task = q.steal(&lost)) {
+        metrics_add(Metric::kTasksStolen);
+        trace_emit(TraceEv::kStealSuccess, victim);
         queued_.fetch_sub(1, std::memory_order_acq_rel);
         return std::unique_ptr<Task>(task);
       }
-      if (lost) ++stats.steal_lost;
+      if (lost) {
+        ++stats.steal_lost;
+        metrics_add(Metric::kStealLost);
+      }
     }
     if (Task* task = mailbox_pop(victim)) {
       ++stats.mailbox_pulls;
+      metrics_add(Metric::kMailboxPulls);
       queued_.fetch_sub(1, std::memory_order_acq_rel);
       return std::unique_ptr<Task>(task);
     }

@@ -262,6 +262,11 @@ struct alignas(kCacheLine) StealStats {
   u64 steal_attempts = 0;  ///< CAS-bearing steal() calls on victims' deques
   u64 steal_lost = 0;      ///< those that lost the top CAS race (convoying)
   u64 mailbox_pulls = 0;   ///< tasks taken from any member's mailbox
+  // Broader scheduling telemetry (DESIGN.md S12), same write discipline;
+  // these back zomp::team_stats(). team.cpp bumps them via member_stats().
+  u64 tasks_executed = 0;    ///< explicit task bodies this member ran
+  u64 dispatch_claims = 0;   ///< dispatch_next chunks this member claimed
+  u64 barrier_episodes = 0;  ///< barrier episodes this member entered
 };
 
 /// Per-team task queues: one work-stealing deque per member, plus one
@@ -314,6 +319,10 @@ class TaskPool {
   /// Sums every member's steal telemetry. Quiescent-read only (after a
   /// join/barrier): the per-member entries are plain fields.
   StealStats stats_total() const;
+
+  /// Member `tid`'s own telemetry entry. Owner-write only — the executor
+  /// and dispatch paths in team.cpp bump counters take() doesn't see.
+  StealStats& member_stats(i32 tid) { return stats_[static_cast<size_t>(tid)]; }
 
   /// Tasks queued but not yet finished executing (includes tasks currently
   /// running a body). Gates the barrier's drain: zero means every published

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <thread>
@@ -15,13 +16,24 @@
 #endif
 
 #include "runtime/fault.h"
+#include "runtime/metrics.h"
 #include "runtime/topology.h"
+#include "runtime/trace.h"
 
 namespace zomp::rt {
 
 namespace {
 
 thread_local ThreadState* tls_state = nullptr;
+
+/// Steady-clock nanoseconds for the barrier wait-time metric. Only read
+/// when ZOMP_METRICS is on, so the vdso call stays off the default path.
+u64 monotonic_ns() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 std::atomic<i32>& gtid_counter() {
   static std::atomic<i32> counter{0};
@@ -368,16 +380,33 @@ void Team::bind_member(ThreadState& ts, i32 tid) {
 }
 
 bool Team::barrier_wait(i32 tid) {
-  ThreadState& ts = member(tid);
   // Entry cancellation point (OpenMP 5.2 §5): a member that observes a
   // pending `cancel parallel` NEVER arrives — abandoners head straight for
   // the join barrier, so the survivors' arrival count only has to balance
   // against other survivors (each of which abandons from its wait loop,
   // rolling its own arrival back). seq_cst load pairs with the seq_cst
-  // fetch_or in cancel_activate.
+  // fetch_or in cancel_activate. Checked before the episode events fire, so
+  // a never-arriving member contributes no unpaired barrier-enter.
   if (cancel_request_.load(std::memory_order_seq_cst) & kCancelParallel) {
     return true;
   }
+  trace_emit(TraceEv::kBarrierEnter, kBarrierKindUser);
+  ++tasks_.member_stats(tid).barrier_episodes;
+  u64 wait_t0 = 0;
+  if (metrics_enabled()) {
+    metrics_add(Metric::kBarrierEpisodes);
+    wait_t0 = monotonic_ns();
+  }
+  const bool abandoned = barrier_wait_body(tid);
+  if (wait_t0 != 0) {
+    metrics_add(Metric::kBarrierWaitNs, monotonic_ns() - wait_t0);
+  }
+  trace_emit(TraceEv::kBarrierWaitEnd, kBarrierKindUser, abandoned ? 1 : 0);
+  return abandoned;
+}
+
+bool Team::barrier_wait_body(i32 tid) {
+  ThreadState& ts = member(tid);
   if (size() == 1) {
     Backoff backoff;
     while (tasks_.outstanding() > 0) {
@@ -472,6 +501,21 @@ bool Team::barrier_wait(i32 tid) {
 }
 
 void Team::join_barrier_wait(i32 tid) {
+  trace_emit(TraceEv::kBarrierEnter, kBarrierKindJoin);
+  ++tasks_.member_stats(tid).barrier_episodes;
+  u64 wait_t0 = 0;
+  if (metrics_enabled()) {
+    metrics_add(Metric::kBarrierEpisodes);
+    wait_t0 = monotonic_ns();
+  }
+  join_barrier_wait_body(tid);
+  if (wait_t0 != 0) {
+    metrics_add(Metric::kBarrierWaitNs, monotonic_ns() - wait_t0);
+  }
+  trace_emit(TraceEv::kBarrierWaitEnd, kBarrierKindJoin);
+}
+
+void Team::join_barrier_wait_body(i32 tid) {
   // The region-end rendezvous: the user barrier's protocol minus every
   // cancellation check, on its own counters. After a `cancel parallel` the
   // survivors skipped arbitrarily many user barriers, so bar_epoch_ is no
@@ -545,6 +589,8 @@ bool Team::cancel_activate(ThreadState& ts, i32 construct) {
   // a set_cancellation issued between regions.
   if (!GlobalIcv::instance().cancellation()) return false;
   cancel_request_.fetch_or(construct, std::memory_order_seq_cst);
+  trace_emit(TraceEv::kCancel, construct);
+  metrics_add(Metric::kCancellations);
   // Parallel cancel must unpark barrier waiters so they can abandon their
   // episode; the park predicate re-checks the flag under the gate's lock.
   if (construct & kCancelParallel) bar_gate_.wake_all();
@@ -652,6 +698,8 @@ void Team::dispatch_init(ThreadState& ts, Schedule schedule, i64 lo, i64 hi,
   if (slot.kind == ScheduleKind::kStatic || slot.kind == ScheduleKind::kAuto) {
     dispatch_init_static_cursor(slot, ts.dispatch, ts.tid);
   }
+  trace_emit(TraceEv::kDispatchInit, slot.trips,
+             static_cast<i64>(slot.kind));
 }
 
 bool Team::dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast) {
@@ -671,6 +719,8 @@ bool Team::dispatch_next(ThreadState& ts, i64* plo, i64* phi, bool* plast) {
       dispatch_next_chunk(*slot, ts.dispatch, ts.tid, plo, phi, &last)) {
     ts.dispatch.last_chunk = last;
     if (plast != nullptr) *plast = last;
+    trace_emit(TraceEv::kDispatchClaim, *plo, *phi);
+    ++tasks_.member_stats(ts.tid).dispatch_claims;
     return true;
   }
   // Exhausted for this member: detach; the last member to detach frees the
@@ -755,11 +805,13 @@ void Team::run_task_inline(ThreadState& ts, std::function<void()>& body,
   // Undeferred (if(false)), included (final-descendant) and serial-team
   // tasks run immediately in a fresh context so nested taskwait / taskgroup
   // / depend clauses still behave.
+  trace_emit(TraceEv::kTaskCreate, /*deferred=*/0);
   TaskContext inline_ctx;
   inline_ctx.group = ts.current_task->group;
   inline_ctx.in_final = final_ctx;
   TaskContext* saved = ts.current_task;
   ts.current_task = &inline_ctx;
+  trace_emit(TraceEv::kTaskSchedule);
   body();
   // The inline task's own children must finish before it completes.
   Backoff backoff;
@@ -767,6 +819,9 @@ void Team::run_task_inline(ThreadState& ts, std::function<void()>& body,
     if (!run_one_task(ts)) backoff.pause();
   }
   ts.current_task = saved;
+  trace_emit(TraceEv::kTaskComplete);
+  ++tasks_.member_stats(ts.tid).tasks_executed;
+  metrics_add(Metric::kTasksExecuted);
 }
 
 void Team::enqueue_task(ThreadState& ts, std::unique_ptr<Task> task) {
@@ -797,6 +852,7 @@ std::unique_ptr<Task> Team::new_task(ThreadState& ts,
   if (task->group != nullptr) {
     task->group->active.fetch_add(1, std::memory_order_acq_rel);
   }
+  trace_emit(TraceEv::kTaskCreate, /*deferred=*/1, task->priority);
   return task;
 }
 
@@ -945,7 +1001,9 @@ void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task,
   // the deque-overflow inline route (counted == false): a discarded task
   // must drain from every counter a normal task would, or the join barrier
   // and taskgroup_end would wait forever on work that will never run.
-  if (!task_discarded(*task)) task->body();
+  const bool discarded = task_discarded(*task);
+  trace_emit(TraceEv::kTaskSchedule, discarded ? 1 : 0);
+  if (!discarded) task->body();
   // Children of this task must complete before the task itself does
   // (OpenMP's implicit task completion ordering for taskwait counting is
   // handled by the parent's explicit waits; here we only keep the counters
@@ -959,6 +1017,9 @@ void Team::execute_task(ThreadState& ts, std::unique_ptr<Task> task,
     }
   }
   ts.current_task = saved;
+  trace_emit(TraceEv::kTaskComplete, discarded ? 1 : 0);
+  ++tasks_.member_stats(ts.tid).tasks_executed;
+  metrics_add(Metric::kTasksExecuted);
   // Release dependent successors BEFORE this task's own counters drop: a
   // released successor enters `outstanding` (enqueue_task -> push) first, so
   // the join barrier's drain count never reads zero with a releasable task

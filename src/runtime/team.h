@@ -393,6 +393,11 @@ class Team {
 
  private:
   static constexpr i32 kDispatchRing = 8;
+
+  /// The barrier protocols themselves; the public entry points wrap them
+  /// with the S12 observability hooks (episode events + wait-time metrics).
+  bool barrier_wait_body(i32 tid);
+  void join_barrier_wait_body(i32 tid);
   /// Default taskloop chunking (neither grainsize nor num_tasks): this many
   /// chunks per team member, enough slack for stealing to balance uneven
   /// chunk costs while keeping per-task overhead amortised.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "runtime/metrics.h"
+
 namespace zomp::rt {
 
 StaticRange static_distribute(i64 lo, i64 hi, i64 step, i64 chunk, i32 tid,
@@ -161,6 +163,7 @@ bool steal_slab(DispatchSlot& slot, i32 my_shard, i64 chunk, i64* plo,
     const i64 take = std::max<i64>(1, remaining_chunks / 2) * chunk;
     const i64 claimed = v.next.fetch_add(take, std::memory_order_relaxed);
     if (claimed >= v.hi) continue;  // drained between the read and the add
+    metrics_note_shard_claim((my_shard + k) % slot.nshards);
     return serve_trips(slot, claimed, std::min(claimed + take, v.hi), plo,
                        phi, plast);
   }
@@ -178,6 +181,7 @@ bool dispatch_next_chunk(DispatchSlot& slot, MemberDispatch& md, i32 tid,
       // Blocks partition the iteration space, so exactly the block that ends
       // at slot.hi contains the sequentially-last iteration.
       if (md.static_span <= 0 || md.static_next >= slot.hi) return false;
+      metrics_note_shard_claim(0);  // static kinds run on the flat shard
       *plo = md.static_next;
       *phi = md.static_hi;
       *plast = *phi >= slot.hi;
@@ -210,6 +214,7 @@ bool dispatch_next_chunk(DispatchSlot& slot, MemberDispatch& md, i32 tid,
         const i64 claimed =
             own.next.fetch_add(batch * chunk, std::memory_order_relaxed);
         if (claimed < own.hi) {
+          metrics_note_shard_claim(my_shard);
           return serve_trips(slot, claimed,
                              std::min(claimed + batch * chunk, own.hi), plo,
                              phi, plast);
@@ -236,6 +241,7 @@ bool dispatch_next_chunk(DispatchSlot& slot, MemberDispatch& md, i32 tid,
         const i64 claimed =
             own.next.fetch_add(size, std::memory_order_relaxed);
         if (claimed < own.hi) {
+          metrics_note_shard_claim(my_shard);
           return serve_trips(slot, claimed, std::min(claimed + size, own.hi),
                              plo, phi, plast);
         }

@@ -6,6 +6,8 @@
 
 #include "runtime/env.h"
 #include "runtime/icv.h"
+#include "runtime/metrics.h"
+#include "runtime/trace.h"
 
 namespace zomp::rt {
 namespace {
@@ -204,7 +206,45 @@ INSTANTIATE_TEST_SUITE_P(
                       GarbageEnvCase{"SCHEDULE", "static,zero", 2},
                       GarbageEnvCase{"WAIT_POLICY", "spin", 3},
                       GarbageEnvCase{"PROC_BIND", "sideways", 4},
-                      GarbageEnvCase{"PROC_BIND", "close,far", 4}));
+                      GarbageEnvCase{"PROC_BIND", "close,far", 4},
+                      GarbageEnvCase{"METRICS", "sometimes", 1}));
+
+// -- S12 observability ICVs ---------------------------------------------------
+
+TEST(TraceEnvTest, EmptyTraceValueWarnsOnceAndStaysDisarmed) {
+  env_warn_reset_for_test();
+  setenv("ZOMP_TRACE", "", 1);
+  // An empty path is malformed (nowhere to write): one funnel warning even
+  // across re-reads, and the tracer stays disarmed with no output path.
+  trace_init_from_env();
+  trace_init_from_env();
+  EXPECT_EQ(env_malformed_warning_count(), 1);
+  EXPECT_TRUE(trace_output_path().empty());
+  EXPECT_FALSE(trace_ring_enabled());
+  unsetenv("ZOMP_TRACE");
+  env_warn_reset_for_test();
+}
+
+TEST(MetricsEnvTest, MalformedMetricsValueWarnsAndStaysOff) {
+  env_warn_reset_for_test();
+  metrics_set_enabled_for_test(false);
+  setenv("ZOMP_METRICS", "sometimes", 1);
+  metrics_init_from_env();
+  EXPECT_EQ(env_malformed_warning_count(), 1);
+  EXPECT_FALSE(metrics_enabled());
+  unsetenv("ZOMP_METRICS");
+  env_warn_reset_for_test();
+}
+
+TEST(MetricsEnvTest, FalseMetricsValueStaysOffWithoutWarning) {
+  env_warn_reset_for_test();
+  metrics_set_enabled_for_test(false);
+  setenv("ZOMP_METRICS", "false", 1);
+  metrics_init_from_env();
+  EXPECT_EQ(env_malformed_warning_count(), 0);
+  EXPECT_FALSE(metrics_enabled());
+  unsetenv("ZOMP_METRICS");
+}
 
 TEST(DisplayEnvTest, PrintsLibompStyleIcvTable) {
   ::testing::internal::CaptureStderr();
@@ -221,6 +261,8 @@ TEST(DisplayEnvTest, PrintsLibompStyleIcvTable) {
   EXPECT_NE(out.find("  OMP_CANCELLATION = '"), std::string::npos);
   // Terse mode omits the zomp extensions...
   EXPECT_EQ(out.find("ZOMP_FAULT_INJECT"), std::string::npos);
+  EXPECT_EQ(out.find("ZOMP_TRACE"), std::string::npos);
+  EXPECT_EQ(out.find("ZOMP_METRICS"), std::string::npos);
 
   ::testing::internal::CaptureStderr();
   GlobalIcv::instance().display_env(/*verbose=*/true);
@@ -228,6 +270,8 @@ TEST(DisplayEnvTest, PrintsLibompStyleIcvTable) {
   // ...verbose prints them.
   EXPECT_NE(verbose.find("  ZOMP_FAULT_INJECT = '"), std::string::npos)
       << verbose;
+  EXPECT_NE(verbose.find("  ZOMP_TRACE = '"), std::string::npos) << verbose;
+  EXPECT_NE(verbose.find("  ZOMP_METRICS = '"), std::string::npos) << verbose;
 }
 
 TEST(ScheduleNameTest, AllKindsNamed) {
